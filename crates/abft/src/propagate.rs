@@ -1,0 +1,214 @@
+//! Checksum transport through the non-GEMM steps of Algorithm 1.
+//!
+//! The unified-verification optimisation (paper §3.4) reuses one tensor
+//! checksum across a chain of operations instead of re-encoding after each:
+//!
+//! * **max subtraction** — `S_c1[i][t]` is a sum of `count_t` score values,
+//!   so subtracting the row max `m_i` from every score subtracts
+//!   `count_t · m_i` from the checksum (Algorithm 1 line 12);
+//! * **exponentiation** — `exp` turns the additive invariant into a
+//!   multiplicative one: `exp(S_c1[i][t] − count_t·m_i) = ∏_l P[i][t+s·l]`
+//!   (the product check of line 13);
+//! * **rescale / normalise** — both are row-wise scalar multiplies, which
+//!   commute with strided column sums, so the same transformation applied to
+//!   `O` and `O_c1` preserves the invariant until the single final check
+//!   (lines 19–20, 25–28).
+
+use crate::strided::StridedMismatch;
+use crate::thresholds::Check;
+use ft_num::{Matrix, MatrixF32};
+
+/// Number of elements folded into residue class `t` when an extent of
+/// `extent` columns is folded at stride `s`:
+/// `count[t] = |{l : t + s·l < extent}|`.
+pub fn residue_counts(extent: usize, s: usize) -> Vec<usize> {
+    (0..s)
+        .map(|t| if t < extent { (extent - t).div_ceil(s) } else { 0 })
+        .collect()
+}
+
+/// Apply the max-subtraction transport: `check[i][t] −= count_t · m_i`.
+pub fn transport_subtract_max(check: &mut MatrixF32, row_max: &[f32], counts: &[usize]) {
+    assert_eq!(check.rows(), row_max.len());
+    assert_eq!(check.cols(), counts.len());
+    for i in 0..check.rows() {
+        let m = row_max[i];
+        let row = check.row_mut(i);
+        for (t, v) in row.iter_mut().enumerate() {
+            *v -= counts[t] as f32 * m;
+        }
+    }
+}
+
+/// Element-wise exponential of a checksum matrix (the transported checksum
+/// enters the product domain).
+pub fn transport_exp(check: &MatrixF32) -> MatrixF32 {
+    Matrix::from_fn(check.rows(), check.cols(), |i, t| check.get(i, t).exp())
+}
+
+/// Strided *products* of `p`: `out[i][t] = ∏_l p[i][t + s·l]`.
+pub fn strided_products(p: &MatrixF32, s: usize) -> MatrixF32 {
+    let (m, _) = p.shape();
+    let mut out = Matrix::from_fn(m, s, |_, _| 1.0f32);
+    for i in 0..m {
+        let row = p.row(i);
+        let orow = out.row_mut(i);
+        for (j, &v) in row.iter().enumerate() {
+            orow[j % s] *= v;
+        }
+    }
+    out
+}
+
+/// Compare strided products of `p` against the transported checksum
+/// `p_check` and report residue classes whose product diverges beyond `tau`
+/// (the ε₁ check of Algorithm 1 line 13).
+///
+/// Product-domain checks *detect* but cannot linearly *locate* an erroneous
+/// exponential — the paper corrects EXP faults by recomputation, so the
+/// mismatch carries the residue class for targeted recompute.
+pub fn verify_products(p: &MatrixF32, p_check: &MatrixF32, s: usize, chk: Check) -> Vec<StridedMismatch> {
+    let prods = strided_products(p, s);
+    assert_eq!(prods.shape(), p_check.shape());
+    let mut out = Vec::new();
+    for i in 0..prods.rows() {
+        for t in 0..s {
+            let got = prods.get(i, t);
+            let want = p_check.get(i, t);
+            if chk.detects(got, want) {
+                out.push(StridedMismatch {
+                    i,
+                    t,
+                    delta1: got - want,
+                    delta2: if want != 0.0 { got / want } else { f32::INFINITY },
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Row-wise rescale: `mat[i][*] *= factors[i]`. Applied identically to `O`
+/// and `O_c1` so the strided-sum invariant survives the online-softmax
+/// rescale (Algorithm 1 lines 18–20).
+pub fn rescale_rows(mat: &mut MatrixF32, factors: &[f32]) {
+    assert_eq!(mat.rows(), factors.len());
+    for i in 0..mat.rows() {
+        let f = factors[i];
+        for v in mat.row_mut(i) {
+            *v *= f;
+        }
+    }
+}
+
+/// Row-wise normalisation: `mat[i][*] /= ell[i]` (Algorithm 1 line 25).
+pub fn normalize_rows(mat: &mut MatrixF32, ell: &[f32]) {
+    assert_eq!(mat.rows(), ell.len());
+    for i in 0..mat.rows() {
+        let inv = 1.0 / ell[i];
+        for v in mat.row_mut(i) {
+            *v *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thresholds::rel_diff;
+    use crate::strided::{encode_rows_strided, strided_sums};
+    use ft_num::rng::{normal_matrix_f16, rng_from_seed};
+    use ft_sim::gemm_nt;
+
+    #[test]
+    fn residue_counts_exact() {
+        assert_eq!(residue_counts(16, 8), vec![2; 8]);
+        assert_eq!(residue_counts(20, 8), vec![3, 3, 3, 3, 2, 2, 2, 2]);
+        assert_eq!(residue_counts(8, 8), vec![1; 8]);
+        assert_eq!(residue_counts(4, 8), vec![1, 1, 1, 1, 0, 0, 0, 0]);
+    }
+
+    /// Full transport chain: S → S−m → exp, checked against direct P.
+    #[test]
+    fn exp_transport_matches_strided_products() {
+        let mut rng = rng_from_seed(30);
+        let q = normal_matrix_f16(&mut rng, 8, 16, 0.4).to_f32();
+        let k = normal_matrix_f16(&mut rng, 16, 16, 0.4).to_f32();
+        let cs = encode_rows_strided(&k, 8, false);
+        let s_mat = gemm_nt(&q, &k);
+        let mut s_c1 = gemm_nt(&q, &cs.w1);
+
+        // Row max and stabilised softmax numerator.
+        let row_max: Vec<f32> = (0..s_mat.rows())
+            .map(|i| s_mat.row(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max))
+            .collect();
+        let p = MatrixF32::from_fn(s_mat.rows(), s_mat.cols(), |i, j| {
+            (s_mat.get(i, j) - row_max[i]).exp()
+        });
+
+        let counts = residue_counts(s_mat.cols(), 8);
+        transport_subtract_max(&mut s_c1, &row_max, &counts);
+        let p_c1 = transport_exp(&s_c1);
+        let direct = strided_products(&p, 8);
+        // Multiplicative invariant holds within fp noise.
+        for i in 0..direct.rows() {
+            for t in 0..8 {
+                assert!(
+                    rel_diff(direct.get(i, t), p_c1.get(i, t)) < 1e-4,
+                    "({i},{t}): {} vs {}",
+                    direct.get(i, t),
+                    p_c1.get(i, t)
+                );
+            }
+        }
+        // And a corrupted exponential is caught.
+        let mut p_bad = p.clone();
+        p_bad.set(3, 5, p_bad.get(3, 5) * 1.5);
+        let mism = verify_products(&p_bad, &p_c1, 8, Check::new(1e-3, 0.0));
+        assert_eq!(mism.len(), 1);
+        assert_eq!((mism[0].i, mism[0].t), (3, 5 % 8));
+    }
+
+    #[test]
+    fn rescale_and_normalize_commute_with_strided_sums() {
+        let mut rng = rng_from_seed(31);
+        let o = normal_matrix_f16(&mut rng, 8, 32, 1.0).to_f32();
+        let factors: Vec<f32> = (0..8).map(|i| 0.5 + i as f32 * 0.1).collect();
+        let ell: Vec<f32> = (0..8).map(|i| 1.0 + i as f32).collect();
+
+        // Path A: fold then transform.
+        let mut folded = strided_sums(&o, 8);
+        rescale_rows(&mut folded, &factors);
+        normalize_rows(&mut folded, &ell);
+
+        // Path B: transform then fold.
+        let mut full = o.clone();
+        rescale_rows(&mut full, &factors);
+        normalize_rows(&mut full, &ell);
+        let folded_b = strided_sums(&full, 8);
+
+        assert!(folded.max_abs_diff(&folded_b) < 1e-4);
+    }
+
+    #[test]
+    fn verify_products_clean_is_silent() {
+        let p = MatrixF32::from_fn(4, 16, |i, j| 0.1 + 0.01 * (i * 16 + j) as f32);
+        let check = strided_products(&p, 8);
+        assert!(verify_products(&p, &check, 8, Check::new(1e-6, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn transport_subtract_handles_ragged_counts() {
+        // 12 columns, stride 8: residues 0..4 have 2 elements, 4..8 have 1.
+        let s_mat = MatrixF32::from_fn(2, 12, |i, j| (i * 12 + j) as f32 * 0.1);
+        let check = strided_sums(&s_mat, 8);
+        let mut transported = check.clone();
+        let row_max = vec![1.0, 2.0];
+        let counts = residue_counts(12, 8);
+        transport_subtract_max(&mut transported, &row_max, &counts);
+        // Direct: fold the subtracted matrix.
+        let sub = MatrixF32::from_fn(2, 12, |i, j| s_mat.get(i, j) - row_max[i]);
+        let direct = strided_sums(&sub, 8);
+        assert!(transported.max_abs_diff(&direct) < 1e-5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion benches for the attention kernels: the wall-clock companions
+//! of Fig. 9 and Tables 1–2 at a fixed small shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::config::AttentionConfig;
+use ft_core::decoupled::{decoupled_ft_attention, DecoupledOptions};
+use ft_core::efta::{efta_attention, EftaOptions};
+use ft_core::flash::flash_attention;
+use ft_num::rng::normal_tensor_f16;
+use ft_sim::device::Device;
+use ft_sim::NoFaults;
+use std::time::Duration;
+
+fn bench_attention(c: &mut Criterion) {
+    let cfg = AttentionConfig::new(1, 4, 256, 64);
+    let q = normal_tensor_f16(1, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
+    let k = normal_tensor_f16(2, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
+    let v = normal_tensor_f16(3, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.8);
+    let dev = Device::a100_40gb();
+
+    let mut g = c.benchmark_group("attention_256x64x4h");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("flash_unprotected", |b| {
+        b.iter(|| flash_attention(&cfg, &q, &k, &v))
+    });
+    g.bench_function("efta_unified", |b| {
+        b.iter(|| efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized()))
+    });
+    g.bench_function("efta_per_step", |b| {
+        b.iter(|| efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::per_step()))
+    });
+    g.bench_function("decoupled_ft", |b| {
+        b.iter(|| {
+            decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

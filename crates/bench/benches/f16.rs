@@ -1,0 +1,33 @@
+//! Criterion micro-benches for the software binary16 substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ft_num::F16;
+use std::time::Duration;
+
+fn bench_f16(c: &mut Criterion) {
+    let values: Vec<f32> = (0..4096).map(|i| (i as f32 - 2048.0) * 0.37).collect();
+    let halves: Vec<F16> = values.iter().map(|&v| F16::from_f32(v)).collect();
+
+    let mut g = c.benchmark_group("f16");
+    g.sample_size(50).measurement_time(Duration::from_secs(2));
+    g.bench_function("from_f32_4096", |b| {
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&v| F16::from_f32(black_box(v)))
+                .fold(0u16, |acc, h| acc ^ h.to_bits())
+        })
+    });
+    g.bench_function("to_f32_4096", |b| {
+        b.iter(|| {
+            halves
+                .iter()
+                .map(|h| black_box(*h).to_f32())
+                .sum::<f32>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_f16);
+criterion_main!(benches);

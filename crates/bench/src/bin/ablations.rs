@@ -1,0 +1,109 @@
+//! Ablation benches beyond the paper's figures, covering the design choices
+//! DESIGN.md calls out:
+//!
+//! * checksum stride s ∈ {1, 2, 4, 8, 16}: coverage vs EFTA overhead (the
+//!   paper fixes s = 8 for the MMA layout; this shows the trade-off);
+//! * verification frequency: per-step vs unified at several block sizes;
+//! * block size sweep for the fused kernel.
+
+use ft_abft::thresholds::Thresholds;
+use ft_bench::{attention_workload, banner, ms, pct, HarnessArgs, TextTable};
+use ft_core::efta::{efta_attention, EftaOptions};
+use ft_inject::{coverage_campaign_stride, GemmShape};
+use ft_sim::NoFaults;
+
+fn stride_ablation(args: &HarnessArgs) {
+    println!("--- Checksum stride ablation (coverage at BER 1e-7, EFTA overhead) ---");
+    let seq = args.sweep_seqs()[3];
+    let cfg = args.medium_cfg(seq);
+    let (q, k, v) = attention_workload(&cfg, args.seed);
+    let (_, t_base) = ft_bench::time_best(2, || {
+        efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::unprotected())
+    });
+    // Same collision regime as Fig. 12: 4096-wide rows, per-bit BER.
+    let shape = GemmShape {
+        br: 64,
+        bc: 4096,
+        d: 64,
+    };
+    let mut table = TextTable::new(&["stride", "coverage", "EFTA overhead"]);
+    for s in [1usize, 2, 4, 8, 16] {
+        let cov = coverage_campaign_stride(
+            args.trials,
+            args.seed,
+            1e-7 * 32.0,
+            s,
+            shape,
+            Thresholds::calibrated().gemm,
+        );
+        let opts = EftaOptions::optimized().with_stride(s);
+        let (_, t) = ft_bench::time_best(2, || {
+            efta_attention(&cfg, &q, &k, &v, &NoFaults, &opts)
+        });
+        table.row(&[
+            s.to_string(),
+            pct(cov.coverage()),
+            pct((t - t_base).max(0.0) / t_base),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn block_size_ablation(args: &HarnessArgs) {
+    println!("--- Block size ablation (EFTA-o wall clock) ---");
+    let seq = args.sweep_seqs()[4];
+    let mut table = TextTable::new(&["block", "EFTA-o (ms)", "unprotected (ms)", "overhead"]);
+    for block in [32usize, 64, 128] {
+        if block > seq {
+            continue;
+        }
+        let cfg = args.medium_cfg(seq).with_block(block);
+        let (q, k, v) = attention_workload(&cfg, args.seed);
+        let (_, t_base) = ft_bench::time_best(2, || {
+            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::unprotected())
+        });
+        let (_, t) = ft_bench::time_best(2, || {
+            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized())
+        });
+        table.row(&[
+            block.to_string(),
+            ms(t),
+            ms(t_base),
+            pct((t - t_base).max(0.0) / t_base),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn verify_mode_ablation(args: &HarnessArgs) {
+    println!("--- Verification frequency ablation ---");
+    let mut table = TextTable::new(&["seq", "per-step (ms)", "unified (ms)", "gain"]);
+    for (idx, seq) in args.sweep_seqs().into_iter().enumerate().step_by(2) {
+        let cfg = args.medium_cfg(seq);
+        let (q, k, v) = attention_workload(&cfg, args.seed + idx as u64);
+        let (_, t_ps) = ft_bench::time_best(2, || {
+            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::per_step())
+        });
+        let (_, t_u) = ft_bench::time_best(2, || {
+            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized())
+        });
+        table.row(&[
+            args.sweep_labels()[idx].clone(),
+            ms(t_ps),
+            ms(t_u),
+            format!("{:.2}x", t_ps / t_u),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("Ablations: stride, block size, verification frequency", &args);
+    let warm = args.medium_cfg(64);
+    let (q, k, v) = attention_workload(&warm, 1);
+    let _ = efta_attention(&warm, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    stride_ablation(&args);
+    block_size_ablation(&args);
+    verify_mode_ablation(&args);
+}

@@ -1,0 +1,146 @@
+//! Figure 9 — scaled execution time and fault-tolerance overhead of
+//! end-to-end FT attention vs the decoupled FT baseline, for the medium
+//! (h=16, d=64) and large (h=32, d=128) settings, seq 512…16k at a fixed
+//! total token budget.
+//!
+//! Reproduced quantities:
+//! * per-seq wall-clock of {decoupled baseline, decoupled+FT, fused
+//!   baseline, fused+FT (EFTA)};
+//! * the speedup of fused-FT over decoupled-FT (paper: 398–520% medium,
+//!   223–308% large);
+//! * the decoupled OOM at seq = 16k for the large setting on a 40 GB card
+//!   (reported from the analytic HBM demand at full scale).
+
+use ft_bench::{attention_workload, banner, ms, pct, HarnessArgs, TextTable};
+use ft_core::decoupled::{decoupled_ft_attention, hbm_demand, DecoupledOptions};
+use ft_core::efta::{efta_attention, EftaOptions};
+use ft_core::{decoupled_analytic_timeline, efta_analytic_stats};
+use ft_sim::cost::{CostModel, Timeline};
+use ft_sim::device::Device;
+use ft_sim::NoFaults;
+
+fn run_config(name: &str, args: &HarnessArgs, large: bool) {
+    let model = CostModel::a100_pcie_40gb();
+    println!("--- FT-Attention Mechanism ({name}) ---");
+    let mut table = TextTable::new(&[
+        "seq",
+        "base3k (ms)",
+        "FT3k (ms)",
+        "e2e (ms)",
+        "EFTA (ms)",
+        "speedup",
+        "simA100 FT3k",
+        "simA100 EFTA",
+        "sim speedup",
+    ]);
+
+    for (idx, seq) in args.sweep_seqs().into_iter().enumerate() {
+        let cfg = if large {
+            args.large_cfg(seq)
+        } else {
+            args.medium_cfg(seq)
+        };
+        let full = args.full_cfg(&cfg, idx);
+        let label = args.sweep_labels()[idx].clone();
+
+        // Analytic simulated-A100 times at FULL paper scale.
+        let dec_timeline = decoupled_analytic_timeline(&full, true);
+        let sim_dec = dec_timeline.simulated_time(&model);
+        let mut efta_tl = Timeline::new();
+        efta_tl.push("efta", efta_analytic_stats(&full, &EftaOptions::optimized()));
+        let sim_efta = efta_tl.simulated_time(&model);
+
+        // OOM check at full scale on the 40 GB card.
+        let dev_full = Device::a100_40gb();
+        let oom = hbm_demand(&full, true) > dev_full.hbm.capacity();
+
+        // Wall-clock at the working scale. The simulated device for the
+        // scaled runs has proportionally scaled capacity so the OOM
+        // crossover appears in the same sweep position.
+        let scaled_capacity =
+            (dev_full.hbm.capacity() as f64 * args.scale * args.scale).max(1e9) as u64;
+        let dev = Device::with_capacity(scaled_capacity);
+
+        let (q, k, v) = attention_workload(&cfg, args.seed + idx as u64);
+        let (_, t_e2e) = ft_bench::time_best(2, || {
+            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::unprotected())
+        });
+        let (_, t_efta) = ft_bench::time_best(2, || {
+            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized())
+        });
+        let (dec_base, dec_ft): (String, (String, Option<f64>)) = if oom {
+            ("OOM".into(), ("OOM".into(), None))
+        } else {
+            let base = decoupled_ft_attention(
+                &cfg,
+                &q,
+                &k,
+                &v,
+                &NoFaults,
+                &DecoupledOptions::unprotected(),
+                &dev,
+            );
+            let t0 = std::time::Instant::now();
+            let ft = decoupled_ft_attention(
+                &cfg,
+                &q,
+                &k,
+                &v,
+                &NoFaults,
+                &DecoupledOptions::default(),
+                &dev,
+            );
+            let t_ft = t0.elapsed().as_secs_f64();
+            match (base, ft) {
+                (Ok(_), Ok(_)) => {
+                    let t0 = std::time::Instant::now();
+                    let _ = decoupled_ft_attention(
+                        &cfg,
+                        &q,
+                        &k,
+                        &v,
+                        &NoFaults,
+                        &DecoupledOptions::unprotected(),
+                        &dev,
+                    );
+                    (ms(t0.elapsed().as_secs_f64()), (ms(t_ft), Some(t_ft)))
+                }
+                _ => ("OOM".into(), ("OOM".into(), None)),
+            }
+        };
+
+        let speedup = dec_ft
+            .1
+            .map(|t| format!("{:.0}%", t / t_efta * 100.0))
+            .unwrap_or_else(|| "-".into());
+        let sim_speedup = format!("{:.0}%", sim_dec / sim_efta * 100.0);
+
+        table.row(&[
+            label,
+            dec_base,
+            dec_ft.0,
+            ms(t_e2e),
+            ms(t_efta),
+            speedup,
+            if oom { "OOM".into() } else { ms(sim_dec) },
+            ms(sim_efta),
+            if oom { "OOM".into() } else { sim_speedup },
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper: medium avg speedup 447% (398-520%); large avg 244% (223-308%), OOM at 16k large\n"
+    );
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("Figure 9: E2E FT attention vs decoupled FT attention", &args);
+    // Warm the rayon pool and allocator so the first row is not penalised.
+    let warm = args.medium_cfg(64);
+    let (q, k, v) = attention_workload(&warm, 1);
+    let _ = efta_attention(&warm, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    run_config("head=16, dim=64", &args, false);
+    run_config("head=32, dim=128", &args, true);
+    let _ = pct(0.0);
+}

@@ -1,0 +1,71 @@
+//! Figure 12 — error coverage and false-alarm analysis of strided ABFT.
+//!
+//! Left: error coverage vs computational bit-error rate for the 8-wide
+//! tensor checksum vs the 1-wide element checksum (paper: 92.5% vs 48% at
+//! BER 1e-7). Right: fault-detection and false-alarm rates of strided ABFT
+//! across relative detection thresholds (paper optimum ≈ 0.48).
+
+use ft_bench::{banner, bar, pct, HarnessArgs, TextTable};
+use ft_abft::thresholds::Thresholds;
+use ft_inject::{abft_threshold_sweep, coverage_campaign, GemmShape, Scheme};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("Figure 12: ABFT protection ability", &args);
+
+    // ---- Left plot: coverage vs BER -----------------------------------
+    // "Computational bit error rate" is per *bit* per operation (32 bits
+    // per FP32 FMA). Rows are seq-length wide (4096, the paper's S width at
+    // its largest protected extent), so at BER 1e-7 an element-checksum
+    // lane sees ≈0.84 faults — multi-fault aliasing breaks the 1-wide
+    // checksum while the 8-wide tensor checksum keeps lanes mostly
+    // single-fault.
+    let shape = GemmShape {
+        br: 64,
+        bc: 4096,
+        d: 64,
+    };
+    let bits_per_op = 32.0;
+    // Detection runs at this implementation's calibrated optimum (the
+    // paper likewise evaluates coverage at its own optimum, 0.48 — our
+    // FP16-quantised checksum noise floor sits lower, see fig12-right).
+    let chk = ft_abft::thresholds::Check::new(0.02, 1e-3);
+    let _ = Thresholds::calibrated();
+    let bers = [1e-8f64, 5e-8, 1e-7];
+    let mut table = TextTable::new(&["BER", "tensor coverage", "element coverage", "tensor faults", "element faults"]);
+    for &ber in &bers {
+        let op_ber = ber * bits_per_op;
+        let t = coverage_campaign(args.trials, args.seed, op_ber, Scheme::Tensor, shape, chk);
+        let e = coverage_campaign(args.trials, args.seed, op_ber, Scheme::Element, shape, chk);
+        table.row(&[
+            format!("{ber:.0e}"),
+            pct(t.coverage()),
+            pct(e.coverage()),
+            t.injected.to_string(),
+            e.injected.to_string(),
+        ]);
+    }
+    println!("--- ABFT's Protection Ability (coverage vs BER) ---");
+    println!("{}", table.render());
+    println!("paper @1e-7: tensor checksum 92.5%, element checksum 48%\n");
+
+    // ---- Right plot: detection / false alarm vs threshold --------------
+    let taus: Vec<f32> = vec![0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.48, 0.5, 0.6, 0.8, 1.0];
+    let sweep = abft_threshold_sweep(args.trials, args.seed + 1, &taus);
+    let mut table = TextTable::new(&["threshold", "detection", "false alarm", "det", "fa"]);
+    for (tau, st) in sweep.taus.iter().zip(&sweep.stats) {
+        table.row(&[
+            format!("{tau:.2}"),
+            pct(st.detection_rate()),
+            pct(st.false_alarm_rate()),
+            bar(st.detection_rate(), 20),
+            bar(st.false_alarm_rate(), 20),
+        ]);
+    }
+    println!("--- False Alarm & Fault Detection vs threshold ---");
+    println!("{}", table.render());
+    println!(
+        "best threshold (detection − false-alarm margin): {:.2}; paper optimum 0.48",
+        sweep.best_tau()
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 13 — softmax protection inside EFTA: DMR vs selective neuron
+//! value restriction (SNVR), as overhead on the unprotected E2E attention.
+//!
+//! Paper: DMR averages 62.5% (medium) / 30.6% (large) overhead; SNVR
+//! 14.3% / 13.6%. GEMM protection is held at strided ABFT in all arms so
+//! only the softmax protection varies.
+
+use ft_bench::{attention_workload, banner, ms, pct, HarnessArgs, TextTable};
+use ft_core::efta::{efta_attention, EftaOptions, SoftmaxProtection, VerifyMode};
+use ft_sim::NoFaults;
+
+fn run_config(name: &str, args: &HarnessArgs, large: bool) {
+    println!("--- FT-design for Softmax ({name}) ---");
+    let mut table = TextTable::new(&[
+        "seq",
+        "e2e (ms)",
+        "DMR (ms)",
+        "DMR ovh",
+        "SNVR (ms)",
+        "SNVR ovh",
+    ]);
+    let base = EftaOptions {
+        softmax: SoftmaxProtection::Unprotected,
+        verify: VerifyMode::PerStep,
+        ..EftaOptions::optimized()
+    };
+    let dmr = EftaOptions {
+        softmax: SoftmaxProtection::Dmr,
+        ..base
+    };
+    let snvr = EftaOptions {
+        softmax: SoftmaxProtection::Snvr,
+        ..base
+    };
+    for (idx, seq) in args.sweep_seqs().into_iter().enumerate() {
+        let cfg = if large {
+            args.large_cfg(seq)
+        } else {
+            args.medium_cfg(seq)
+        };
+        let (q, k, v) = attention_workload(&cfg, args.seed + idx as u64);
+        let (_, t_e2e) = ft_bench::time_best(2, || {
+            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::unprotected())
+        });
+        let (_, t_base) =
+            ft_bench::time_best(2, || efta_attention(&cfg, &q, &k, &v, &NoFaults, &base));
+        let (_, t_dmr) =
+            ft_bench::time_best(2, || efta_attention(&cfg, &q, &k, &v, &NoFaults, &dmr));
+        let (_, t_snvr) =
+            ft_bench::time_best(2, || efta_attention(&cfg, &q, &k, &v, &NoFaults, &snvr));
+        table.row(&[
+            args.sweep_labels()[idx].clone(),
+            ms(t_e2e),
+            ms(t_dmr),
+            pct((t_dmr - t_base).max(0.0) / t_e2e),
+            ms(t_snvr),
+            pct((t_snvr - t_base).max(0.0) / t_e2e),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("Figure 13: DMR vs SNVR softmax protection in EFTA", &args);
+    let warm = args.medium_cfg(64);
+    let (q, k, v) = attention_workload(&warm, 1);
+    let _ = efta_attention(&warm, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    run_config("head=16, dim=64", &args, false);
+    run_config("head=32, dim=128", &args, true);
+    println!("paper: DMR 62.5%/30.6% avg overhead; SNVR 14.3%/13.6%");
+}

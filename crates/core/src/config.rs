@@ -1,0 +1,120 @@
+//! Attention configuration and the paper's benchmark presets.
+
+/// Shape and tiling parameters of one attention computation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttentionConfig {
+    /// Batch size.
+    pub batch: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Per-head feature dimension.
+    pub head_dim: usize,
+    /// Block size B used for tiling along `seq` (paper: Br = Bc = B).
+    pub block: usize,
+    /// Causal masking (GPT-style decoders). FT kernels require `false`
+    /// (the paper evaluates unmasked attention); the reference and flash
+    /// kernels support both.
+    pub causal: bool,
+    /// Score scale, conventionally `1/sqrt(head_dim)`.
+    pub scale: f32,
+}
+
+impl AttentionConfig {
+    /// Config with the conventional `1/sqrt(d)` scale and block size 64.
+    pub fn new(batch: usize, heads: usize, seq: usize, head_dim: usize) -> Self {
+        AttentionConfig {
+            batch,
+            heads,
+            seq,
+            head_dim,
+            block: 64,
+            causal: false,
+            scale: 1.0 / (head_dim as f32).sqrt(),
+        }
+    }
+
+    /// The paper's medium-model setting: hidden 1024 = 16 heads × dim 64.
+    pub fn medium(batch: usize, seq: usize) -> Self {
+        Self::new(batch, 16, seq, 64)
+    }
+
+    /// The paper's large-model setting: hidden 4096 = 32 heads × dim 128.
+    pub fn large(batch: usize, seq: usize) -> Self {
+        Self::new(batch, 32, seq, 128)
+    }
+
+    /// The paper's sweep keeps `batch × seq` fixed (16k total tokens) while
+    /// sweeping `seq`; this derives the batch for a given total.
+    pub fn with_total_tokens(mut self, total_tokens: usize) -> Self {
+        self.batch = (total_tokens / self.seq).max(1);
+        self
+    }
+
+    /// Set the tiling block size.
+    pub fn with_block(mut self, block: usize) -> Self {
+        assert!(block > 0);
+        self.block = block;
+        self
+    }
+
+    /// Enable or disable causal masking.
+    pub fn with_causal(mut self, causal: bool) -> Self {
+        self.causal = causal;
+        self
+    }
+
+    /// Number of seq blocks (`⌈seq/B⌉`).
+    pub fn num_blocks(&self) -> usize {
+        self.seq.div_ceil(self.block)
+    }
+
+    /// Flattened (batch, head) slot count.
+    pub fn num_slots(&self) -> usize {
+        self.batch * self.heads
+    }
+
+    /// FP16 bytes of one `batch × heads × seq × dim` tensor.
+    pub fn tensor_bytes(&self) -> u64 {
+        (self.batch * self.heads * self.seq * self.head_dim * 2) as u64
+    }
+
+    /// FP16 bytes of one `batch × heads × seq × seq` score tensor (what the
+    /// decoupled pipeline must materialise).
+    pub fn score_bytes(&self) -> u64 {
+        (self.batch * self.heads * self.seq * self.seq * 2) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_settings() {
+        let m = AttentionConfig::medium(2, 512);
+        assert_eq!((m.heads, m.head_dim), (16, 64));
+        assert!((m.scale - 0.125).abs() < 1e-7);
+        let l = AttentionConfig::large(1, 1024);
+        assert_eq!((l.heads, l.head_dim), (32, 128));
+    }
+
+    #[test]
+    fn total_token_sweep_matches_paper_batching() {
+        // 16k total tokens at seq 512 → batch 32; at 16k → batch 1.
+        let c = AttentionConfig::medium(1, 512).with_total_tokens(16 * 1024);
+        assert_eq!(c.batch, 32);
+        let c = AttentionConfig::medium(1, 16 * 1024).with_total_tokens(16 * 1024);
+        assert_eq!(c.batch, 1);
+    }
+
+    #[test]
+    fn block_and_byte_helpers() {
+        let c = AttentionConfig::medium(2, 500).with_block(64);
+        assert_eq!(c.num_blocks(), 8);
+        assert_eq!(c.num_slots(), 32);
+        assert_eq!(c.tensor_bytes(), 2 * 16 * 500 * 64 * 2);
+        assert_eq!(c.score_bytes(), 2 * 16 * 500 * 500 * 2);
+    }
+}

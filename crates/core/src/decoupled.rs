@@ -1,0 +1,490 @@
+//! The traditional operation-level fault-tolerance pipeline (paper §3.1,
+//! Figs. 2–3) — the baseline EFTA is compared against in Fig. 9.
+//!
+//! Three kernels execute sequentially, each round-tripping through HBM:
+//!
+//! 1. **ABFT-GEMM I** — `S = Q·Kᵀ`, block-tiled, protected by traditional
+//!    element checksums in *both* directions; S is materialised in HBM
+//!    (the O(n²) memory the paper eliminates — with a 40 GB device this is
+//!    the OOM at seq = 16k in Fig. 9).
+//! 2. **DMR-RSM** — row softmax with dual modular redundancy (Eqs. 10–11);
+//!    P is materialised in HBM.
+//! 3. **ABFT-GEMM II** — `O = P·V`, row-tiled, element-checksum protected.
+
+use crate::config::AttentionConfig;
+use crate::dmr::{dmr_row_softmax, DmrConfig};
+use crate::types::{AttentionOutput, FtCounters, PhaseTimers};
+use ft_abft::element::{augment_rows, encode_cols, verify_correct_by_cols, verify_correct_by_rows};
+use ft_abft::thresholds::Thresholds;
+use ft_num::{block_starts, Matrix, MatrixF32, Tensor4F16, Tensor4F32};
+use ft_sim::cost::Timeline;
+use ft_sim::device::{Device, KernelStats, OomError};
+use ft_sim::{gemm_flops, gemm_nn_inj, gemm_nt, gemm_nt_inj, FaultInjector, FaultSite, GemmCtx};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Options for the decoupled pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct DecoupledOptions {
+    /// Detection thresholds (element checksums use the `gemm` check).
+    pub thresholds: Thresholds,
+    /// DMR settings for the softmax kernel.
+    pub dmr: DmrConfig,
+    /// Quantise checksum vectors through binary16.
+    pub quantize_checksums: bool,
+    /// Apply fault tolerance. `false` runs the same three-kernel pipeline
+    /// without checksums or DMR — the "Baseline" bars of Fig. 9.
+    pub protect: bool,
+}
+
+impl Default for DecoupledOptions {
+    fn default() -> Self {
+        DecoupledOptions {
+            // Element checksums fold whole block rows/columns through
+            // FP16-quantised checksum vectors, so their rounding-noise
+            // floor sits an order of magnitude above the stride-8 lanes';
+            // the floors here are calibrated to that wider fold.
+            thresholds: Thresholds {
+                gemm: ft_abft::thresholds::Check::new(0.48, 0.05),
+                output: ft_abft::thresholds::Check::new(0.05, 0.02),
+                ..Thresholds::calibrated()
+            },
+            dmr: DmrConfig::default(),
+            quantize_checksums: true,
+            protect: true,
+        }
+    }
+}
+
+impl DecoupledOptions {
+    /// The unprotected three-kernel baseline.
+    pub fn unprotected() -> Self {
+        DecoupledOptions {
+            protect: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Simulated-HBM residency the pipeline needs for `cfg` (Q/K/V/O tensors,
+/// FP32 S, per-block checksums, FP16 P). Exceeding the device capacity is
+/// the Fig. 9 OOM.
+pub fn hbm_demand(cfg: &AttentionConfig, protect: bool) -> u64 {
+    let nb = cfg.num_blocks();
+    let checksum_bytes = if protect {
+        (cfg.num_slots() * nb * nb * (4 * cfg.block + 4) * 2) as u64
+    } else {
+        0
+    };
+    4 * cfg.tensor_bytes() + 2 * cfg.score_bytes() + checksum_bytes + cfg.score_bytes()
+}
+
+/// Analytic kernel statistics of the three-kernel pipeline — shape-derived,
+/// used to evaluate the simulated-A100 roofline at full paper sizes.
+pub fn analytic_timeline(cfg: &AttentionConfig, protect: bool) -> Timeline {
+    let b = cfg.block;
+    let d = cfg.head_dim;
+    let nb = cfg.num_blocks();
+    let slots_u = cfg.num_slots() as u64;
+    let seq = cfg.seq as u64;
+    let seq2 = seq * seq;
+    let blk_bytes = (b * d * 2) as u64;
+    let nb_u = nb as u64;
+    let checksum_bytes = if protect {
+        (cfg.num_slots() * nb * nb * (4 * b + 4) * 2) as u64
+    } else {
+        0
+    };
+    let aug = if protect { 2 * nb } else { 0 };
+    let k1 = KernelStats {
+        launches: 1,
+        hbm_read: slots_u * (nb_u * nb_u * 2 * blk_bytes),
+        hbm_written: slots_u * (seq2 * 4) + checksum_bytes,
+        tc_flops: slots_u * gemm_flops(cfg.seq + aug, cfg.seq + aug, d),
+        fp32_flops: 0,
+        sfu_ops: 0,
+        // Element-checksum verification reduces S twice (rows and columns)
+        // with the inter-thread gathers of the traditional layout.
+        serial_flops: slots_u * if protect { 3 * (4 * seq2 + 2 * (cfg.seq * d) as u64 * nb_u) } else { 0 },
+    };
+    let dmr_reads = if protect { 2 } else { 1 };
+    let k2 = KernelStats {
+        launches: 1,
+        hbm_read: slots_u * (dmr_reads * seq2 * 4),
+        hbm_written: slots_u * (seq2 * 2),
+        tc_flops: 0,
+        fp32_flops: slots_u * 3 * seq2,
+        sfu_ops: slots_u * if protect { 2 * seq2 } else { seq2 },
+        serial_flops: slots_u * if protect { 4 * seq2 } else { 0 },
+    };
+    let k3 = KernelStats {
+        launches: 1,
+        hbm_read: slots_u * (seq2 * 2 + nb_u * (cfg.seq * d * 2) as u64),
+        hbm_written: slots_u * (cfg.seq * d * 2) as u64,
+        tc_flops: slots_u * gemm_flops(cfg.seq + aug, d, cfg.seq),
+        fp32_flops: 0,
+        sfu_ops: 0,
+        serial_flops: slots_u * if protect { 3 * (2 * seq2 + 2 * (cfg.seq * d) as u64) } else { 0 },
+    };
+    let mut timeline = Timeline::new();
+    timeline.push("kernel1/abft-gemm-qkt", k1);
+    timeline.push("kernel2/dmr-softmax", k2);
+    timeline.push("kernel3/abft-gemm-pv", k3);
+    timeline
+}
+
+/// Run the decoupled fault-tolerant attention pipeline.
+///
+/// `device` provides the simulated HBM; the S and P tensors are reserved on
+/// it and the run fails with [`OomError`] exactly where the paper's baseline
+/// does. Pass [`Device::a100_40gb`] for the paper's card.
+pub fn decoupled_ft_attention<I: FaultInjector>(
+    cfg: &AttentionConfig,
+    q: &Tensor4F16,
+    k: &Tensor4F16,
+    v: &Tensor4F16,
+    inj: &I,
+    opts: &DecoupledOptions,
+    device: &Device,
+) -> Result<AttentionOutput, OomError> {
+    assert!(!cfg.causal, "the decoupled baseline protects unmasked attention");
+    let counters = FtCounters::new();
+    let timers = PhaseTimers::new();
+    let b = cfg.block;
+    let d = cfg.head_dim;
+    let nb = cfg.num_blocks();
+    let chk = opts.thresholds.gemm;
+
+    // Input/output tensors resident in HBM.
+    let _qkv_alloc = device.hbm.alloc(3 * cfg.tensor_bytes() + cfg.tensor_bytes())?;
+    // Kernel I materialises S in FP32 (accumulator precision — the softmax
+    // kernel and the checksum comparisons consume it directly), plus the
+    // per-block checksum rows/cols.
+    let checksum_bytes = (cfg.num_slots() * nb * nb * (4 * b + 4) * 2) as u64;
+    let s_alloc = device.hbm.alloc(2 * cfg.score_bytes() + checksum_bytes)?;
+    // Kernel II materialises P (FP16, the GEMM III operand precision).
+    let p_alloc = device.hbm.alloc(cfg.score_bytes())?;
+
+    let slots = cfg.num_slots();
+
+    // ---- Kernel I: ABFT-GEMM S = Q·Kᵀ ---------------------------------
+    let k1_start = Instant::now();
+    let s_tensors: Vec<MatrixF32> = (0..slots)
+        .into_par_iter()
+        .map(|slot| {
+            let qm = q.slot_flat(slot).to_f32();
+            let km = k.slot_flat(slot).to_f32();
+            let q_scaled = Matrix::from_fn(qm.rows(), qm.cols(), |i, j| qm.get(i, j) * cfg.scale);
+            let mut s_full = Matrix::zeros(cfg.seq, cfg.seq);
+            for (ib, r0) in block_starts(cfg.seq, b).enumerate() {
+                let q_blk = q_scaled.block(r0, 0, b, d);
+                // Column checksums of S_ij come from encoding Q's rows.
+                let q_aug = if opts.protect {
+                    let q_cs = encode_cols(&q_blk, opts.quantize_checksums);
+                    augment_rows(&q_blk, &q_cs)
+                } else {
+                    q_blk.clone()
+                };
+                for (jb, c0) in block_starts(cfg.seq, b).enumerate() {
+                    let k_blk = km.block(c0, 0, b, d);
+                    // Row checksums of S_ij come from encoding K's rows.
+                    let k_aug = if opts.protect {
+                        let k_cs = encode_cols(&k_blk, opts.quantize_checksums);
+                        augment_rows(&k_blk, &k_cs)
+                    } else {
+                        k_blk.clone()
+                    };
+                    let t0 = Instant::now();
+                    let full = gemm_nt_inj(
+                        &q_aug,
+                        &k_aug,
+                        inj,
+                        GemmCtx::new(FaultSite::GemmIAccum, slot)
+                            .at(r0, c0)
+                            .iter(ib * nb + jb),
+                    );
+                    PhaseTimers::add(&timers.gemm1, t0.elapsed().as_nanos() as u64);
+
+                    if !opts.protect {
+                        s_full.set_block(r0, c0, &full);
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    let br = q_blk.rows();
+                    let bc = k_blk.rows();
+                    let mut s_blk = full.block(0, 0, br, bc);
+                    let row1: Vec<f32> = (0..bc).map(|j| full.get(br, j)).collect();
+                    let row2: Vec<f32> = (0..bc).map(|j| full.get(br + 1, j)).collect();
+                    let col1: Vec<f32> = (0..br).map(|i| full.get(i, bc)).collect();
+                    let col2: Vec<f32> = (0..br).map(|i| full.get(i, bc + 1)).collect();
+                    let rep_c = verify_correct_by_cols(&mut s_blk, &row1, &row2, chk);
+                    let rep_r = verify_correct_by_rows(&mut s_blk, &col1, &col2, chk);
+                    // Located elements are recomputed exactly: a 2^100-scale
+                    // delta swamps f32, so subtraction alone cannot restore
+                    // the true value.
+                    for loc in rep_c.corrected.iter().chain(rep_r.corrected.iter()) {
+                        let mut acc = 0.0f32;
+                        for (a, bb) in q_blk.row(loc.row).iter().zip(k_blk.row(loc.col)) {
+                            acc += a * bb;
+                        }
+                        s_blk.set(loc.row, loc.col, acc);
+                    }
+                    FtCounters::add(&counters.gemm1_detected, (rep_c.detections + rep_r.detections) as u64);
+                    FtCounters::add(
+                        &counters.gemm1_corrected,
+                        (rep_c.corrected.len() + rep_r.corrected.len()) as u64,
+                    );
+                    let uncorrectable = rep_c.uncorrectable + rep_r.uncorrectable;
+                    if uncorrectable > 0 {
+                        // Recompute the block without protection mishaps.
+                        s_blk = gemm_nt(&q_blk, &k_blk);
+                        FtCounters::add(&counters.gemm1_recomputed, uncorrectable as u64);
+                    }
+                    PhaseTimers::add(&timers.gemm1_protect, t0.elapsed().as_nanos() as u64);
+                    s_full.set_block(r0, c0, &s_blk);
+                }
+            }
+            // Stored to HBM in FP32 accumulator precision.
+            s_full
+        })
+        .collect();
+    let k1_time = k1_start.elapsed();
+
+    // ---- Kernel II: DMR row softmax ------------------------------------
+    let k2_start = Instant::now();
+    let p_tensors: Vec<MatrixF32> = s_tensors
+        .into_par_iter()
+        .enumerate()
+        .map(|(slot, s_mat)| {
+            let mut p_full = Matrix::zeros(cfg.seq, cfg.seq);
+            for r0 in block_starts(cfg.seq, b) {
+                let mut s_blk = s_mat.block(r0, 0, b, cfg.seq);
+                if opts.protect {
+                    let t0 = Instant::now();
+                    let (p_blk, outcome) = dmr_row_softmax(&s_blk, inj, slot, r0, &opts.dmr);
+                    // First replica is "compute", the rest is protection.
+                    let elapsed = t0.elapsed().as_nanos() as u64;
+                    let per_exec = elapsed / outcome.executions as u64;
+                    PhaseTimers::add(&timers.softmax, per_exec);
+                    PhaseTimers::add(&timers.softmax_protect, elapsed - per_exec);
+                    FtCounters::add(&counters.dmr_retries, outcome.retries as u64);
+                    p_full.set_block(r0, 0, &p_blk);
+                } else {
+                    let t0 = Instant::now();
+                    crate::reference::row_softmax(&mut s_blk);
+                    PhaseTimers::add(&timers.softmax, t0.elapsed().as_nanos() as u64);
+                    p_full.set_block(r0, 0, &s_blk);
+                }
+            }
+            p_full.to_f16().to_f32()
+        })
+        .collect();
+    let k2_time = k2_start.elapsed();
+
+    // ---- Kernel III: ABFT-GEMM O = P·V ----------------------------------
+    let k3_start = Instant::now();
+    let o_slots: Vec<MatrixF32> = p_tensors
+        .into_par_iter()
+        .enumerate()
+        .map(|(slot, p_mat)| {
+            let vm = v.slot_flat(slot).to_f32();
+            let mut o_full = Matrix::zeros(cfg.seq, d);
+            for (ib, r0) in block_starts(cfg.seq, b).enumerate() {
+                let p_blk = p_mat.block(r0, 0, b, cfg.seq);
+                let p_aug = if opts.protect {
+                    let t0 = Instant::now();
+                    let p_cs = encode_cols(&p_blk, opts.quantize_checksums);
+                    let aug = augment_rows(&p_blk, &p_cs);
+                    PhaseTimers::add(&timers.gemm2_protect, t0.elapsed().as_nanos() as u64);
+                    aug
+                } else {
+                    p_blk.clone()
+                };
+
+                let t0 = Instant::now();
+                let full = gemm_nn_inj(
+                    &p_aug,
+                    &vm,
+                    inj,
+                    GemmCtx::new(FaultSite::GemmIiAccum, slot).at(r0, 0).iter(ib),
+                );
+                PhaseTimers::add(&timers.gemm2, t0.elapsed().as_nanos() as u64);
+
+                if !opts.protect {
+                    o_full.set_block(r0, 0, &full);
+                    continue;
+                }
+                let t0 = Instant::now();
+                let br = p_blk.rows();
+                let mut o_blk = full.block(0, 0, br, d);
+                let row1: Vec<f32> = (0..d).map(|j| full.get(br, j)).collect();
+                let row2: Vec<f32> = (0..d).map(|j| full.get(br + 1, j)).collect();
+                let rep = verify_correct_by_cols(&mut o_blk, &row1, &row2, opts.thresholds.output);
+                for loc in &rep.corrected {
+                    let mut acc = 0.0f32;
+                    for (kk, a) in p_blk.row(loc.row).iter().enumerate() {
+                        acc += a * vm.get(kk, loc.col);
+                    }
+                    o_blk.set(loc.row, loc.col, acc);
+                }
+                FtCounters::add(&counters.gemm2_detected, rep.detections as u64);
+                FtCounters::add(&counters.gemm2_corrected, rep.corrected.len() as u64);
+                if rep.uncorrectable > 0 {
+                    let clean = ft_sim::gemm_nn(&p_blk, &vm);
+                    o_blk = clean;
+                    FtCounters::add(&counters.gemm2_recomputed, rep.uncorrectable as u64);
+                }
+                PhaseTimers::add(&timers.gemm2_protect, t0.elapsed().as_nanos() as u64);
+                o_full.set_block(r0, 0, &o_blk);
+            }
+            o_full
+        })
+        .collect();
+    let k3_time = k3_start.elapsed();
+
+    drop(s_alloc);
+    drop(p_alloc);
+
+    let o = Tensor4F32::from_slots(cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, o_slots);
+
+    let timeline = analytic_timeline(cfg, opts.protect);
+
+    // Record the real kernel wall-clock spans too (sequential pipeline).
+    let _ = (k1_time, k2_time, k3_time);
+
+    Ok(AttentionOutput {
+        o,
+        timeline,
+        report: counters.snapshot(),
+        phases: timers.snapshot_secs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_attention;
+    use ft_num::rng::normal_tensor_f16;
+    use ft_sim::{NoFaults, OpCoord, SeuInjector};
+
+    fn qkv(cfg: &AttentionConfig, seed: u64) -> (Tensor4F16, Tensor4F16, Tensor4F16) {
+        let q = normal_tensor_f16(seed, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
+        let k = normal_tensor_f16(seed + 1, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
+        let v = normal_tensor_f16(seed + 2, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.8);
+        (q, k, v)
+    }
+
+    #[test]
+    fn clean_decoupled_matches_reference() {
+        let cfg = AttentionConfig::new(1, 2, 64, 32).with_block(32);
+        let (q, k, v) = qkv(&cfg, 70);
+        let dev = Device::a100_40gb();
+        let out =
+            decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev)
+                .unwrap();
+        let reference = reference_attention(&cfg, &q, &k, &v);
+        // S and P round-trip through FP16 in HBM, so tolerance is FP16-ish.
+        let diff = out.o.max_abs_diff(&reference);
+        assert!(diff < 5e-3, "diff {diff}");
+        assert!(out.report.clean(), "{:?}", out.report);
+    }
+
+    #[test]
+    fn three_kernel_launches_and_quadratic_writes() {
+        let cfg = AttentionConfig::new(1, 2, 128, 32).with_block(64);
+        let (q, k, v) = qkv(&cfg, 71);
+        let dev = Device::a100_40gb();
+        let out =
+            decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev)
+                .unwrap();
+        let total = out.timeline.total();
+        assert_eq!(total.launches, 3);
+        // Writes include two full seq² tensors.
+        assert!(total.hbm_written >= 2 * cfg.score_bytes());
+    }
+
+    #[test]
+    fn oom_at_paper_scale_for_large_config() {
+        // h=32, seq=16k, batch=1: S (FP32) is 32 GiB and P (FP16) 16 GiB —
+        // past the 40 GB card, the Fig. 9 OOM. The medium config (h=16,
+        // d=64) still fits, matching the paper (no OOM in its plot).
+        let large = AttentionConfig::large(1, 16 * 1024);
+        let dev = Device::a100_40gb();
+        let need = 4 * large.tensor_bytes() + 3 * large.score_bytes();
+        assert!(need > dev.hbm.capacity(), "large must exceed 40 GB: {need}");
+        let medium = AttentionConfig::medium(1, 16 * 1024);
+        let fits = 4 * medium.tensor_bytes() + 3 * medium.score_bytes();
+        assert!(fits < dev.hbm.capacity(), "medium must fit: {fits}");
+    }
+
+    #[test]
+    fn gemm1_seu_corrected_by_element_checksums() {
+        let cfg = AttentionConfig::new(1, 1, 64, 32).with_block(32);
+        let (q, k, v) = qkv(&cfg, 72);
+        let dev = Device::a100_40gb();
+        let clean = decoupled_ft_attention(
+            &cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev,
+        )
+        .unwrap();
+        // Setting exponent bit 30 of a sub-2.0 accumulator scales it by
+        // ~2^128: a guaranteed-large error, detected at any threshold.
+        let inj = SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(0, 10, 20, 0), 30)
+            .at_chain_step(15);
+        let out =
+            decoupled_ft_attention(&cfg, &q, &k, &v, &inj, &DecoupledOptions::default(), &dev)
+                .unwrap();
+        assert_eq!(inj.fired(), 1);
+        assert!(out.report.gemm1_detected > 0, "{:?}", out.report);
+        assert!(out.o.max_abs_diff(&clean.o) < 5e-2);
+    }
+
+    #[test]
+    fn softmax_seu_masked_by_dmr() {
+        let cfg = AttentionConfig::new(1, 1, 64, 32).with_block(32);
+        let (q, k, v) = qkv(&cfg, 73);
+        let dev = Device::a100_40gb();
+        let clean = decoupled_ft_attention(
+            &cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev,
+        )
+        .unwrap();
+        let inj = SeuInjector::new(FaultSite::ExpUnit, OpCoord::new(0, 5, 9, 0), 28);
+        let out =
+            decoupled_ft_attention(&cfg, &q, &k, &v, &inj, &DecoupledOptions::default(), &dev)
+                .unwrap();
+        assert!(inj.fired() >= 1);
+        assert!(out.report.dmr_retries > 0, "{:?}", out.report);
+        assert!(out.o.max_abs_diff(&clean.o) < 5e-2);
+    }
+
+    #[test]
+    fn gemm2_seu_corrected() {
+        let cfg = AttentionConfig::new(1, 1, 64, 32).with_block(32);
+        let (q, k, v) = qkv(&cfg, 74);
+        let dev = Device::a100_40gb();
+        let clean = decoupled_ft_attention(
+            &cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev,
+        )
+        .unwrap();
+        let inj = SeuInjector::new(FaultSite::GemmIiAccum, OpCoord::new(0, 7, 11, 0), 30)
+            .at_chain_step(30);
+        let out =
+            decoupled_ft_attention(&cfg, &q, &k, &v, &inj, &DecoupledOptions::default(), &dev)
+                .unwrap();
+        assert_eq!(inj.fired(), 1);
+        assert!(out.report.gemm2_detected > 0, "{:?}", out.report);
+        assert!(out.o.max_abs_diff(&clean.o) < 5e-2);
+    }
+
+    #[test]
+    fn device_memory_is_released_after_run() {
+        let cfg = AttentionConfig::new(1, 2, 64, 32).with_block(32);
+        let (q, k, v) = qkv(&cfg, 75);
+        let dev = Device::a100_40gb();
+        let _ = decoupled_ft_attention(
+            &cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev,
+        )
+        .unwrap();
+        assert_eq!(dev.hbm.in_use(), 0);
+        assert!(dev.hbm.peak() > 0);
+    }
+}

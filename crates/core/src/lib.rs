@@ -1,0 +1,54 @@
+//! # ft-core — end-to-end fault tolerant attention (EFTA)
+//!
+//! The primary contribution of *FT-Transformer: Resilient and Reliable
+//! Transformer with End-to-End Fault Tolerant Attention* (SC 2025),
+//! reproduced in safe Rust on the simulated tensor-core substrate of
+//! [`ft_sim`]:
+//!
+//! * [`reference`] — naive exact attention (correctness oracle);
+//! * [`flash`] — tiled online-softmax flash attention, the unprotected
+//!   baseline;
+//! * [`decoupled`] — the traditional three-kernel ABFT + DMR pipeline with
+//!   O(n²) HBM materialisation (§3.1);
+//! * [`efta`] — the fused single-kernel EFTA with hybrid strided-ABFT +
+//!   SNVR protection and per-step or unified verification (§3.2–3.4,
+//!   Algorithm 1);
+//! * [`dmr`] / [`snvr`] — the softmax protection schemes compared in
+//!   Fig. 13.
+//!
+//! ```
+//! use ft_core::config::AttentionConfig;
+//! use ft_core::efta::{efta_attention, EftaOptions};
+//! use ft_num::rng::normal_tensor_f16;
+//! use ft_sim::NoFaults;
+//!
+//! let cfg = AttentionConfig::new(1, 2, 64, 32).with_block(32);
+//! let q = normal_tensor_f16(1, 1, 2, 64, 32, 0.5);
+//! let k = normal_tensor_f16(2, 1, 2, 64, 32, 0.5);
+//! let v = normal_tensor_f16(3, 1, 2, 64, 32, 0.5);
+//! let out = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+//! assert!(out.report.clean());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod decoupled;
+pub mod dmr;
+pub mod efta;
+pub mod flash;
+pub mod reference;
+pub mod snvr;
+pub mod types;
+
+pub use config::AttentionConfig;
+pub use decoupled::{decoupled_ft_attention, DecoupledOptions};
+pub use efta::{
+    efta_attention, efta_attention_clean, EftaOptions, GemmProtection, SoftmaxProtection,
+    VerifyMode,
+};
+pub use decoupled::{analytic_timeline as decoupled_analytic_timeline, hbm_demand as decoupled_hbm_demand};
+pub use efta::analytic_stats as efta_analytic_stats;
+pub use flash::flash_attention;
+pub use reference::reference_attention;
+pub use types::{AttentionOutput, FtReport, PhaseBreakdown};

@@ -1,0 +1,241 @@
+//! Shared output and accounting types for all attention kernels.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use ft_num::Tensor4F32;
+use ft_sim::cost::Timeline;
+
+/// Fault-tolerance event counters accumulated during one kernel run.
+///
+/// Thread-safe: kernels update these from rayon workers; campaigns read the
+/// totals afterwards.
+#[derive(Debug, Default)]
+pub struct FtCounters {
+    /// Checksum mismatches detected on GEMM I (QKᵀ).
+    pub gemm1_detected: AtomicU64,
+    /// GEMM I errors corrected via checksums.
+    pub gemm1_corrected: AtomicU64,
+    /// GEMM I mismatches that required recomputation.
+    pub gemm1_recomputed: AtomicU64,
+    /// Product-check mismatches attributed to subtraction/EXP.
+    pub exp_detected: AtomicU64,
+    /// EXP errors repaired by recomputation.
+    pub exp_recomputed: AtomicU64,
+    /// Reduce-max range violations repaired.
+    pub max_restricted: AtomicU64,
+    /// Rowsum (ℓ) range violations repaired (restriction / approximation).
+    pub sum_restricted: AtomicU64,
+    /// Checksum mismatches detected on GEMM II / rescale / normalise.
+    pub gemm2_detected: AtomicU64,
+    /// GEMM II errors corrected via checksums.
+    pub gemm2_corrected: AtomicU64,
+    /// GEMM II mismatches that required recomputation.
+    pub gemm2_recomputed: AtomicU64,
+    /// DMR disagreement events (decoupled / DMR-softmax paths).
+    pub dmr_retries: AtomicU64,
+}
+
+impl FtCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Immutable snapshot.
+    pub fn snapshot(&self) -> FtReport {
+        FtReport {
+            gemm1_detected: self.gemm1_detected.load(Ordering::Relaxed),
+            gemm1_corrected: self.gemm1_corrected.load(Ordering::Relaxed),
+            gemm1_recomputed: self.gemm1_recomputed.load(Ordering::Relaxed),
+            exp_detected: self.exp_detected.load(Ordering::Relaxed),
+            exp_recomputed: self.exp_recomputed.load(Ordering::Relaxed),
+            max_restricted: self.max_restricted.load(Ordering::Relaxed),
+            sum_restricted: self.sum_restricted.load(Ordering::Relaxed),
+            gemm2_detected: self.gemm2_detected.load(Ordering::Relaxed),
+            gemm2_corrected: self.gemm2_corrected.load(Ordering::Relaxed),
+            gemm2_recomputed: self.gemm2_recomputed.load(Ordering::Relaxed),
+            dmr_retries: self.dmr_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bump a counter by `n` (convenience for call sites).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Plain-data snapshot of [`FtCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FtReport {
+    /// Checksum mismatches detected on GEMM I (QKᵀ).
+    pub gemm1_detected: u64,
+    /// GEMM I errors corrected via checksums.
+    pub gemm1_corrected: u64,
+    /// GEMM I mismatches requiring recomputation.
+    pub gemm1_recomputed: u64,
+    /// Product-check mismatches attributed to subtraction/EXP.
+    pub exp_detected: u64,
+    /// EXP errors repaired by recomputation.
+    pub exp_recomputed: u64,
+    /// Reduce-max range violations repaired.
+    pub max_restricted: u64,
+    /// Rowsum range violations repaired.
+    pub sum_restricted: u64,
+    /// Checksum mismatches detected on GEMM II / rescale / normalise.
+    pub gemm2_detected: u64,
+    /// GEMM II errors corrected via checksums.
+    pub gemm2_corrected: u64,
+    /// GEMM II mismatches requiring recomputation.
+    pub gemm2_recomputed: u64,
+    /// DMR disagreement events.
+    pub dmr_retries: u64,
+}
+
+impl FtReport {
+    /// Total detections across every check family.
+    pub fn total_detected(&self) -> u64 {
+        self.gemm1_detected
+            + self.exp_detected
+            + self.max_restricted
+            + self.sum_restricted
+            + self.gemm2_detected
+            + self.dmr_retries
+    }
+
+    /// Total repair actions (corrections + recomputations + restrictions).
+    pub fn total_repaired(&self) -> u64 {
+        self.gemm1_corrected
+            + self.gemm1_recomputed
+            + self.exp_recomputed
+            + self.max_restricted
+            + self.sum_restricted
+            + self.gemm2_corrected
+            + self.gemm2_recomputed
+    }
+
+    /// True when nothing fired.
+    pub fn clean(&self) -> bool {
+        self.total_detected() == 0
+    }
+}
+
+/// Per-phase wall-clock accumulators (nanoseconds, summed across rayon
+/// workers) powering the overhead-breakdown figures.
+#[derive(Debug, Default)]
+pub struct PhaseTimers {
+    /// GEMM I compute.
+    pub gemm1: AtomicU64,
+    /// GEMM I protection (checksum encode + verify + correct).
+    pub gemm1_protect: AtomicU64,
+    /// Softmax compute (max, subtract, exp, sums, rescale).
+    pub softmax: AtomicU64,
+    /// Softmax protection (DMR replicas or SNVR checks).
+    pub softmax_protect: AtomicU64,
+    /// GEMM II compute.
+    pub gemm2: AtomicU64,
+    /// GEMM II protection.
+    pub gemm2_protect: AtomicU64,
+}
+
+impl PhaseTimers {
+    /// Fresh zeroed timers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `nanos` to a phase accumulator.
+    pub fn add(phase: &AtomicU64, nanos: u64) {
+        phase.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Snapshot in seconds: (gemm1, gemm1_prot, softmax, softmax_prot,
+    /// gemm2, gemm2_prot).
+    pub fn snapshot_secs(&self) -> PhaseBreakdown {
+        let f = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64 * 1e-9;
+        PhaseBreakdown {
+            gemm1: f(&self.gemm1),
+            gemm1_protect: f(&self.gemm1_protect),
+            softmax: f(&self.softmax),
+            softmax_protect: f(&self.softmax_protect),
+            gemm2: f(&self.gemm2),
+            gemm2_protect: f(&self.gemm2_protect),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`PhaseTimers`] in seconds of accumulated worker
+/// time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// GEMM I compute seconds.
+    pub gemm1: f64,
+    /// GEMM I protection seconds.
+    pub gemm1_protect: f64,
+    /// Softmax compute seconds.
+    pub softmax: f64,
+    /// Softmax protection seconds.
+    pub softmax_protect: f64,
+    /// GEMM II compute seconds.
+    pub gemm2: f64,
+    /// GEMM II protection seconds.
+    pub gemm2_protect: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total protection time.
+    pub fn protect_total(&self) -> f64 {
+        self.gemm1_protect + self.softmax_protect + self.gemm2_protect
+    }
+
+    /// Total compute (unprotected work) time.
+    pub fn compute_total(&self) -> f64 {
+        self.gemm1 + self.softmax + self.gemm2
+    }
+}
+
+/// Result of one attention forward pass.
+#[derive(Debug)]
+pub struct AttentionOutput {
+    /// The attention tensor O in f32 (callers quantise as needed).
+    pub o: Tensor4F32,
+    /// Kernel-level stats for the simulated-A100 cost model.
+    pub timeline: Timeline,
+    /// Fault-tolerance event counts.
+    pub report: FtReport,
+    /// Per-phase wall-clock breakdown.
+    pub phases: PhaseBreakdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_round_trip() {
+        let c = FtCounters::new();
+        FtCounters::add(&c.gemm1_detected, 3);
+        FtCounters::add(&c.exp_recomputed, 2);
+        FtCounters::add(&c.sum_restricted, 0); // no-op
+        let r = c.snapshot();
+        assert_eq!(r.gemm1_detected, 3);
+        assert_eq!(r.exp_recomputed, 2);
+        assert_eq!(r.sum_restricted, 0);
+        assert_eq!(r.total_detected(), 3);
+        assert_eq!(r.total_repaired(), 2);
+        assert!(!r.clean());
+        assert!(FtReport::default().clean());
+    }
+
+    #[test]
+    fn phase_timers_accumulate() {
+        let t = PhaseTimers::new();
+        PhaseTimers::add(&t.gemm1, 1_000_000_000);
+        PhaseTimers::add(&t.gemm1_protect, 500_000_000);
+        PhaseTimers::add(&t.softmax_protect, 250_000_000);
+        let b = t.snapshot_secs();
+        assert!((b.gemm1 - 1.0).abs() < 1e-9);
+        assert!((b.protect_total() - 0.75).abs() < 1e-9);
+        assert!((b.compute_total() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Plain-text table and series emitters shared by the bench binaries.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{c:<w$}");
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds as milliseconds with three decimals.
+pub fn ms(secs: f64) -> String {
+    format!("{:.3}", secs * 1e3)
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Render an ASCII sparkline-style bar for a 0..=1 rate.
+pub fn bar(rate: f64, width: usize) -> String {
+    let filled = (rate.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["seq", "time (ms)", "overhead"]);
+        t.row(&["512".into(), "0.425".into(), "52.3%".into()]);
+        t.row(&["16k".into(), "13.804".into(), "48.2%".into()]);
+        let s = t.render();
+        assert!(s.contains("seq"));
+        assert!(s.lines().count() == 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].starts_with("512"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(0.001234), "1.234");
+        assert_eq!(pct(0.523), "52.3%");
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(1.5, 4), "####");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["x".into()]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # ft-num — numeric substrate for the FT-Transformer reproduction
+//!
+//! Foundations shared by every other crate in the workspace:
+//!
+//! * [`f16::F16`] — software IEEE 754 binary16 with round-to-nearest-even
+//!   conversion and bit-level access (the soft-error injection surface);
+//! * [`matrix::Matrix`] — row-major dense matrices in FP16 (operand) and
+//!   FP32 (accumulator) precision, with the block/tiling helpers every
+//!   kernel uses;
+//! * [`tensor::Tensor4`] — `batch × heads × seq × dim` attention tensors;
+//! * [`rng`] — seeded, reproducible workload generation.
+//!
+//! No GPU, BLAS or `half` dependencies: the numerics are from scratch so the
+//! checksum thresholds and fault-injection behaviour studied by the paper
+//! are fully auditable.
+
+#![warn(missing_docs)]
+
+pub mod f16;
+pub mod matrix;
+pub mod rng;
+pub mod tensor;
+
+pub use f16::{quantize_f32, F16};
+pub use matrix::{block_starts, num_blocks, Matrix, MatrixF16, MatrixF32};
+pub use tensor::{Tensor4, Tensor4F16, Tensor4F32};

@@ -1,0 +1,232 @@
+//! Attention operand tensors.
+//!
+//! Every tensor in the paper has logical shape
+//! `batch × num_heads × seq_len × feature_dim` (§3.1). Batch and head are
+//! embarrassingly parallel, so the storage is a flat vector of per-(batch,
+//! head) row-major matrices; kernels iterate those slots in parallel with
+//! rayon exactly like CTAs spread across the grid.
+
+use crate::f16::F16;
+use crate::matrix::{Matrix, MatrixF16, MatrixF32};
+
+/// 4-D tensor `batch × heads × seq × dim` stored as per-(batch, head)
+/// matrices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor4<T> {
+    batch: usize,
+    heads: usize,
+    seq: usize,
+    dim: usize,
+    slots: Vec<Matrix<T>>,
+}
+
+/// FP16 attention tensor (the I/O precision of the paper's kernels).
+pub type Tensor4F16 = Tensor4<F16>;
+/// FP32 attention tensor (accumulator / verification precision).
+pub type Tensor4F32 = Tensor4<f32>;
+
+impl<T: Copy + Default> Tensor4<T> {
+    /// Allocate a zeroed tensor.
+    pub fn zeros(batch: usize, heads: usize, seq: usize, dim: usize) -> Self {
+        let slots = (0..batch * heads)
+            .map(|_| Matrix::zeros(seq, dim))
+            .collect();
+        Tensor4 {
+            batch,
+            heads,
+            seq,
+            dim,
+            slots,
+        }
+    }
+
+    /// Build from a closure over `(batch, head, row, col)`.
+    pub fn from_fn(
+        batch: usize,
+        heads: usize,
+        seq: usize,
+        dim: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> T,
+    ) -> Self {
+        let mut slots = Vec::with_capacity(batch * heads);
+        for b in 0..batch {
+            for h in 0..heads {
+                slots.push(Matrix::from_fn(seq, dim, |r, c| f(b, h, r, c)));
+            }
+        }
+        Tensor4 {
+            batch,
+            heads,
+            seq,
+            dim,
+            slots,
+        }
+    }
+
+    /// Batch size.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Number of attention heads.
+    #[inline]
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Sequence length.
+    #[inline]
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// Feature dimension (head dim).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of (batch, head) slots.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Borrow the matrix for `(batch, head)`.
+    #[inline]
+    pub fn slot(&self, b: usize, h: usize) -> &Matrix<T> {
+        &self.slots[b * self.heads + h]
+    }
+
+    /// Mutably borrow the matrix for `(batch, head)`.
+    #[inline]
+    pub fn slot_mut(&mut self, b: usize, h: usize) -> &mut Matrix<T> {
+        &mut self.slots[b * self.heads + h]
+    }
+
+    /// Borrow slot by flat index (for parallel iteration).
+    #[inline]
+    pub fn slot_flat(&self, i: usize) -> &Matrix<T> {
+        &self.slots[i]
+    }
+
+    /// All slots as a slice (rayon-friendly).
+    #[inline]
+    pub fn slots(&self) -> &[Matrix<T>] {
+        &self.slots
+    }
+
+    /// All slots, mutably.
+    #[inline]
+    pub fn slots_mut(&mut self) -> &mut [Matrix<T>] {
+        &mut self.slots
+    }
+
+    /// Map `(flat_slot) -> (batch, head)`.
+    #[inline]
+    pub fn unflatten(&self, i: usize) -> (usize, usize) {
+        (i / self.heads, i % self.heads)
+    }
+
+    /// Assemble from pre-built slot matrices.
+    pub fn from_slots(
+        batch: usize,
+        heads: usize,
+        seq: usize,
+        dim: usize,
+        slots: Vec<Matrix<T>>,
+    ) -> Self {
+        assert_eq!(slots.len(), batch * heads);
+        for s in &slots {
+            assert_eq!(s.shape(), (seq, dim));
+        }
+        Tensor4 {
+            batch,
+            heads,
+            seq,
+            dim,
+            slots,
+        }
+    }
+}
+
+impl Tensor4F16 {
+    /// Widen all slots to f32.
+    pub fn to_f32(&self) -> Tensor4F32 {
+        Tensor4F32 {
+            batch: self.batch,
+            heads: self.heads,
+            seq: self.seq,
+            dim: self.dim,
+            slots: self.slots.iter().map(MatrixF16::to_f32).collect(),
+        }
+    }
+
+    /// Total FP16 bytes (as resident in simulated HBM).
+    pub fn size_bytes(&self) -> u64 {
+        self.slots.iter().map(MatrixF16::size_bytes).sum()
+    }
+}
+
+impl Tensor4F32 {
+    /// Quantise all slots through binary16.
+    pub fn to_f16(&self) -> Tensor4F16 {
+        Tensor4F16 {
+            batch: self.batch,
+            heads: self.heads,
+            seq: self.seq,
+            dim: self.dim,
+            slots: self.slots.iter().map(MatrixF32::to_f16).collect(),
+        }
+    }
+
+    /// Max absolute element-wise difference across all slots.
+    pub fn max_abs_diff(&self, other: &Tensor4F32) -> f32 {
+        assert_eq!(self.slots.len(), other.slots.len());
+        self.slots
+            .iter()
+            .zip(&other.slots)
+            .map(|(a, b)| a.max_abs_diff(b))
+            .fold(0.0, f32::max)
+    }
+
+    /// True if any slot contains NaN/Inf.
+    pub fn has_non_finite(&self) -> bool {
+        self.slots.iter().any(MatrixF32::has_non_finite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_slot_addressing() {
+        let t = Tensor4F32::from_fn(2, 3, 4, 5, |b, h, r, c| (b * 1000 + h * 100 + r * 10 + c) as f32);
+        assert_eq!(t.num_slots(), 6);
+        assert_eq!(t.slot(1, 2).get(3, 4), 1234.0);
+        assert_eq!(t.unflatten(5), (1, 2));
+        assert_eq!(t.unflatten(0), (0, 0));
+    }
+
+    #[test]
+    fn f16_round_trip_exact_for_representable() {
+        let t = Tensor4F32::from_fn(1, 2, 3, 4, |_, h, r, c| (h + r + c) as f32 * 0.5);
+        assert_eq!(t.to_f16().to_f32(), t);
+    }
+
+    #[test]
+    fn size_bytes_counts_all_slots() {
+        let t = Tensor4F16::zeros(2, 4, 8, 16);
+        assert_eq!(t.size_bytes(), 2 * 4 * 8 * 16 * 2);
+    }
+
+    #[test]
+    fn max_abs_diff_spans_slots() {
+        let a = Tensor4F32::zeros(1, 2, 2, 2);
+        let mut b = a.clone();
+        b.slot_mut(0, 1).set(1, 1, 3.0);
+        assert_eq!(a.max_abs_diff(&b), 3.0);
+    }
+}

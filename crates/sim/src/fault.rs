@@ -1,0 +1,557 @@
+//! Soft-error injection for simulated computing units.
+//!
+//! Fault model (paper §2.2): transient *computing-unit* faults — bit flips in
+//! values produced by arithmetic/logic units. Memory faults are assumed
+//! handled by ECC and interconnect faults by FT-MPI, so the injector only
+//! corrupts freshly computed results, never stored tensors.
+//!
+//! Two regimes are provided:
+//!
+//! * [`SeuInjector`] — the single-event-upset assumption used by the paper's
+//!   correction experiments: exactly one targeted flip at a chosen site and
+//!   coordinate per detection/correction interval.
+//! * [`BerInjector`] — a per-operation bit-error-rate used by the coverage
+//!   sweeps of Fig. 12: every arithmetic operation independently flips one
+//!   uniformly chosen result bit with probability `ber`.
+//!
+//! Injection must be deterministic under rayon parallelism, so randomness is
+//! *stateless*: a hash of `(seed, site, coordinate)` decides whether and
+//! where a flip occurs. Re-running a kernel with the same injector reproduces
+//! the same faults regardless of thread scheduling; only fired-fault
+//! counters use atomics.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use ft_num::F16;
+
+/// Which functional unit produced the value being (possibly) corrupted.
+///
+/// The taxonomy mirrors the operations of Algorithm 1 in the paper; the
+/// hybrid fault-tolerance scheme assigns a different protection mechanism to
+/// each of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Tensor-core FMA chain producing an element of S = QKᵀ (GEMM I).
+    GemmIAccum,
+    /// Tensor-core FMA chain producing an element of O += P·V (GEMM II).
+    GemmIiAccum,
+    /// Scalar subtraction s − m (stabilised-softmax numerator input).
+    Subtract,
+    /// SFU exponential unit computing exp(s − m).
+    ExpUnit,
+    /// Reduce-max unit (row max of a score block).
+    MaxReduce,
+    /// Reduce-sum unit (row sum ℓ of exponentials).
+    SumReduce,
+    /// Rescale multiply by exp(m_prev − m_new).
+    Rescale,
+    /// Final normalisation divide by ℓ.
+    Normalize,
+    /// Generic feed-forward / projection GEMM accumulation.
+    LinearAccum,
+    /// Activation function unit in the feed-forward module.
+    Activation,
+}
+
+impl FaultSite {
+    /// Stable small integer id used for hashing.
+    fn id(self) -> u64 {
+        match self {
+            FaultSite::GemmIAccum => 1,
+            FaultSite::GemmIiAccum => 2,
+            FaultSite::Subtract => 3,
+            FaultSite::ExpUnit => 4,
+            FaultSite::MaxReduce => 5,
+            FaultSite::SumReduce => 6,
+            FaultSite::Rescale => 7,
+            FaultSite::Normalize => 8,
+            FaultSite::LinearAccum => 9,
+            FaultSite::Activation => 10,
+        }
+    }
+
+    /// All sites, for exhaustive injection tests.
+    pub const ALL: [FaultSite; 10] = [
+        FaultSite::GemmIAccum,
+        FaultSite::GemmIiAccum,
+        FaultSite::Subtract,
+        FaultSite::ExpUnit,
+        FaultSite::MaxReduce,
+        FaultSite::SumReduce,
+        FaultSite::Rescale,
+        FaultSite::Normalize,
+        FaultSite::LinearAccum,
+        FaultSite::Activation,
+    ];
+}
+
+/// Logical coordinate of an operation: enough to identify it uniquely and
+/// deterministically across parallel schedules.
+///
+/// Conventions: `slot` is the flattened (batch, head) index — or the layer
+/// index for feed-forward sites; `i`/`j` address the output element; `k`
+/// disambiguates multiple ops per element (e.g. the inner-loop iteration of
+/// flash attention, or the FMA index inside an accumulation chain).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpCoord {
+    /// Flattened (batch, head) slot or layer index.
+    pub slot: u64,
+    /// Output row.
+    pub i: u64,
+    /// Output column.
+    pub j: u64,
+    /// Sub-operation index (block iteration, k-step…).
+    pub k: u64,
+}
+
+impl OpCoord {
+    /// Convenience constructor.
+    pub fn new(slot: usize, i: usize, j: usize, k: usize) -> Self {
+        OpCoord {
+            slot: slot as u64,
+            i: i as u64,
+            j: j as u64,
+            k: k as u64,
+        }
+    }
+}
+
+/// Mix a 64-bit value (SplitMix64 finaliser).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless hash of (seed, site, coord) → u64.
+#[inline]
+fn coord_hash(seed: u64, site: FaultSite, c: OpCoord) -> u64 {
+    let mut h = seed ^ 0x5851_F42D_4C95_7F2D;
+    h = mix(h.wrapping_add(site.id().wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    h = mix(h ^ c.slot.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    h = mix(h ^ c.i.wrapping_mul(0xA076_1D64_78BD_642F));
+    h = mix(h ^ c.j.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+    h = mix(h ^ c.k.wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
+    h
+}
+
+/// A fault fired inside an accumulation chain: after FMA step `step`, bit
+/// `bit` of the f32 accumulator flips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainFault {
+    /// FMA index after which the accumulator is corrupted (0-based).
+    pub step: usize,
+    /// Bit of the f32 accumulator to flip.
+    pub bit: u32,
+}
+
+/// A fault injector corrupts values produced by simulated compute units.
+///
+/// Implementations must be `Sync`: kernels call them from rayon workers.
+pub trait FaultInjector: Sync {
+    /// Possibly corrupt an f32 result produced at `site`/`coord`.
+    fn corrupt_f32(&self, site: FaultSite, coord: OpCoord, value: f32) -> f32;
+
+    /// Possibly corrupt an f16 result produced at `site`/`coord`.
+    fn corrupt_f16(&self, site: FaultSite, coord: OpCoord, value: F16) -> F16;
+
+    /// Decide whether the accumulation chain of length `k_len` producing
+    /// output element `coord` suffers a fault, and where.
+    ///
+    /// GEMM kernels query this once per output element instead of hashing
+    /// per FMA; a BER injector translates its per-operation rate into the
+    /// per-chain rate `1 − (1 − ber)^k_len`, so the statistics match
+    /// querying every FMA individually (up to the negligible probability of
+    /// two faults in one chain under the SEU regime).
+    fn decide_chain(&self, site: FaultSite, coord: OpCoord, k_len: usize) -> Option<ChainFault> {
+        let _ = (site, coord, k_len);
+        None
+    }
+
+    /// Number of faults fired so far (for campaign accounting).
+    fn fired(&self) -> u64 {
+        0
+    }
+
+    /// True when the injector can never fire (lets hot loops skip hashing).
+    fn is_noop(&self) -> bool {
+        false
+    }
+}
+
+/// Injector that never fires; the error-free baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    #[inline]
+    fn corrupt_f32(&self, _: FaultSite, _: OpCoord, value: f32) -> f32 {
+        value
+    }
+    #[inline]
+    fn corrupt_f16(&self, _: FaultSite, _: OpCoord, value: F16) -> F16 {
+        value
+    }
+    #[inline]
+    fn is_noop(&self) -> bool {
+        true
+    }
+}
+
+/// Single-event upset: flips exactly one chosen bit of the value produced at
+/// one exact (site, coordinate). The paper's SEU assumption (§2.2) allows at
+/// most one error per detection/correction cycle; experiments place one
+/// `SeuInjector` per protected region.
+#[derive(Debug)]
+pub struct SeuInjector {
+    site: FaultSite,
+    coord: OpCoord,
+    /// Bit to flip. For f32 targets 0..32, for f16 targets 0..16.
+    bit: u32,
+    /// FMA step targeted when the site is an accumulation chain.
+    chain_step: u32,
+    fired: AtomicU64,
+}
+
+impl SeuInjector {
+    /// Flip `bit` of the value produced at exactly (site, coord).
+    pub fn new(site: FaultSite, coord: OpCoord, bit: u32) -> Self {
+        SeuInjector {
+            site,
+            coord,
+            bit,
+            chain_step: 0,
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Target FMA step `step` inside accumulation chains (GEMM sites).
+    pub fn at_chain_step(mut self, step: u32) -> Self {
+        self.chain_step = step;
+        self
+    }
+
+    /// The targeted site.
+    pub fn site(&self) -> FaultSite {
+        self.site
+    }
+
+    /// The targeted coordinate.
+    pub fn coord(&self) -> OpCoord {
+        self.coord
+    }
+}
+
+impl FaultInjector for SeuInjector {
+    fn corrupt_f32(&self, site: FaultSite, coord: OpCoord, value: f32) -> f32 {
+        if site == self.site && coord == self.coord {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            f32::from_bits(value.to_bits() ^ (1u32 << (self.bit % 32)))
+        } else {
+            value
+        }
+    }
+
+    fn corrupt_f16(&self, site: FaultSite, coord: OpCoord, value: F16) -> F16 {
+        if site == self.site && coord == self.coord {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            value.flip_bit(self.bit % 16)
+        } else {
+            value
+        }
+    }
+
+    fn decide_chain(&self, site: FaultSite, coord: OpCoord, k_len: usize) -> Option<ChainFault> {
+        if site == self.site && coord == self.coord {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            Some(ChainFault {
+                step: (self.chain_step as usize).min(k_len.saturating_sub(1)),
+                bit: self.bit % 32,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-operation bit-error-rate injector (Fig. 12 regime).
+///
+/// Every queried operation independently suffers a flip of one uniformly
+/// chosen result bit with probability `ber`. Optionally restricted to a
+/// subset of sites (e.g. only GEMM accumulations).
+#[derive(Debug)]
+pub struct BerInjector {
+    seed: u64,
+    ber: f64,
+    /// If non-empty, only these sites are eligible.
+    sites: Vec<FaultSite>,
+    /// Half-open bit range faults are drawn from (f32 targets).
+    bit_range: (u32, u32),
+    fired: AtomicU64,
+}
+
+impl BerInjector {
+    /// BER injector over all sites.
+    pub fn new(seed: u64, ber: f64) -> Self {
+        BerInjector {
+            seed,
+            ber,
+            sites: Vec::new(),
+            bit_range: (0, 32),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Restrict f32 flips to bits `[lo, hi)`. E.g. `(13, 32)` limits faults
+    /// to the FP16-visible magnitude range (relative error ≥ 2⁻¹⁰), the
+    /// paper's FP16 data domain.
+    pub fn with_bit_range(mut self, lo: u32, hi: u32) -> Self {
+        assert!(lo < hi && hi <= 32);
+        self.bit_range = (lo, hi);
+        self
+    }
+
+    /// Restrict eligibility to `sites`.
+    pub fn with_sites(mut self, sites: &[FaultSite]) -> Self {
+        self.sites = sites.to_vec();
+        self
+    }
+
+    /// Configured bit-error rate.
+    pub fn ber(&self) -> f64 {
+        self.ber
+    }
+
+    #[inline]
+    fn eligible(&self, site: FaultSite) -> bool {
+        self.sites.is_empty() || self.sites.contains(&site)
+    }
+
+    /// Decide (deterministically) whether an op at (site, coord) faults, and
+    /// which bit flips. Returns `Some(bit_selector_hash)` on fault.
+    #[inline]
+    fn decide(&self, site: FaultSite, coord: OpCoord) -> Option<u64> {
+        if !self.eligible(site) {
+            return None;
+        }
+        let h = coord_hash(self.seed, site, coord);
+        // Compare the top 53 bits against ber as a dyadic fraction.
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.ber {
+            Some(mix(h ^ 0xC2B2_AE3D_27D4_EB4F))
+        } else {
+            None
+        }
+    }
+}
+
+impl FaultInjector for BerInjector {
+    fn corrupt_f32(&self, site: FaultSite, coord: OpCoord, value: f32) -> f32 {
+        match self.decide(site, coord) {
+            Some(sel) => {
+                self.fired.fetch_add(1, Ordering::Relaxed);
+                let (lo, hi) = self.bit_range;
+                let bit = lo + (sel % (hi - lo) as u64) as u32;
+                f32::from_bits(value.to_bits() ^ (1u32 << bit))
+            }
+            None => value,
+        }
+    }
+
+    fn corrupt_f16(&self, site: FaultSite, coord: OpCoord, value: F16) -> F16 {
+        match self.decide(site, coord) {
+            Some(sel) => {
+                self.fired.fetch_add(1, Ordering::Relaxed);
+                value.flip_bit((sel % 16) as u32)
+            }
+            None => value,
+        }
+    }
+
+    fn decide_chain(&self, site: FaultSite, coord: OpCoord, k_len: usize) -> Option<ChainFault> {
+        if !self.eligible(site) || self.ber <= 0.0 {
+            return None;
+        }
+        let h = coord_hash(self.seed, site, coord);
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Per-chain probability 1 − (1 − ber)^k, computed stably.
+        let p_chain = -f64::exp_m1(k_len as f64 * f64::ln_1p(-self.ber));
+        if u < p_chain {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            let sel = mix(h ^ 0xC2B2_AE3D_27D4_EB4F);
+            Some(ChainFault {
+                step: (sel % k_len as u64) as usize,
+                bit: self.bit_range.0 + (mix(sel) % (self.bit_range.1 - self.bit_range.0) as u64) as u32,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    fn is_noop(&self) -> bool {
+        self.ber <= 0.0
+    }
+}
+
+/// Blanket impl so `&I` can be passed where an injector is expected.
+impl<I: FaultInjector + ?Sized> FaultInjector for &I {
+    fn corrupt_f32(&self, site: FaultSite, coord: OpCoord, value: f32) -> f32 {
+        (**self).corrupt_f32(site, coord, value)
+    }
+    fn corrupt_f16(&self, site: FaultSite, coord: OpCoord, value: F16) -> F16 {
+        (**self).corrupt_f16(site, coord, value)
+    }
+    fn decide_chain(&self, site: FaultSite, coord: OpCoord, k_len: usize) -> Option<ChainFault> {
+        (**self).decide_chain(site, coord, k_len)
+    }
+    fn fired(&self) -> u64 {
+        (**self).fired()
+    }
+    fn is_noop(&self) -> bool {
+        (**self).is_noop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_identity() {
+        let inj = NoFaults;
+        let c = OpCoord::new(0, 1, 2, 3);
+        assert_eq!(inj.corrupt_f32(FaultSite::ExpUnit, c, 1.5), 1.5);
+        assert_eq!(
+            inj.corrupt_f16(FaultSite::ExpUnit, c, F16::ONE),
+            F16::ONE
+        );
+        assert!(inj.is_noop());
+        assert_eq!(inj.fired(), 0);
+    }
+
+    #[test]
+    fn seu_fires_only_at_target() {
+        let target = OpCoord::new(1, 5, 7, 0);
+        let inj = SeuInjector::new(FaultSite::GemmIAccum, target, 30);
+        // Wrong coordinate: untouched.
+        let miss = inj.corrupt_f32(FaultSite::GemmIAccum, OpCoord::new(1, 5, 8, 0), 2.0);
+        assert_eq!(miss, 2.0);
+        // Wrong site: untouched.
+        let miss2 = inj.corrupt_f32(FaultSite::GemmIiAccum, target, 2.0);
+        assert_eq!(miss2, 2.0);
+        assert_eq!(inj.fired(), 0);
+        // Exact hit: bit 30 (exponent MSB-1) flips -> large deviation.
+        let hit = inj.corrupt_f32(FaultSite::GemmIAccum, target, 2.0);
+        assert_ne!(hit, 2.0);
+        assert_eq!(hit.to_bits() ^ 2.0f32.to_bits(), 1 << 30);
+        assert_eq!(inj.fired(), 1);
+    }
+
+    #[test]
+    fn seu_f16_flip() {
+        let target = OpCoord::new(0, 0, 0, 0);
+        let inj = SeuInjector::new(FaultSite::ExpUnit, target, 14);
+        let hit = inj.corrupt_f16(FaultSite::ExpUnit, target, F16::ONE);
+        assert_eq!(hit, F16::ONE.flip_bit(14));
+    }
+
+    #[test]
+    fn ber_zero_never_fires() {
+        let inj = BerInjector::new(9, 0.0);
+        for i in 0..1000 {
+            let v = inj.corrupt_f32(FaultSite::ExpUnit, OpCoord::new(0, i, 0, 0), 1.0);
+            assert_eq!(v, 1.0);
+        }
+        assert!(inj.is_noop());
+    }
+
+    #[test]
+    fn ber_one_always_fires() {
+        let inj = BerInjector::new(9, 1.0);
+        let mut changed = 0;
+        for i in 0..100 {
+            let v = inj.corrupt_f32(FaultSite::ExpUnit, OpCoord::new(0, i, 0, 0), 1.0);
+            if v != 1.0 {
+                changed += 1;
+            }
+        }
+        // A flip always happens; the value always changes (single bit flip of
+        // a non-NaN value cannot be identity).
+        assert_eq!(changed, 100);
+        assert_eq!(inj.fired(), 100);
+    }
+
+    #[test]
+    fn ber_rate_is_approximately_respected() {
+        let ber = 0.01;
+        let inj = BerInjector::new(2024, ber);
+        let n = 200_000u64;
+        for i in 0..n {
+            let _ = inj.corrupt_f32(
+                FaultSite::GemmIAccum,
+                OpCoord::new(0, i as usize, 0, 0),
+                1.0,
+            );
+        }
+        let rate = inj.fired() as f64 / n as f64;
+        assert!(
+            (rate - ber).abs() < ber * 0.2,
+            "rate {rate} vs ber {ber}"
+        );
+    }
+
+    #[test]
+    fn ber_is_deterministic_and_schedule_independent() {
+        let a = BerInjector::new(7, 0.05);
+        let b = BerInjector::new(7, 0.05);
+        // Query in different orders; same coords must give same results.
+        let coords: Vec<OpCoord> = (0..500).map(|i| OpCoord::new(i % 7, i, i / 3, 0)).collect();
+        let mut va: Vec<f32> = coords
+            .iter()
+            .map(|&c| a.corrupt_f32(FaultSite::ExpUnit, c, 3.25))
+            .collect();
+        let mut vb: Vec<f32> = coords
+            .iter()
+            .rev()
+            .map(|&c| b.corrupt_f32(FaultSite::ExpUnit, c, 3.25))
+            .collect();
+        vb.reverse();
+        assert_eq!(va.len(), vb.len());
+        va.iter_mut().zip(vb.iter_mut()).for_each(|(x, y)| {
+            assert_eq!(x.to_bits(), y.to_bits());
+        });
+    }
+
+    #[test]
+    fn ber_site_restriction() {
+        let inj = BerInjector::new(3, 1.0).with_sites(&[FaultSite::ExpUnit]);
+        let c = OpCoord::new(0, 0, 0, 0);
+        assert_eq!(inj.corrupt_f32(FaultSite::GemmIAccum, c, 1.0), 1.0);
+        assert_ne!(inj.corrupt_f32(FaultSite::ExpUnit, c, 1.0), 1.0);
+    }
+
+    #[test]
+    fn different_sites_decorrelate() {
+        // With a moderate BER the fault pattern must differ between sites.
+        let inj = BerInjector::new(11, 0.5);
+        let mut same = 0;
+        let n = 200;
+        for i in 0..n {
+            let c = OpCoord::new(0, i, 0, 0);
+            let x = inj.corrupt_f32(FaultSite::ExpUnit, c, 1.0) != 1.0;
+            let y = inj.corrupt_f32(FaultSite::SumReduce, c, 1.0) != 1.0;
+            if x == y {
+                same += 1;
+            }
+        }
+        assert!(same < n, "site patterns identical — hash ignores site");
+    }
+}

@@ -1,0 +1,298 @@
+//! Block GEMM engine with fault-injection hooks.
+//!
+//! These are the routines every kernel in `ft-core`/`ft-transformer` builds
+//! on. Numerics replicate the tensor-core mixed-precision path exactly:
+//! operands have been quantised through binary16 (callers convert FP16
+//! tensors to `MatrixF32` views), products are FP32, and accumulation runs
+//! in ascending-k order — bit-identical to executing the constituent
+//! `m16n8k16` atoms via [`crate::tiled::tiled_gemm_exec`] (a property pinned
+//! by tests).
+//!
+//! Fault injection: each output element's accumulation chain asks the
+//! injector *once* whether a transient fault occurs and at which FMA step;
+//! the accumulator bit-flips mid-chain and the corrupted partial sum
+//! propagates through the remaining FMAs, exactly like a transient fault in
+//! a tensor-core accumulator.
+
+use crate::fault::{FaultInjector, FaultSite, OpCoord};
+use ft_num::{Matrix, MatrixF32};
+
+/// Context identifying where in the enclosing computation a GEMM runs, so
+/// injected faults have well-defined global coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct GemmCtx {
+    /// Fault site attributed to this GEMM's accumulation chains.
+    pub site: FaultSite,
+    /// Flattened (batch, head) slot or layer id.
+    pub slot: usize,
+    /// Global row offset of this block's output.
+    pub row_off: usize,
+    /// Global column offset of this block's output.
+    pub col_off: usize,
+    /// Iteration id disambiguating repeated accumulations onto the same
+    /// output (the flash-attention inner loop index).
+    pub iter: usize,
+}
+
+impl GemmCtx {
+    /// Context for an unsliced GEMM at origin (0,0), iteration 0.
+    pub fn new(site: FaultSite, slot: usize) -> Self {
+        GemmCtx {
+            site,
+            slot,
+            row_off: 0,
+            col_off: 0,
+            iter: 0,
+        }
+    }
+
+    /// Set the output-block origin.
+    pub fn at(mut self, row_off: usize, col_off: usize) -> Self {
+        self.row_off = row_off;
+        self.col_off = col_off;
+        self
+    }
+
+    /// Set the iteration id.
+    pub fn iter(mut self, iter: usize) -> Self {
+        self.iter = iter;
+        self
+    }
+}
+
+#[inline]
+fn dot_plain(a_row: &[f32], b_row: &[f32]) -> f32 {
+    debug_assert_eq!(a_row.len(), b_row.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a_row.iter().zip(b_row) {
+        acc += x * y;
+    }
+    acc
+}
+
+#[inline]
+fn dot_faulty(a_row: &[f32], b_row: &[f32], step: usize, bit: u32) -> f32 {
+    let mut acc = 0.0f32;
+    for (k, (x, y)) in a_row.iter().zip(b_row).enumerate() {
+        acc += x * y;
+        if k == step {
+            acc = f32::from_bits(acc.to_bits() ^ (1u32 << bit));
+        }
+    }
+    acc
+}
+
+/// `C = A · Bᵀ` (both row-major; the QKᵀ shape). No fault injection.
+pub fn gemm_nt(a: &MatrixF32, b: &MatrixF32) -> MatrixF32 {
+    assert_eq!(a.cols(), b.cols(), "inner dims (k) must match");
+    Matrix::from_fn(a.rows(), b.rows(), |i, j| dot_plain(a.row(i), b.row(j)))
+}
+
+/// `C = A · Bᵀ` with fault injection under `ctx`.
+pub fn gemm_nt_inj<I: FaultInjector>(
+    a: &MatrixF32,
+    b: &MatrixF32,
+    inj: &I,
+    ctx: GemmCtx,
+) -> MatrixF32 {
+    if inj.is_noop() {
+        return gemm_nt(a, b);
+    }
+    assert_eq!(a.cols(), b.cols(), "inner dims (k) must match");
+    let k_len = a.cols();
+    Matrix::from_fn(a.rows(), b.rows(), |i, j| {
+        let coord = OpCoord::new(ctx.slot, ctx.row_off + i, ctx.col_off + j, ctx.iter);
+        match inj.decide_chain(ctx.site, coord, k_len) {
+            None => dot_plain(a.row(i), b.row(j)),
+            Some(f) => dot_faulty(a.row(i), b.row(j), f.step, f.bit),
+        }
+    })
+}
+
+/// `C = A · B` (row-major; the PV shape). No fault injection.
+pub fn gemm_nn(a: &MatrixF32, b: &MatrixF32) -> MatrixF32 {
+    assert_eq!(a.cols(), b.rows(), "inner dims (k) must match");
+    let (m, n) = (a.rows(), b.cols());
+    let k_len = a.cols();
+    let mut c = Matrix::zeros(m, n);
+    // k-outer over rows of B keeps B accesses row-contiguous; accumulation
+    // per output element is still ascending-k (each k adds once).
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (k, &aik) in a_row.iter().enumerate().take(k_len) {
+            let b_row = b.row(k);
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · B` with fault injection under `ctx`.
+///
+/// Falls back to a per-element loop so a chain fault can corrupt the
+/// accumulator at its exact FMA step.
+pub fn gemm_nn_inj<I: FaultInjector>(
+    a: &MatrixF32,
+    b: &MatrixF32,
+    inj: &I,
+    ctx: GemmCtx,
+) -> MatrixF32 {
+    if inj.is_noop() {
+        return gemm_nn(a, b);
+    }
+    assert_eq!(a.cols(), b.rows(), "inner dims (k) must match");
+    let k_len = a.cols();
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+        let coord = OpCoord::new(ctx.slot, ctx.row_off + i, ctx.col_off + j, ctx.iter);
+        let fault = inj.decide_chain(ctx.site, coord, k_len);
+        let a_row = a.row(i);
+        match fault {
+            None => {
+                let mut acc = 0.0f32;
+                for (k, &av) in a_row.iter().enumerate() {
+                    acc += av * b.get(k, j);
+                }
+                acc
+            }
+            Some(f) => {
+                let mut acc = 0.0f32;
+                for (k, &av) in a_row.iter().enumerate() {
+                    acc += av * b.get(k, j);
+                    if k == f.step {
+                        acc = f32::from_bits(acc.to_bits() ^ (1u32 << f.bit));
+                    }
+                }
+                acc
+            }
+        }
+    })
+}
+
+/// FLOPs of an M×N×K GEMM (multiply + add).
+#[inline]
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{BerInjector, NoFaults, SeuInjector};
+    use crate::tiled::tiled_gemm;
+    use ft_num::rng::{normal_matrix_f16, rng_from_seed};
+
+    #[test]
+    fn gemm_nn_matches_nt_on_transposed_operand() {
+        let mut rng = rng_from_seed(1);
+        let a = normal_matrix_f16(&mut rng, 8, 12, 1.0).to_f32();
+        let b = normal_matrix_f16(&mut rng, 12, 10, 1.0).to_f32();
+        let c1 = gemm_nn(&a, &b);
+        let c2 = gemm_nt(&a, &b.transpose());
+        // Same ascending-k accumulation order → bit identical.
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn fast_gemm_bit_identical_to_fragment_executor() {
+        let mut rng = rng_from_seed(17);
+        let a16 = normal_matrix_f16(&mut rng, 32, 16, 0.7);
+        let b16 = normal_matrix_f16(&mut rng, 16, 16, 0.7);
+        let slow = tiled_gemm(&a16, &b16);
+        let fast = gemm_nn(&a16.to_f32(), &b16.to_f32());
+        assert_eq!(slow, fast, "fast path must equal simulated hardware");
+    }
+
+    #[test]
+    fn injected_chain_fault_changes_exactly_one_element() {
+        let mut rng = rng_from_seed(2);
+        let a = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
+        let b = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
+        let clean = gemm_nt(&a, &b, );
+        let inj = SeuInjector::new(
+            FaultSite::GemmIAccum,
+            OpCoord::new(0, 3, 5, 0),
+            30,
+        )
+        .at_chain_step(31);
+        let dirty = gemm_nt_inj(&a, &b, &inj, GemmCtx::new(FaultSite::GemmIAccum, 0));
+        let mut diffs = 0;
+        for i in 0..16 {
+            for j in 0..16 {
+                if clean.get(i, j) != dirty.get(i, j) {
+                    diffs += 1;
+                    assert_eq!((i, j), (3, 5));
+                }
+            }
+        }
+        assert_eq!(diffs, 1);
+        assert_eq!(inj.fired(), 1);
+    }
+
+    #[test]
+    fn chain_fault_at_last_step_flips_final_bit_exactly() {
+        // Fault after the last FMA = flip one bit of the final value.
+        let mut rng = rng_from_seed(3);
+        let a = normal_matrix_f16(&mut rng, 4, 8, 1.0).to_f32();
+        let b = normal_matrix_f16(&mut rng, 4, 8, 1.0).to_f32();
+        let clean = gemm_nt(&a, &b);
+        let inj = SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(0, 1, 2, 0), 20)
+            .at_chain_step(7);
+        let dirty = gemm_nt_inj(&a, &b, &inj, GemmCtx::new(FaultSite::GemmIAccum, 0));
+        assert_eq!(
+            dirty.get(1, 2).to_bits() ^ clean.get(1, 2).to_bits(),
+            1 << 20
+        );
+    }
+
+    #[test]
+    fn mid_chain_fault_propagates_additively() {
+        // A flip mid-chain adds a bit-flip delta to the partial sum; the
+        // remaining FMAs add unchanged terms, so the final error equals the
+        // delta introduced at the step (f32 addition is exact for these
+        // scale-matched values — verify the error is nonzero and finite).
+        let a = MatrixF32::from_fn(1, 16, |_, _| 1.0);
+        let b = MatrixF32::from_fn(1, 16, |_, _| 1.0);
+        let clean = gemm_nt(&a, &b);
+        assert_eq!(clean.get(0, 0), 16.0);
+        let inj = SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(0, 0, 0, 0), 23)
+            .at_chain_step(3);
+        let dirty = gemm_nt_inj(&a, &b, &inj, GemmCtx::new(FaultSite::GemmIAccum, 0));
+        // After step 3 the accumulator is 4.0 (bits 0x40800000); bit 23 is
+        // the exponent LSB, so 4.0 becomes 2.0 and the −2 delta propagates
+        // through the remaining 12 additions: 16 − 2 = 14.
+        assert_eq!(dirty.get(0, 0), 14.0);
+    }
+
+    #[test]
+    fn ber_injection_rate_scales_with_chain_length() {
+        let ber = 1e-4;
+        let inj = BerInjector::new(77, ber);
+        let a = MatrixF32::zeros(64, 256);
+        let b = MatrixF32::zeros(64, 256);
+        let _ = gemm_nt_inj(&a, &b, &inj, GemmCtx::new(FaultSite::GemmIAccum, 0));
+        let chains = 64.0 * 64.0;
+        let expect = chains * 256.0 * ber; // ≈ chains * p_chain
+        let got = inj.fired() as f64;
+        assert!(
+            (got - expect).abs() < expect.mul_add(0.9, 3.0),
+            "got {got}, expect ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn noop_injector_takes_fast_path() {
+        let a = MatrixF32::from_fn(4, 4, |i, j| (i + j) as f32);
+        let b = MatrixF32::from_fn(4, 4, |i, j| (i * j) as f32);
+        let c1 = gemm_nt(&a, &b);
+        let c2 = gemm_nt_inj(&a, &b, &NoFaults, GemmCtx::new(FaultSite::GemmIAccum, 0));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn flops_helper() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

@@ -1,0 +1,290 @@
+//! The SM80 `mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32` atom.
+//!
+//! The paper's strided ABFT (§3.3) is derived from the *thread-data layout*
+//! of this instruction: which warp lane owns which fragment element. This
+//! module re-implements that layout bit-for-bit from the PTX ISA so the
+//! checksum design can be validated against the very structure it exploits
+//! (Fig. 6 of the paper), and so faults can be attributed to lanes.
+//!
+//! Layout summary (all indices 0-based, `lane ∈ 0..32`):
+//!
+//! * **A fragment** (M=16 × K=16, f16, row-major "T"): each lane holds 8
+//!   values in 4 register pairs. Element `(r, c)` lives on
+//!   `lane = (r % 8) * 4 + (c % 8) / 2`, register
+//!   `reg = 4*(c / 8) + 2*(r / 8) + (c % 2)`.
+//! * **B fragment** (K=16 × N=8, f16, col-major "N"): each lane holds 4
+//!   values. Element `(k, n)` lives on `lane = n * 4 + (k % 8) / 2`,
+//!   register `reg = 2*(k / 8) + (k % 2)`.
+//! * **C/D fragments** (M=16 × N=8, f32): each lane holds 4 values. Element
+//!   `(r, c)` lives on `lane = (r % 8) * 4 + c / 2`,
+//!   register `reg = 2*(r / 8) + (c % 2)`.
+//!
+//! The paper's Fig. 6 observation follows: within an 8×8 tile of A, element
+//! `A[0][0]` is on lane 0, `A[4][0]` on lane 16 and `A[8][0]` back on lane 0
+//! (next register pair) — a column of A is spread over 8 different lanes, so
+//! a conventional column checksum needs inter-thread communication, which is
+//! exactly what the strided tensor checksum avoids.
+
+use ft_num::{Matrix, MatrixF16, MatrixF32, F16};
+
+/// Number of threads in a warp.
+pub const WARP_SIZE: usize = 32;
+/// Atom M dimension.
+pub const ATOM_M: usize = 16;
+/// Atom N dimension.
+pub const ATOM_N: usize = 8;
+/// Atom K dimension.
+pub const ATOM_K: usize = 16;
+
+/// Ownership slot of a fragment element: warp lane + register index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FragSlot {
+    /// Lane within the warp (0..32).
+    pub lane: usize,
+    /// Register index within the lane's fragment.
+    pub reg: usize,
+}
+
+/// Lane/register owning element `(r, c)` of the A fragment (16×16).
+#[inline]
+pub fn a_owner(r: usize, c: usize) -> FragSlot {
+    debug_assert!(r < ATOM_M && c < ATOM_K);
+    FragSlot {
+        lane: (r % 8) * 4 + (c % 8) / 2,
+        reg: 4 * (c / 8) + 2 * (r / 8) + (c % 2),
+    }
+}
+
+/// Lane/register owning element `(k, n)` of the B fragment (16×8).
+#[inline]
+pub fn b_owner(k: usize, n: usize) -> FragSlot {
+    debug_assert!(k < ATOM_K && n < ATOM_N);
+    FragSlot {
+        lane: n * 4 + (k % 8) / 2,
+        reg: 2 * (k / 8) + (k % 2),
+    }
+}
+
+/// Lane/register owning element `(r, c)` of the C/D accumulator (16×8).
+#[inline]
+pub fn c_owner(r: usize, c: usize) -> FragSlot {
+    debug_assert!(r < ATOM_M && c < ATOM_N);
+    FragSlot {
+        lane: (r % 8) * 4 + c / 2,
+        reg: 2 * (r / 8) + (c % 2),
+    }
+}
+
+/// Set of distinct lanes holding column `c` of the A fragment.
+///
+/// Used to demonstrate the paper's Fig. 6 point: a *column* checksum of A
+/// would have to gather values from 8 lanes (inter-thread traffic), whereas
+/// elements at a fixed lane are reachable with stride patterns only.
+pub fn a_column_lanes(c: usize) -> Vec<usize> {
+    let mut lanes: Vec<usize> = (0..ATOM_M).map(|r| a_owner(r, c).lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    lanes
+}
+
+/// Set of distinct lanes holding row `r` of the A fragment.
+pub fn a_row_lanes(r: usize) -> Vec<usize> {
+    let mut lanes: Vec<usize> = (0..ATOM_K).map(|c| a_owner(r, c).lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    lanes
+}
+
+/// Per-lane register files for one atom execution: a warp's view of the
+/// operands. Only used by the layout-faithful executor and tests; bulk GEMM
+/// uses [`crate::gemm`].
+#[derive(Clone, Debug)]
+pub struct WarpFragments {
+    /// A fragment: 32 lanes × 8 f16 registers.
+    pub a: [[F16; 8]; WARP_SIZE],
+    /// B fragment: 32 lanes × 4 f16 registers.
+    pub b: [[F16; 4]; WARP_SIZE],
+    /// C/D accumulator: 32 lanes × 4 f32 registers.
+    pub c: [[f32; 4]; WARP_SIZE],
+}
+
+impl WarpFragments {
+    /// Distribute row-major tiles into per-lane fragments, mirroring
+    /// `ldmatrix` + register allocation.
+    pub fn load(a: &MatrixF16, b: &MatrixF16, c: &MatrixF32) -> Self {
+        assert_eq!(a.shape(), (ATOM_M, ATOM_K), "A tile must be 16x16");
+        assert_eq!(b.shape(), (ATOM_K, ATOM_N), "B tile must be 16x8 (k-major)");
+        assert_eq!(c.shape(), (ATOM_M, ATOM_N), "C tile must be 16x8");
+        let mut frags = WarpFragments {
+            a: [[F16::ZERO; 8]; WARP_SIZE],
+            b: [[F16::ZERO; 4]; WARP_SIZE],
+            c: [[0.0; 4]; WARP_SIZE],
+        };
+        for r in 0..ATOM_M {
+            for col in 0..ATOM_K {
+                let s = a_owner(r, col);
+                frags.a[s.lane][s.reg] = a.get(r, col);
+            }
+        }
+        for k in 0..ATOM_K {
+            for n in 0..ATOM_N {
+                let s = b_owner(k, n);
+                frags.b[s.lane][s.reg] = b.get(k, n);
+            }
+        }
+        for r in 0..ATOM_M {
+            for col in 0..ATOM_N {
+                let s = c_owner(r, col);
+                frags.c[s.lane][s.reg] = c.get(r, col);
+            }
+        }
+        frags
+    }
+
+    /// Execute the atom *through the fragments*: every output register is
+    /// computed by its owning lane from operand registers gathered according
+    /// to the layout. Numerically this is the FP16-multiply / FP32-accumulate
+    /// dot product in ascending k order — identical to [`atom_reference`].
+    pub fn execute(&mut self) {
+        // Snapshot operands (the hardware reads all operands before writing D).
+        let a = self.a;
+        let b = self.b;
+        for r in 0..ATOM_M {
+            for n in 0..ATOM_N {
+                let d_slot = c_owner(r, n);
+                let mut acc = self.c[d_slot.lane][d_slot.reg];
+                for k in 0..ATOM_K {
+                    let sa = a_owner(r, k);
+                    let sb = b_owner(k, n);
+                    acc += a[sa.lane][sa.reg].to_f32() * b[sb.lane][sb.reg].to_f32();
+                }
+                self.c[d_slot.lane][d_slot.reg] = acc;
+            }
+        }
+    }
+
+    /// Gather the accumulator fragment back into a row-major 16×8 matrix.
+    pub fn store_c(&self) -> MatrixF32 {
+        Matrix::from_fn(ATOM_M, ATOM_N, |r, c| {
+            let s = c_owner(r, c);
+            self.c[s.lane][s.reg]
+        })
+    }
+}
+
+/// Reference semantics of the atom on row-major tiles: D = A·B + C with
+/// f16 operands and an f32 accumulator, ascending-k accumulation.
+pub fn atom_reference(a: &MatrixF16, b: &MatrixF16, c: &MatrixF32) -> MatrixF32 {
+    assert_eq!(a.shape(), (ATOM_M, ATOM_K));
+    assert_eq!(b.shape(), (ATOM_K, ATOM_N));
+    assert_eq!(c.shape(), (ATOM_M, ATOM_N));
+    Matrix::from_fn(ATOM_M, ATOM_N, |r, n| {
+        let mut acc = c.get(r, n);
+        for k in 0..ATOM_K {
+            acc += a.get(r, k).to_f32() * b.get(k, n).to_f32();
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_num::rng::{normal_matrix_f16, rng_from_seed};
+
+    #[test]
+    fn paper_fig6_ownership_claims() {
+        // "A[0][0] is stored in register V0 of thread T0"
+        assert_eq!(a_owner(0, 0), FragSlot { lane: 0, reg: 0 });
+        // "A[4][0] is stored in register V0 of thread T16"
+        assert_eq!(a_owner(4, 0), FragSlot { lane: 16, reg: 0 });
+        // "A[8][0] is stored in register V0 of thread T0" — same lane, the
+        // second register pair (our flat index 2 = pair 1, reg V0).
+        assert_eq!(a_owner(8, 0).lane, 0);
+        assert_eq!(a_owner(8, 0).reg % 2, 0, "V0 of its pair");
+    }
+
+    #[test]
+    fn a_column_needs_eight_lanes_but_row_pairs_share() {
+        // Column gathers span 8 distinct lanes -> inter-thread traffic.
+        for c in 0..ATOM_K {
+            assert_eq!(a_column_lanes(c).len(), 8, "col {c}");
+        }
+        // A row also spans lanes, but adjacent (even, odd) columns pair up on
+        // one lane: 16 elements on 4 lanes.
+        for r in 0..ATOM_M {
+            assert_eq!(a_row_lanes(r).len(), 4, "row {r}");
+        }
+    }
+
+    #[test]
+    fn every_fragment_register_is_used_exactly_once() {
+        // A: 16*16 = 256 elements = 32 lanes * 8 regs.
+        let mut seen = [[false; 8]; WARP_SIZE];
+        for r in 0..ATOM_M {
+            for c in 0..ATOM_K {
+                let s = a_owner(r, c);
+                assert!(!seen[s.lane][s.reg], "duplicate A slot {s:?}");
+                seen[s.lane][s.reg] = true;
+            }
+        }
+        assert!(seen.iter().flatten().all(|&x| x));
+        // B: 16*8 = 128 = 32 * 4.
+        let mut seen = [[false; 4]; WARP_SIZE];
+        for k in 0..ATOM_K {
+            for n in 0..ATOM_N {
+                let s = b_owner(k, n);
+                assert!(!seen[s.lane][s.reg], "duplicate B slot {s:?}");
+                seen[s.lane][s.reg] = true;
+            }
+        }
+        assert!(seen.iter().flatten().all(|&x| x));
+        // C: same shape as B but f32.
+        let mut seen = [[false; 4]; WARP_SIZE];
+        for r in 0..ATOM_M {
+            for c in 0..ATOM_N {
+                let s = c_owner(r, c);
+                assert!(!seen[s.lane][s.reg], "duplicate C slot {s:?}");
+                seen[s.lane][s.reg] = true;
+            }
+        }
+        assert!(seen.iter().flatten().all(|&x| x));
+    }
+
+    #[test]
+    fn b_elements_with_row_stride_8_share_a_lane() {
+        // Along the K dimension of B, elements 8 apart live on the same lane
+        // (different register pair) — the co-residency the tensor checksum
+        // exploits for intra-thread accumulation.
+        for n in 0..ATOM_N {
+            for k in 0..8 {
+                assert_eq!(b_owner(k, n).lane, b_owner(k + 8, n).lane);
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_execution_matches_reference() {
+        let mut rng = rng_from_seed(99);
+        for _ in 0..10 {
+            let a = normal_matrix_f16(&mut rng, ATOM_M, ATOM_K, 1.0);
+            let b = normal_matrix_f16(&mut rng, ATOM_K, ATOM_N, 1.0);
+            let c = Matrix::from_fn(ATOM_M, ATOM_N, |r, n| (r + n) as f32 * 0.25);
+            let expect = atom_reference(&a, &b, &c);
+            let mut frags = WarpFragments::load(&a, &b, &c);
+            frags.execute();
+            let got = frags.store_c();
+            assert_eq!(got, expect, "fragment path must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let mut rng = rng_from_seed(5);
+        let a = normal_matrix_f16(&mut rng, ATOM_M, ATOM_K, 1.0);
+        let b = normal_matrix_f16(&mut rng, ATOM_K, ATOM_N, 1.0);
+        let c = MatrixF32::from_fn(ATOM_M, ATOM_N, |r, n| (r * 8 + n) as f32);
+        let frags = WarpFragments::load(&a, &b, &c);
+        assert_eq!(frags.store_c(), c);
+    }
+}

@@ -1,0 +1,171 @@
+//! The 64×16×16 TiledMMA used by the paper's EFTA kernel (Fig. 7).
+//!
+//! Four warps (128 threads) cooperate: warps are stacked along M (16 rows
+//! each) and the atom is repeated twice along N (value layout — the *same*
+//! threads compute both 8-column halves). Repetitions of the whole tile
+//! along M/N/K cover arbitrary block shapes.
+//!
+//! The two co-residency facts that motivate the strided tensor checksum are
+//! theorems of this layout, verified by the tests below:
+//!
+//! * along a **column** of the output (M direction), elements 64 apart are
+//!   computed by the same thread;
+//! * along a **row** of the output (N direction), elements 8 apart are
+//!   computed by the same thread.
+
+use crate::mma::{self, a_owner, b_owner, c_owner, ATOM_K, ATOM_M, ATOM_N, WARP_SIZE};
+use ft_num::{Matrix, MatrixF16, MatrixF32};
+
+/// Rows covered by one TiledMMA (4 warps × atom M).
+pub const TILE_M: usize = 64;
+/// Columns covered by one TiledMMA (atom N repeated twice, value layout).
+pub const TILE_N: usize = 16;
+/// Depth covered by one TiledMMA step.
+pub const TILE_K: usize = 16;
+/// Threads cooperating in one TiledMMA.
+pub const TILE_THREADS: usize = 4 * WARP_SIZE;
+
+/// Thread (0..128) computing output element `(i, j)` of a block GEMM tiled
+/// by this TiledMMA. Works for arbitrarily large `i, j` via tile repetition.
+#[inline]
+pub fn c_thread_of(i: usize, j: usize) -> usize {
+    let warp = (i % TILE_M) / ATOM_M;
+    let lane = c_owner(i % ATOM_M, j % ATOM_N).lane;
+    warp * WARP_SIZE + lane
+}
+
+/// Thread holding operand-A element `(i, k)` (the Q tile in GEMM I).
+#[inline]
+pub fn a_thread_of(i: usize, k: usize) -> usize {
+    let warp = (i % TILE_M) / ATOM_M;
+    let lane = a_owner(i % ATOM_M, k % ATOM_K).lane;
+    warp * WARP_SIZE + lane
+}
+
+/// Thread holding operand-B element `(k, n)` (the Kᵀ tile in GEMM I).
+/// B is broadcast along the warp dimension: all four warps hold the same
+/// B fragment, so the owning lane is returned for warp 0.
+#[inline]
+pub fn b_thread_of(k: usize, n: usize) -> usize {
+    b_owner(k % ATOM_K, n % ATOM_N).lane
+}
+
+/// Execute `C = A · B + C` (A: M×K, B: K×N row-major, C: M×N) by running
+/// every constituent MMA atom through the per-lane fragment machinery.
+///
+/// This is the layout-faithful executor: slow, but numerically *identical*
+/// to [`crate::gemm::gemm`] (same FP16 operands, same f32 accumulation
+/// order), used by tests to prove the fast path computes what the simulated
+/// hardware would.
+pub fn tiled_gemm_exec(a: &MatrixF16, b: &MatrixF16, c: &mut MatrixF32) {
+    let (m, k_len) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k_len, kb, "inner dimensions must agree");
+    assert_eq!(c.shape(), (m, n));
+    assert!(m % ATOM_M == 0 && n % ATOM_N == 0 && k_len % ATOM_K == 0,
+        "layout-faithful executor requires atom-aligned shapes ({m}x{k_len}x{n})");
+
+    for i0 in (0..m).step_by(ATOM_M) {
+        for j0 in (0..n).step_by(ATOM_N) {
+            // K-loop innermost: tiles accumulate in ascending k order, the
+            // order the fast path replicates.
+            let mut acc = c.block(i0, j0, ATOM_M, ATOM_N);
+            for k0 in (0..k_len).step_by(ATOM_K) {
+                let a_tile = a.block(i0, k0, ATOM_M, ATOM_K);
+                let b_tile = b.block(k0, j0, ATOM_K, ATOM_N);
+                let mut frags = mma::WarpFragments::load(&a_tile, &b_tile, &acc);
+                frags.execute();
+                acc = frags.store_c();
+            }
+            c.set_block(i0, j0, &acc);
+        }
+    }
+}
+
+/// Zero-initialised convenience wrapper for [`tiled_gemm_exec`].
+pub fn tiled_gemm(a: &MatrixF16, b: &MatrixF16) -> MatrixF32 {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    tiled_gemm_exec(a, b, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_num::rng::{normal_matrix_f16, rng_from_seed};
+
+    #[test]
+    fn column_stride_64_is_thread_invariant() {
+        // Paper Fig. 7: Q_i[0][0], Q_i[64][0], Q_i[128][0] on the same thread.
+        for j in 0..TILE_N {
+            for i in 0..TILE_M {
+                let t = c_thread_of(i, j);
+                assert_eq!(c_thread_of(i + 64, j), t);
+                assert_eq!(c_thread_of(i + 128, j), t);
+            }
+        }
+        assert_eq!(a_thread_of(0, 0), a_thread_of(64, 0));
+        assert_eq!(a_thread_of(0, 0), a_thread_of(128, 0));
+    }
+
+    #[test]
+    fn row_stride_8_is_thread_invariant() {
+        // Paper Fig. 7: K⊤[0][0], K⊤[0][8], K⊤[0][16] on the same thread.
+        for k in 0..TILE_K {
+            for n in 0..ATOM_N {
+                let t = b_thread_of(k, n);
+                assert_eq!(b_thread_of(k, n + 8), t);
+                assert_eq!(b_thread_of(k, n + 16), t);
+            }
+        }
+        for i in 0..TILE_M {
+            for j in 0..ATOM_N {
+                let t = c_thread_of(i, j);
+                assert_eq!(c_thread_of(i, j + 8), t);
+                assert_eq!(c_thread_of(i, j + 16), t);
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_strides_cross_threads() {
+        // Stride < 8 along a row lands on a different thread for at least
+        // one position — strided accumulation genuinely needs stride 8.
+        let mut violations = 0;
+        for s in 1..8 {
+            for j in 0..8 {
+                if c_thread_of(0, j) != c_thread_of(0, j + s) {
+                    violations += 1;
+                }
+            }
+        }
+        assert!(violations > 0);
+        // And stride 16 along a column crosses warps.
+        assert_ne!(c_thread_of(0, 0), c_thread_of(16, 0));
+    }
+
+    #[test]
+    fn tiled_gemm_matches_scalar_reference() {
+        let mut rng = rng_from_seed(321);
+        let (m, k, n) = (32, 32, 16);
+        let a = normal_matrix_f16(&mut rng, m, k, 0.5);
+        let b = normal_matrix_f16(&mut rng, k, n, 0.5);
+        let got = tiled_gemm(&a, &b);
+        // Scalar reference with identical accumulation order.
+        let expect = MatrixF32::from_fn(m, n, |i, j| {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.get(i, kk).to_f32() * b.get(kk, j).to_f32();
+            }
+            acc
+        });
+        assert_eq!(got, expect, "fragment execution must be bit-identical");
+    }
+
+    #[test]
+    fn tile_constants_consistent() {
+        assert_eq!(TILE_M, 4 * ATOM_M);
+        assert_eq!(TILE_N, 2 * ATOM_N);
+        assert_eq!(TILE_THREADS, 128);
+    }
+}

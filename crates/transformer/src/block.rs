@@ -1,0 +1,128 @@
+//! A pre-norm transformer block: `x + MHA(LN(x))`, then `x + FFN(LN(x))`.
+
+use crate::ffn::{FeedForward, FfnReport};
+use crate::mha::{AttentionKernel, MhaReport, MultiHeadAttention};
+use crate::norm::LayerNorm;
+use ft_abft::thresholds::Thresholds;
+use ft_num::MatrixF32;
+use ft_sim::FaultInjector;
+
+/// One transformer block.
+#[derive(Clone, Debug)]
+pub struct TransformerBlock {
+    /// Pre-attention LayerNorm.
+    pub ln1: LayerNorm,
+    /// Multi-head attention.
+    pub mha: MultiHeadAttention,
+    /// Pre-FFN LayerNorm.
+    pub ln2: LayerNorm,
+    /// Feed-forward network.
+    pub ffn: FeedForward,
+}
+
+/// FT events of one block forward.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlockReport {
+    /// Attention-module events.
+    pub mha: MhaReport,
+    /// Feed-forward events.
+    pub ffn: FfnReport,
+}
+
+impl TransformerBlock {
+    /// Random block (seeded).
+    pub fn random(
+        seed: u64,
+        hidden: usize,
+        heads: usize,
+        ffn_dim: usize,
+        kernel: AttentionKernel,
+    ) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(hidden),
+            mha: MultiHeadAttention::random(seed, hidden, heads, kernel),
+            ln2: LayerNorm::new(hidden),
+            ffn: FeedForward::random(seed + 100, hidden, ffn_dim),
+        }
+    }
+
+    /// Forward pass over `seq × hidden` activations.
+    pub fn forward<I: FaultInjector>(
+        &self,
+        x: &MatrixF32,
+        inj: &I,
+        layer_idx: usize,
+        thresholds: &Thresholds,
+    ) -> (MatrixF32, BlockReport) {
+        let mut report = BlockReport::default();
+
+        let mut normed = x.clone();
+        self.ln1.forward(&mut normed);
+        let (attn, mha_rep) = self.mha.forward(&normed, inj, layer_idx * 2, thresholds);
+        report.mha = mha_rep;
+        let mut h = x.clone();
+        for i in 0..h.rows() {
+            for (v, a) in h.row_mut(i).iter_mut().zip(attn.row(i)) {
+                *v += a;
+            }
+        }
+
+        let mut normed2 = h.clone();
+        self.ln2.forward(&mut normed2);
+        let (ff, ffn_rep) = self.ffn.forward(&normed2, inj, layer_idx * 2 + 1, thresholds);
+        report.ffn = ffn_rep;
+        for i in 0..h.rows() {
+            for (v, f) in h.row_mut(i).iter_mut().zip(ff.row(i)) {
+                *v += f;
+            }
+        }
+        (h, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::efta::EftaOptions;
+    use ft_num::rng::{normal_matrix_f16, rng_from_seed};
+    use ft_sim::NoFaults;
+
+    #[test]
+    fn block_preserves_shape_and_is_deterministic() {
+        let blk = TransformerBlock::random(1, 32, 4, 64, AttentionKernel::Flash);
+        let mut rng = rng_from_seed(2);
+        let x = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
+        let (y1, _) = blk.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        let (y2, _) = blk.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        assert_eq!(y1.shape(), (16, 32));
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn residual_path_dominates_small_weights() {
+        // With 0.02-scale weights the block output stays near the input.
+        let blk = TransformerBlock::random(3, 32, 4, 64, AttentionKernel::Flash);
+        let mut rng = rng_from_seed(4);
+        let x = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
+        let (y, _) = blk.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        assert!(y.max_abs_diff(&x) < 1.0, "residual output drifted too far");
+    }
+
+    #[test]
+    fn efta_and_flash_blocks_agree_when_clean() {
+        let flash_blk = TransformerBlock::random(5, 64, 8, 128, AttentionKernel::Flash);
+        let efta_blk = TransformerBlock {
+            mha: MultiHeadAttention {
+                kernel: AttentionKernel::Efta(EftaOptions::optimized()),
+                ..flash_blk.mha.clone()
+            },
+            ..flash_blk.clone()
+        };
+        let mut rng = rng_from_seed(6);
+        let x = normal_matrix_f16(&mut rng, 32, 64, 1.0).to_f32();
+        let (yf, _) = flash_blk.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        let (ye, rep) = efta_blk.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        assert!(rep.mha.attention.clean());
+        assert!(yf.max_abs_diff(&ye) < 1e-2);
+    }
+}

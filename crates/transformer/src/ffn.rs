@@ -1,0 +1,121 @@
+//! Feed-forward module: ABFT linear → range-restricted activation → ABFT
+//! linear (paper Fig. 1, "Feed Forward Fault Tolerance").
+
+use crate::activation::{apply_restricted, Activation, ActivationReport};
+use crate::linear::{Linear, LinearReport};
+use ft_abft::thresholds::Thresholds;
+use ft_num::MatrixF32;
+use ft_sim::FaultInjector;
+
+/// Two-layer feed-forward network with protected projections and a
+/// range-restricted activation.
+#[derive(Clone, Debug)]
+pub struct FeedForward {
+    /// Expansion projection (hidden → ffn).
+    pub up: Linear,
+    /// Contraction projection (ffn → hidden).
+    pub down: Linear,
+    /// Activation between them.
+    pub activation: Activation,
+}
+
+/// FT events of one FFN forward.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FfnReport {
+    /// Aggregated projection report.
+    pub projections: LinearReport,
+    /// Activation restriction events.
+    pub activation: ActivationReport,
+}
+
+impl FeedForward {
+    /// Random FFN (seeded): `hidden → ffn_dim → hidden`.
+    pub fn random(seed: u64, hidden: usize, ffn_dim: usize) -> Self {
+        FeedForward {
+            up: Linear::random(seed, hidden, ffn_dim),
+            down: Linear::random(seed + 1, ffn_dim, hidden),
+            activation: Activation::Gelu,
+        }
+    }
+
+    /// Forward pass over `seq × hidden` activations.
+    pub fn forward<I: FaultInjector>(
+        &self,
+        x: &MatrixF32,
+        inj: &I,
+        layer_slot: usize,
+        thresholds: &Thresholds,
+    ) -> (MatrixF32, FfnReport) {
+        let mut report = FfnReport::default();
+        let (mut h, r1) = self.up.forward(x, inj, layer_slot * 8 + 4, thresholds);
+        report.projections = r1;
+        // Range-restricted activation, row by row.
+        for i in 0..h.rows() {
+            let max_in = h
+                .row(i)
+                .iter()
+                .map(|v| v.abs())
+                .fold(0.0f32, f32::max);
+            let rep = apply_restricted(
+                self.activation,
+                h.row_mut(i),
+                inj,
+                layer_slot * 8 + 5,
+                i,
+                max_in,
+            );
+            report.activation.restricted += rep.restricted;
+        }
+        let (y, r2) = self.down.forward(&h, inj, layer_slot * 8 + 6, thresholds);
+        report.projections.detected += r2.detected;
+        report.projections.corrected += r2.corrected;
+        report.projections.recomputed += r2.recomputed;
+        (y, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_num::rng::{normal_matrix_f16, rng_from_seed};
+    use ft_sim::{FaultSite, NoFaults, OpCoord, SeuInjector};
+
+    #[test]
+    fn shapes_and_cleanliness() {
+        let ffn = FeedForward::random(1, 32, 128);
+        let mut rng = rng_from_seed(2);
+        let x = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
+        let (y, rep) = ffn.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        assert_eq!(y.shape(), (16, 32));
+        assert_eq!(rep.projections, LinearReport::default());
+        assert_eq!(rep.activation.restricted, 0);
+    }
+
+    #[test]
+    fn activation_fault_is_restricted() {
+        let ffn = FeedForward::random(3, 32, 64);
+        let mut rng = rng_from_seed(4);
+        let x = normal_matrix_f16(&mut rng, 8, 32, 1.0).to_f32();
+        let (clean, _) = ffn.forward(&x, &NoFaults, 2, &Thresholds::calibrated());
+        // Huge corruption of one activation output (layer slot 2*8+5 = 21).
+        let inj = SeuInjector::new(FaultSite::Activation, OpCoord::new(21, 3, 10, 0), 30);
+        let (dirty, rep) = ffn.forward(&x, &inj, 2, &Thresholds::calibrated());
+        assert_eq!(inj.fired(), 1);
+        assert_eq!(rep.activation.restricted, 1);
+        assert!(dirty.max_abs_diff(&clean) < 1e-4);
+    }
+
+    #[test]
+    fn projection_fault_is_corrected() {
+        let ffn = FeedForward::random(5, 64, 64);
+        let mut rng = rng_from_seed(6);
+        let x = normal_matrix_f16(&mut rng, 64, 64, 1.0).to_f32();
+        let (clean, _) = ffn.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        let inj = SeuInjector::new(FaultSite::LinearAccum, OpCoord::new(4, 5, 6, 0), 30)
+            .at_chain_step(10);
+        let (dirty, rep) = ffn.forward(&x, &inj, 0, &Thresholds::calibrated());
+        assert_eq!(inj.fired(), 1);
+        assert!(rep.projections.corrected > 0, "{rep:?}");
+        assert!(dirty.max_abs_diff(&clean) < 1e-2);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ft-transformer — fault-tolerant transformer inference substrate
+//!
+//! The model stack the paper's Fig. 15 experiment runs EFTA inside:
+//! embeddings, LayerNorm, multi-head attention over the `ft-core` kernels,
+//! ABFT-protected linear projections (Fig. 1's "Linear Projection with ABFT
+//! Protection"), feed-forward modules with range-restricted activations,
+//! and the GPT-2 / BERT-Base / BERT-Large / T5-Small configurations.
+//!
+//! Weights are seeded-random: Fig. 15 measures *time overhead ratios* of
+//! fault tolerance inside whole-model inference, which depends on tensor
+//! shapes, not weight values.
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod block;
+pub mod configs;
+pub mod embed;
+pub mod ffn;
+pub mod linear;
+pub mod mha;
+pub mod model;
+pub mod norm;
+
+pub use activation::Activation;
+pub use block::TransformerBlock;
+pub use configs::ModelConfig;
+pub use embed::Embedding;
+pub use ffn::FeedForward;
+pub use linear::{Linear, LinearProtection};
+pub use mha::{AttentionKernel, MultiHeadAttention};
+pub use model::{ModelReport, TransformerModel};
+pub use norm::LayerNorm;

@@ -1,0 +1,237 @@
+//! Dense projection layers with strided-ABFT protection.
+//!
+//! `Y = X·Wᵀ + bias` — the paper's Fig. 1 "Linear Projection with ABFT
+//! Protection": the same tensor-checksum scheme as attention GEMM I is
+//! applied per 64-row block of X, with located elements recomputed exactly.
+
+use ft_abft::strided::{correct_strided, encode_rows_strided, strided_sums, strided_sums_weighted, StridedMismatch};
+use ft_abft::thresholds::Thresholds;
+use ft_num::rng::{normal_matrix_f16, rng_from_seed};
+use ft_num::{block_starts, Matrix, MatrixF16, MatrixF32};
+use ft_sim::{gemm_nt, gemm_nt_inj, FaultInjector, FaultSite, GemmCtx};
+use rayon::prelude::*;
+
+/// Protection level of a linear layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinearProtection {
+    /// Plain GEMM.
+    None,
+    /// Strided tensor-checksum ABFT (stride 8).
+    StridedAbft,
+}
+
+/// A dense layer `Y = X·Wᵀ + b` with FP16 weights.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weights, `out_features × in_features` (row-major, FP16 storage).
+    pub weight: MatrixF16,
+    /// Bias, `out_features` (FP32).
+    pub bias: Vec<f32>,
+    /// Protection applied on forward passes.
+    pub protection: LinearProtection,
+}
+
+/// Fault-tolerance statistics of one forward pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinearReport {
+    /// Checksum mismatches detected.
+    pub detected: u64,
+    /// Elements located and recomputed.
+    pub corrected: u64,
+    /// Blocks recomputed wholesale.
+    pub recomputed: u64,
+}
+
+impl Linear {
+    /// Random layer (seeded; std 0.02 like GPT-2 init).
+    pub fn random(seed: u64, in_features: usize, out_features: usize) -> Self {
+        let mut rng = rng_from_seed(seed);
+        Linear {
+            weight: normal_matrix_f16(&mut rng, out_features, in_features, 0.02),
+            bias: vec![0.0; out_features],
+            protection: LinearProtection::StridedAbft,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Set the protection level.
+    pub fn with_protection(mut self, p: LinearProtection) -> Self {
+        self.protection = p;
+        self
+    }
+
+    /// Forward pass: `Y = X·Wᵀ + b`, protected per `self.protection`.
+    ///
+    /// `layer_slot` namespaces fault coordinates; `thresholds.gemm` is the
+    /// detection criterion.
+    pub fn forward<I: FaultInjector>(
+        &self,
+        x: &MatrixF32,
+        inj: &I,
+        layer_slot: usize,
+        thresholds: &Thresholds,
+    ) -> (MatrixF32, LinearReport) {
+        assert_eq!(x.cols(), self.in_features(), "input feature mismatch");
+        let w = self.weight.to_f32();
+        let out_f = self.out_features();
+        let stride = 8.min(out_f).max(1);
+        let block = 64usize;
+
+        let results: Vec<(usize, MatrixF32, LinearReport)> = block_starts(x.rows(), block)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|r0| {
+                let x_blk = x.block(r0, 0, block, x.cols());
+                let mut report = LinearReport::default();
+                let mut y = gemm_nt_inj(
+                    &x_blk,
+                    &w,
+                    inj,
+                    GemmCtx::new(FaultSite::LinearAccum, layer_slot).at(r0, 0),
+                );
+                if self.protection == LinearProtection::StridedAbft {
+                    // Fold W's rows (the output dimension) at the stride.
+                    let cs = encode_rows_strided(&w, stride, true);
+                    let y_c1 = gemm_nt_inj(
+                        &x_blk,
+                        &cs.w1,
+                        inj,
+                        GemmCtx::new(FaultSite::LinearAccum, layer_slot).at(r0, out_f).iter(1),
+                    );
+                    let y_c2 = gemm_nt_inj(
+                        &x_blk,
+                        &cs.w2,
+                        inj,
+                        GemmCtx::new(FaultSite::LinearAccum, layer_slot).at(r0, out_f).iter(2),
+                    );
+                    let sums1 = strided_sums(&y, stride);
+                    let sums2 = strided_sums_weighted(&y, stride);
+                    let mut mismatches = Vec::new();
+                    for i in 0..y.rows() {
+                        for t in 0..stride {
+                            if thresholds.gemm.detects(sums1.get(i, t), y_c1.get(i, t)) {
+                                mismatches.push(StridedMismatch {
+                                    i,
+                                    t,
+                                    delta1: sums1.get(i, t) - y_c1.get(i, t),
+                                    delta2: sums2.get(i, t) - y_c2.get(i, t),
+                                });
+                            }
+                        }
+                    }
+                    if !mismatches.is_empty() {
+                        let rep = correct_strided(&mut y, &mismatches, stride);
+                        // Located elements are recomputed exactly.
+                        for loc in &rep.corrected {
+                            let mut acc = 0.0f32;
+                            for (a, b) in x_blk.row(loc.row).iter().zip(w.row(loc.col)) {
+                                acc += a * b;
+                            }
+                            y.set(loc.row, loc.col, acc);
+                        }
+                        report.detected += rep.detections as u64;
+                        report.corrected += rep.corrected.len() as u64;
+                        if rep.uncorrectable > 0 {
+                            y = gemm_nt(&x_blk, &w);
+                            report.recomputed += rep.uncorrectable as u64;
+                        }
+                    }
+                }
+                // Bias.
+                for i in 0..y.rows() {
+                    for (v, b) in y.row_mut(i).iter_mut().zip(&self.bias) {
+                        *v += b;
+                    }
+                }
+                (r0, y, report)
+            })
+            .collect();
+
+        let mut out = Matrix::zeros(x.rows(), out_f);
+        let mut total = LinearReport::default();
+        for (r0, y, rep) in results {
+            out.set_block(r0, 0, &y);
+            total.detected += rep.detected;
+            total.corrected += rep.corrected;
+            total.recomputed += rep.recomputed;
+        }
+        (out, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_sim::{NoFaults, OpCoord, SeuInjector};
+
+    #[test]
+    fn forward_matches_plain_gemm_when_clean() {
+        let layer = Linear::random(1, 32, 48);
+        let mut rng = rng_from_seed(2);
+        let x = normal_matrix_f16(&mut rng, 80, 32, 1.0).to_f32();
+        let (y, rep) = layer.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        assert_eq!(rep, LinearReport::default());
+        let w = layer.weight.to_f32();
+        let expect = gemm_nt(&x, &w);
+        assert!(y.max_abs_diff(&expect) < 1e-6);
+        assert_eq!(y.shape(), (80, 48));
+    }
+
+    #[test]
+    fn bias_is_applied() {
+        let mut layer = Linear::random(3, 8, 4);
+        layer.bias = vec![1.0, 2.0, 3.0, 4.0];
+        let x = MatrixF32::zeros(2, 8);
+        let (y, _) = layer.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        assert_eq!(y.row(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(y.row(1), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn seu_in_projection_is_corrected() {
+        let layer = Linear::random(4, 64, 64);
+        let mut rng = rng_from_seed(5);
+        let x = normal_matrix_f16(&mut rng, 64, 64, 1.0).to_f32();
+        let (clean, _) = layer.forward(&x, &NoFaults, 7, &Thresholds::calibrated());
+        let inj = SeuInjector::new(FaultSite::LinearAccum, OpCoord::new(7, 10, 20, 0), 30)
+            .at_chain_step(30);
+        let (dirty, rep) = layer.forward(&x, &inj, 7, &Thresholds::calibrated());
+        assert_eq!(inj.fired(), 1);
+        assert!(rep.detected > 0);
+        assert!(rep.corrected > 0);
+        assert!(dirty.max_abs_diff(&clean) < 1e-3, "diff {}", dirty.max_abs_diff(&clean));
+    }
+
+    #[test]
+    fn unprotected_layer_lets_fault_through() {
+        let layer = Linear::random(4, 64, 64).with_protection(LinearProtection::None);
+        let mut rng = rng_from_seed(5);
+        let x = normal_matrix_f16(&mut rng, 64, 64, 1.0).to_f32();
+        let (clean, _) = layer.forward(&x, &NoFaults, 7, &Thresholds::calibrated());
+        let inj = SeuInjector::new(FaultSite::LinearAccum, OpCoord::new(7, 10, 20, 0), 30)
+            .at_chain_step(30);
+        let (dirty, rep) = layer.forward(&x, &inj, 7, &Thresholds::calibrated());
+        assert_eq!(rep, LinearReport::default());
+        assert!(dirty.max_abs_diff(&clean) > 1.0);
+    }
+
+    #[test]
+    fn ragged_rows_and_narrow_outputs_work() {
+        // 70 rows (64 + 6 ragged), 4 output features (< stride 8).
+        let layer = Linear::random(9, 16, 4);
+        let mut rng = rng_from_seed(10);
+        let x = normal_matrix_f16(&mut rng, 70, 16, 1.0).to_f32();
+        let (y, rep) = layer.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        assert_eq!(y.shape(), (70, 4));
+        assert_eq!(rep, LinearReport::default());
+    }
+}

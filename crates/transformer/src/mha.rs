@@ -1,0 +1,171 @@
+//! Multi-head attention wiring the Q/K/V/O projections around an attention
+//! kernel from `ft-core`.
+
+use crate::linear::{Linear, LinearReport};
+use ft_abft::thresholds::Thresholds;
+use ft_core::config::AttentionConfig;
+use ft_core::efta::{efta_attention, EftaOptions};
+use ft_core::flash::flash_attention;
+use ft_core::types::FtReport;
+use ft_num::{Matrix, MatrixF32, Tensor4F16};
+use ft_sim::FaultInjector;
+
+/// Which attention kernel the block uses.
+#[derive(Clone, Copy, Debug)]
+pub enum AttentionKernel {
+    /// Unprotected flash attention.
+    Flash,
+    /// End-to-end fault tolerant attention with the given options.
+    Efta(EftaOptions),
+}
+
+/// Multi-head attention module.
+#[derive(Clone, Debug)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    /// Number of heads.
+    pub heads: usize,
+    /// Attention kernel selection.
+    pub kernel: AttentionKernel,
+}
+
+/// FT events of one MHA forward.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MhaReport {
+    /// Aggregated projection-layer report.
+    pub projections: LinearReport,
+    /// Attention-kernel report.
+    pub attention: FtReport,
+}
+
+impl MultiHeadAttention {
+    /// Random MHA (seeded) for `hidden = heads × head_dim`.
+    pub fn random(seed: u64, hidden: usize, heads: usize, kernel: AttentionKernel) -> Self {
+        assert_eq!(hidden % heads, 0, "hidden must split evenly across heads");
+        MultiHeadAttention {
+            wq: Linear::random(seed, hidden, hidden),
+            wk: Linear::random(seed + 1, hidden, hidden),
+            wv: Linear::random(seed + 2, hidden, hidden),
+            wo: Linear::random(seed + 3, hidden, hidden),
+            heads,
+            kernel,
+        }
+    }
+
+    /// Split `seq × hidden` activations into a `1 × heads × seq × head_dim`
+    /// FP16 tensor (the attention kernel's operand precision).
+    fn split_heads(&self, x: &MatrixF32) -> Tensor4F16 {
+        let (seq, hidden) = x.shape();
+        let hd = hidden / self.heads;
+        let mut t = Tensor4F16::zeros(1, self.heads, seq, hd);
+        for h in 0..self.heads {
+            let slot = t.slot_mut(0, h);
+            for i in 0..seq {
+                for j in 0..hd {
+                    slot.set(i, j, ft_num::F16::from_f32(x.get(i, h * hd + j)));
+                }
+            }
+        }
+        t
+    }
+
+    /// Merge a `1 × heads × seq × head_dim` tensor back to `seq × hidden`.
+    fn merge_heads(&self, t: &ft_num::Tensor4F32) -> MatrixF32 {
+        let (seq, hd) = (t.seq(), t.dim());
+        Matrix::from_fn(seq, self.heads * hd, |i, j| {
+            t.slot(0, j / hd).get(i, j % hd)
+        })
+    }
+
+    /// Forward pass over `seq × hidden` activations.
+    pub fn forward<I: FaultInjector>(
+        &self,
+        x: &MatrixF32,
+        inj: &I,
+        layer_slot: usize,
+        thresholds: &Thresholds,
+    ) -> (MatrixF32, MhaReport) {
+        let (seq, hidden) = x.shape();
+        let hd = hidden / self.heads;
+        let mut report = MhaReport::default();
+
+        let (q, r1) = self.wq.forward(x, inj, layer_slot * 8, thresholds);
+        let (k, r2) = self.wk.forward(x, inj, layer_slot * 8 + 1, thresholds);
+        let (v, r3) = self.wv.forward(x, inj, layer_slot * 8 + 2, thresholds);
+        for r in [r1, r2, r3] {
+            report.projections.detected += r.detected;
+            report.projections.corrected += r.corrected;
+            report.projections.recomputed += r.recomputed;
+        }
+
+        let qt = self.split_heads(&q);
+        let kt = self.split_heads(&k);
+        let vt = self.split_heads(&v);
+        let cfg = AttentionConfig::new(1, self.heads, seq, hd)
+            .with_block(64.min(seq.max(8)));
+
+        let out = match self.kernel {
+            AttentionKernel::Flash => flash_attention(&cfg, &qt, &kt, &vt),
+            AttentionKernel::Efta(opts) => efta_attention(&cfg, &qt, &kt, &vt, inj, &opts),
+        };
+        report.attention = out.report;
+
+        let merged = self.merge_heads(&out.o);
+        let (y, r4) = self.wo.forward(&merged, inj, layer_slot * 8 + 3, thresholds);
+        report.projections.detected += r4.detected;
+        report.projections.corrected += r4.corrected;
+        report.projections.recomputed += r4.recomputed;
+        (y, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_num::rng::{normal_matrix_f16, rng_from_seed};
+    use ft_sim::NoFaults;
+
+    #[test]
+    fn split_merge_round_trip() {
+        let mha = MultiHeadAttention::random(1, 32, 4, AttentionKernel::Flash);
+        let mut rng = rng_from_seed(2);
+        let x = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
+        let t = mha.split_heads(&x);
+        assert_eq!((t.heads(), t.seq(), t.dim()), (4, 16, 8));
+        let back = mha.merge_heads(&t.to_f32());
+        // Values passed through FP16 once, inputs were already FP16-exact.
+        assert!(back.max_abs_diff(&x) < 1e-6);
+    }
+
+    #[test]
+    fn flash_and_efta_kernels_agree_when_clean() {
+        let mut rng = rng_from_seed(3);
+        let x = normal_matrix_f16(&mut rng, 64, 32, 1.0).to_f32();
+        let flash = MultiHeadAttention::random(7, 32, 4, AttentionKernel::Flash);
+        let efta = MultiHeadAttention {
+            kernel: AttentionKernel::Efta(EftaOptions::optimized()),
+            ..flash.clone()
+        };
+        let (yf, _) = flash.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        let (ye, rep) = efta.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        assert!(rep.attention.clean(), "{:?}", rep.attention);
+        let diff = yf.max_abs_diff(&ye);
+        assert!(diff < 1e-2, "kernel mismatch {diff}");
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mha = MultiHeadAttention::random(5, 48, 6, AttentionKernel::Flash);
+        let mut rng = rng_from_seed(6);
+        let x = normal_matrix_f16(&mut rng, 40, 48, 1.0).to_f32();
+        let (y, _) = mha.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
+        assert_eq!(y.shape(), (40, 48));
+    }
+}

@@ -1,0 +1,241 @@
+//! Full transformer model: embeddings → blocks → final norm → LM head.
+
+use crate::block::{BlockReport, TransformerBlock};
+use crate::configs::ModelConfig;
+use crate::embed::Embedding;
+use crate::linear::{Linear, LinearProtection};
+use crate::mha::AttentionKernel;
+use crate::norm::LayerNorm;
+use ft_abft::thresholds::Thresholds;
+use ft_num::MatrixF32;
+use ft_sim::FaultInjector;
+
+/// A complete transformer for inference experiments.
+#[derive(Clone, Debug)]
+pub struct TransformerModel {
+    /// Model hyper-parameters.
+    pub config: ModelConfig,
+    /// Embedding table + positions.
+    pub embed: Embedding,
+    /// Transformer blocks.
+    pub blocks: Vec<TransformerBlock>,
+    /// Final LayerNorm.
+    pub final_norm: LayerNorm,
+    /// Language-model head (hidden → vocab).
+    pub lm_head: Linear,
+    /// Detection thresholds used by all protected layers.
+    pub thresholds: Thresholds,
+}
+
+/// Aggregated FT events of one forward pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModelReport {
+    /// Sum over blocks.
+    pub total_detected: u64,
+    /// Sum over blocks.
+    pub total_repaired: u64,
+}
+
+impl TransformerModel {
+    /// Random model (seeded) with every block using `kernel`.
+    pub fn random(seed: u64, config: ModelConfig, kernel: AttentionKernel) -> Self {
+        let blocks = (0..config.layers)
+            .map(|l| {
+                TransformerBlock::random(
+                    seed + 1000 * (l as u64 + 1),
+                    config.hidden,
+                    config.heads,
+                    config.ffn_dim,
+                    kernel,
+                )
+            })
+            .collect();
+        TransformerModel {
+            config,
+            embed: Embedding::random(seed, config.vocab, config.hidden, config.max_seq),
+            blocks,
+            final_norm: LayerNorm::new(config.hidden),
+            // The LM head is a huge vocab-wide projection; the paper
+            // protects the transformer layers, so it stays unprotected.
+            lm_head: Linear::random(seed + 7, config.hidden, config.vocab)
+                .with_protection(LinearProtection::None),
+            thresholds: Thresholds::calibrated(),
+        }
+    }
+
+    /// Forward pass: token ids → logits (`seq × vocab`).
+    pub fn forward<I: FaultInjector>(&self, tokens: &[u32], inj: &I) -> (MatrixF32, ModelReport) {
+        let (h, report) = self.forward_hidden(tokens, inj);
+        let (logits, _) = self.lm_head.forward(&h, inj, usize::MAX / 2, &self.thresholds);
+        (logits, report)
+    }
+
+    /// Forward pass up to the final hidden states (`seq × hidden`),
+    /// skipping the expensive LM head — what the per-token timing
+    /// experiments measure.
+    pub fn forward_hidden<I: FaultInjector>(
+        &self,
+        tokens: &[u32],
+        inj: &I,
+    ) -> (MatrixF32, ModelReport) {
+        let mut h = self.embed.forward(tokens);
+        let mut report = ModelReport::default();
+        for (l, block) in self.blocks.iter().enumerate() {
+            let (next, rep) = block.forward(&h, inj, l, &self.thresholds);
+            h = next;
+            report.absorb(&rep);
+        }
+        self.final_norm.forward(&mut h);
+        (h, report)
+    }
+
+    /// Greedy generation: append `new_tokens` ids chosen by argmax.
+    pub fn generate<I: FaultInjector>(
+        &self,
+        prompt: &[u32],
+        new_tokens: usize,
+        inj: &I,
+    ) -> (Vec<u32>, ModelReport) {
+        let mut tokens = prompt.to_vec();
+        let mut report = ModelReport::default();
+        for _ in 0..new_tokens {
+            let (logits, rep) = self.forward(&tokens, inj);
+            report.total_detected += rep.total_detected;
+            report.total_repaired += rep.total_repaired;
+            let last = logits.row(logits.rows() - 1);
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for (i, &v) in last.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            tokens.push(best as u32);
+            if tokens.len() >= self.config.max_seq {
+                break;
+            }
+        }
+        (tokens, report)
+    }
+}
+
+impl ModelReport {
+    fn absorb(&mut self, rep: &BlockReport) {
+        self.total_detected += rep.mha.projections.detected
+            + rep.mha.attention.total_detected()
+            + rep.ffn.projections.detected
+            + rep.ffn.activation.restricted;
+        self.total_repaired += rep.mha.projections.corrected
+            + rep.mha.projections.recomputed
+            + rep.mha.attention.total_repaired()
+            + rep.ffn.projections.corrected
+            + rep.ffn.projections.recomputed
+            + rep.ffn.activation.restricted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_core::efta::EftaOptions;
+    use ft_sim::{FaultSite, NoFaults, OpCoord, SeuInjector};
+
+    fn tiny_config() -> ModelConfig {
+        ModelConfig {
+            name: "tiny",
+            layers: 2,
+            heads: 4,
+            hidden: 32,
+            ffn_dim: 64,
+            vocab: 101,
+            max_seq: 64,
+        }
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let model = TransformerModel::random(1, tiny_config(), AttentionKernel::Flash);
+        let tokens: Vec<u32> = (0..16).collect();
+        let (l1, rep) = model.forward(&tokens, &NoFaults);
+        let (l2, _) = model.forward(&tokens, &NoFaults);
+        assert_eq!(l1.shape(), (16, 101));
+        assert_eq!(l1, l2);
+        assert_eq!(rep.total_detected, 0);
+    }
+
+    #[test]
+    fn efta_model_matches_flash_model_when_clean() {
+        let flash = TransformerModel::random(2, tiny_config(), AttentionKernel::Flash);
+        let efta = TransformerModel {
+            blocks: flash
+                .blocks
+                .iter()
+                .map(|b| TransformerBlock {
+                    mha: crate::mha::MultiHeadAttention {
+                        kernel: AttentionKernel::Efta(EftaOptions::optimized()),
+                        ..b.mha.clone()
+                    },
+                    ..b.clone()
+                })
+                .collect(),
+            ..flash.clone()
+        };
+        let tokens: Vec<u32> = (0..24).map(|i| i * 3 % 101).collect();
+        let (lf, _) = flash.forward(&tokens, &NoFaults);
+        let (le, rep) = efta.forward(&tokens, &NoFaults);
+        assert_eq!(rep.total_detected, 0);
+        assert!(lf.max_abs_diff(&le) < 0.05, "diff {}", lf.max_abs_diff(&le));
+    }
+
+    #[test]
+    fn generation_extends_sequence_deterministically() {
+        let model = TransformerModel::random(3, tiny_config(), AttentionKernel::Flash);
+        let (out, _) = model.generate(&[5, 6, 7], 4, &NoFaults);
+        assert_eq!(out.len(), 7);
+        let (out2, _) = model.generate(&[5, 6, 7], 4, &NoFaults);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn fault_in_protected_projection_is_repaired_and_counted() {
+        let model = TransformerModel::random(4, tiny_config(), AttentionKernel::Flash);
+        let tokens: Vec<u32> = (0..16).collect();
+        let (clean, _) = model.forward_hidden(&tokens, &NoFaults);
+        // Layer 0 MHA query projection is layer_slot 0 (layer_idx*2*8).
+        let inj = SeuInjector::new(FaultSite::LinearAccum, OpCoord::new(0, 3, 7, 0), 30)
+            .at_chain_step(5);
+        let (dirty, rep) = model.forward_hidden(&tokens, &inj);
+        assert_eq!(inj.fired(), 1);
+        assert!(rep.total_detected > 0);
+        assert!(rep.total_repaired > 0);
+        assert!(dirty.max_abs_diff(&clean) < 0.05, "diff {}", dirty.max_abs_diff(&clean));
+    }
+
+    #[test]
+    fn fault_without_protection_changes_output() {
+        let mut model = TransformerModel::random(5, tiny_config(), AttentionKernel::Flash);
+        for b in &mut model.blocks {
+            b.mha.wq.protection = LinearProtection::None;
+            b.mha.wk.protection = LinearProtection::None;
+            b.mha.wv.protection = LinearProtection::None;
+            b.mha.wo.protection = LinearProtection::None;
+            b.ffn.up.protection = LinearProtection::None;
+            b.ffn.down.protection = LinearProtection::None;
+        }
+        let tokens: Vec<u32> = (0..16).collect();
+        let (clean, _) = model.forward_hidden(&tokens, &NoFaults);
+        let inj = SeuInjector::new(FaultSite::LinearAccum, OpCoord::new(0, 3, 7, 0), 30)
+            .at_chain_step(5);
+        let (dirty, rep) = model.forward_hidden(&tokens, &inj);
+        assert_eq!(inj.fired(), 1);
+        // With projections unprotected the fault reaches the activations
+        // (possibly as NaN after LayerNorm of a 2^128-scale value); the
+        // FFN's range restriction is the only check left to notice.
+        let _ = rep;
+        assert!(
+            dirty.has_non_finite() || dirty.max_abs_diff(&clean) > 1e-3,
+            "fault must propagate when unprotected"
+        );
+    }
+}

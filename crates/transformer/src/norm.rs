@@ -1,0 +1,80 @@
+//! Layer normalisation.
+
+use ft_num::MatrixF32;
+
+/// LayerNorm with learned scale/shift.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    /// Per-feature scale γ.
+    pub gamma: Vec<f32>,
+    /// Per-feature shift β.
+    pub beta: Vec<f32>,
+    /// Numerical epsilon.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Identity LayerNorm (γ = 1, β = 0) over `features`.
+    pub fn new(features: usize) -> Self {
+        LayerNorm {
+            gamma: vec![1.0; features],
+            beta: vec![0.0; features],
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalise each row of `x` in place.
+    pub fn forward(&self, x: &mut MatrixF32) {
+        assert_eq!(x.cols(), self.gamma.len());
+        for i in 0..x.rows() {
+            let row = x.row_mut(i);
+            let n = row.len() as f32;
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - mean) * inv * self.gamma[j] + self.beta[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_num::Matrix;
+
+    #[test]
+    fn normalised_rows_have_zero_mean_unit_variance() {
+        let ln = LayerNorm::new(16);
+        let mut x = Matrix::from_fn(4, 16, |i, j| (i * 16 + j) as f32 * 0.3 - 2.0);
+        ln.forward(&mut x);
+        for i in 0..4 {
+            let row = x.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_apply() {
+        let mut ln = LayerNorm::new(4);
+        ln.gamma = vec![2.0; 4];
+        ln.beta = vec![1.0; 4];
+        let mut x = Matrix::from_fn(1, 4, |_, j| j as f32);
+        ln.forward(&mut x);
+        let mean: f32 = x.row(0).iter().sum::<f32>() / 4.0;
+        assert!((mean - 1.0).abs() < 1e-5, "shifted mean {mean}");
+    }
+
+    #[test]
+    fn constant_row_stays_finite() {
+        let ln = LayerNorm::new(8);
+        let mut x = Matrix::from_fn(1, 8, |_, _| 3.5);
+        ln.forward(&mut x);
+        assert!(x.row(0).iter().all(|v| v.is_finite()));
+        assert!(x.row(0).iter().all(|v| v.abs() < 1e-2));
+    }
+}

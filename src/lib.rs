@@ -1,0 +1,11 @@
+//! Facade crate for the FT-Transformer reproduction suite.
+//!
+//! Re-exports every member crate under a single roof so examples and
+//! integration tests can use one dependency.
+
+pub use ft_abft as abft;
+pub use ft_core as attention;
+pub use ft_inject as inject;
+pub use ft_num as num;
+pub use ft_sim as sim;
+pub use ft_transformer as transformer;

@@ -1,0 +1,76 @@
+//! Cross-crate integration: all four attention implementations must agree
+//! on fault-free inputs, across shapes and seeds.
+
+use ft_transformer_suite::attention::config::AttentionConfig;
+use ft_transformer_suite::attention::decoupled::{decoupled_ft_attention, DecoupledOptions};
+use ft_transformer_suite::attention::efta::{efta_attention, EftaOptions};
+use ft_transformer_suite::attention::flash::flash_attention;
+use ft_transformer_suite::attention::reference::reference_attention;
+use ft_transformer_suite::num::rng::normal_tensor_f16;
+use ft_transformer_suite::num::Tensor4F16;
+use ft_transformer_suite::sim::device::Device;
+use ft_transformer_suite::sim::NoFaults;
+use proptest::prelude::*;
+
+fn workload(cfg: &AttentionConfig, seed: u64) -> (Tensor4F16, Tensor4F16, Tensor4F16) {
+    let q = normal_tensor_f16(seed, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
+    let k = normal_tensor_f16(seed + 1, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
+    let v = normal_tensor_f16(seed + 2, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.8);
+    (q, k, v)
+}
+
+#[test]
+fn all_four_kernels_agree_fault_free() {
+    let cfg = AttentionConfig::new(2, 4, 96, 32).with_block(32);
+    let (q, k, v) = workload(&cfg, 1000);
+    let dev = Device::a100_40gb();
+
+    let reference = reference_attention(&cfg, &q, &k, &v);
+    let flash = flash_attention(&cfg, &q, &k, &v);
+    let efta = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    let efta_ps = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::per_step());
+    let dec = decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev)
+        .expect("fits in 40GB");
+
+    assert!(flash.o.max_abs_diff(&reference) < 1e-4);
+    assert!(efta.o.max_abs_diff(&reference) < 5e-3, "{}", efta.o.max_abs_diff(&reference));
+    assert!(efta_ps.o.max_abs_diff(&reference) < 5e-3);
+    assert!(dec.o.max_abs_diff(&reference) < 5e-3);
+    assert!(efta.report.clean());
+    assert!(efta_ps.report.clean());
+    assert!(dec.report.clean());
+}
+
+#[test]
+fn launch_count_contract() {
+    // seq ≫ head_dim so the O(n²) vs O(n·d) write asymmetry is visible.
+    let cfg = AttentionConfig::new(1, 2, 256, 32).with_block(64);
+    let (q, k, v) = workload(&cfg, 2000);
+    let dev = Device::a100_40gb();
+    let efta = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    let dec = decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev)
+        .unwrap();
+    assert_eq!(efta.timeline.total().launches, 1, "EFTA is one fused kernel");
+    assert_eq!(dec.timeline.total().launches, 3, "decoupled launches three");
+    // Decoupled writes O(n²); EFTA writes O(n·d).
+    assert!(dec.timeline.total().hbm_written > 10 * efta.timeline.total().hbm_written);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn prop_efta_equals_reference(
+        seq in 32usize..120,
+        heads in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let cfg = AttentionConfig::new(1, heads, seq, 32).with_block(32);
+        let (q, k, v) = workload(&cfg, seed);
+        let reference = reference_attention(&cfg, &q, &k, &v);
+        let efta = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+        prop_assert!(efta.report.clean(), "false alarms: {:?}", efta.report);
+        let diff = efta.o.max_abs_diff(&reference);
+        prop_assert!(diff < 5e-3, "diff {diff}");
+    }
+}
