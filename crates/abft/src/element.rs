@@ -230,7 +230,10 @@ mod tests {
 
     /// Build S = Q·Kᵀ together with its exact checksum rows/cols computed
     /// from encoded operands (no quantisation → exact algebra).
-    fn protected_product(q: &MatrixF32, k: &MatrixF32) -> (MatrixF32, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+    fn protected_product(
+        q: &MatrixF32,
+        k: &MatrixF32,
+    ) -> (MatrixF32, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
         let s = gemm_nt(q, k);
         // Column checksums of S come from row-encoding Q: c1·(Q Kᵀ).
         let qc = encode_cols(q, false);
@@ -357,6 +360,7 @@ mod tests {
         let q = normal_matrix_f16(&mut rng, 8, 16, 1.0).to_f32();
         let k = normal_matrix_f16(&mut rng, 8, 16, 1.0).to_f32();
         let (s, r1, _, _, _) = protected_product(&q, &k);
+        #[allow(clippy::needless_range_loop)]
         for j in 0..s.cols() {
             let direct: f32 = (0..s.rows()).map(|i| s.get(i, j)).sum();
             assert!(

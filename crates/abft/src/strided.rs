@@ -204,16 +204,20 @@ pub fn correct_strided(c: &mut MatrixF32, mismatches: &[StridedMismatch], s: usi
     };
     for m in mismatches {
         let ratio = m.delta2 / m.delta1;
-        let l0 = ratio.round() as i64 - 1;
-        let col = m.t as i64 + s as i64 * l0;
         // Reject: non-finite ratio, ratio far from an integer (multi-error
-        // aliasing), or out-of-range column.
+        // aliasing), or out-of-range column. A wildly corrupted ratio can
+        // saturate the float→int cast, so the column is computed with
+        // checked arithmetic rather than trusted to stay in range.
+        let l0 = ratio.round() as i64 - 1;
+        let col = (s as i64)
+            .checked_mul(l0)
+            .and_then(|x| x.checked_add(m.t as i64));
         let plausible = ratio.is_finite()
             && (ratio - ratio.round()).abs() < 0.25
             && l0 >= 0
-            && (col as usize) < n;
+            && col.is_some_and(|c| (0..n as i64).contains(&c));
         if plausible {
-            let col = col as usize;
+            let col = col.expect("checked above") as usize;
             let fixed = c.get(m.i, col) - m.delta1;
             c.set(m.i, col, fixed);
             report.corrected.push(ErrorLoc {
@@ -249,11 +253,7 @@ mod tests {
 
     /// S = Q·Kᵀ with exact strided checksum results S_c1, S_c2 computed the
     /// way the kernel does: GEMM against encoded operands.
-    fn protected_qkt(
-        q: &MatrixF32,
-        k: &MatrixF32,
-        s: usize,
-    ) -> (MatrixF32, MatrixF32, MatrixF32) {
+    fn protected_qkt(q: &MatrixF32, k: &MatrixF32, s: usize) -> (MatrixF32, MatrixF32, MatrixF32) {
         let cs = encode_rows_strided(k, s, false);
         let s_mat = gemm_nt(q, k);
         let s_c1 = gemm_nt(q, &cs.w1);
@@ -270,7 +270,11 @@ mod tests {
         let (s_mat, s_c1, s_c2) = protected_qkt(&q, &k, 8);
         let sums1 = strided_sums(&s_mat, 8);
         let sums2 = strided_sums_weighted(&s_mat, 8);
-        assert!(sums1.max_abs_diff(&s_c1) < 1e-3, "{}", sums1.max_abs_diff(&s_c1));
+        assert!(
+            sums1.max_abs_diff(&s_c1) < 1e-3,
+            "{}",
+            sums1.max_abs_diff(&s_c1)
+        );
         assert!(sums2.max_abs_diff(&s_c2) < 1e-2);
     }
 

@@ -2,9 +2,7 @@
 //! correct — the building blocks whose cost Fig. 11 compares.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ft_abft::strided::{
-    encode_rows_strided, strided_sums, strided_sums_weighted, verify_strided,
-};
+use ft_abft::strided::{encode_rows_strided, strided_sums, strided_sums_weighted, verify_strided};
 use ft_abft::thresholds::Check;
 use ft_num::rng::{normal_matrix_f16, rng_from_seed};
 use ft_sim::gemm_nt;

@@ -1,14 +1,14 @@
 //! Criterion benches for the attention kernels: the wall-clock companions
-//! of Fig. 9 and Tables 1–2 at a fixed small shape.
+//! of Fig. 9 and Tables 1–2 at a fixed small shape, driven through the
+//! unified backend API.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::backend::{AttentionBackend, AttentionRequest, BackendKind};
 use ft_core::config::AttentionConfig;
-use ft_core::decoupled::{decoupled_ft_attention, DecoupledOptions};
-use ft_core::efta::{efta_attention, EftaOptions};
-use ft_core::flash::flash_attention;
+use ft_core::decoupled::DecoupledOptions;
+use ft_core::efta::EftaOptions;
 use ft_num::rng::normal_tensor_f16;
 use ft_sim::device::Device;
-use ft_sim::NoFaults;
 use std::time::Duration;
 
 fn bench_attention(c: &mut Criterion) {
@@ -17,21 +17,24 @@ fn bench_attention(c: &mut Criterion) {
     let k = normal_tensor_f16(2, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
     let v = normal_tensor_f16(3, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.8);
     let dev = Device::a100_40gb();
+    let req = AttentionRequest::new(cfg, &q, &k, &v);
+    let dec_req = req.with_device(&dev);
 
     let mut g = c.benchmark_group("attention_256x64x4h");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     g.bench_function("flash_unprotected", |b| {
-        b.iter(|| flash_attention(&cfg, &q, &k, &v))
+        b.iter(|| BackendKind::Flash.run(&req))
     });
     g.bench_function("efta_unified", |b| {
-        b.iter(|| efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized()))
+        b.iter(|| BackendKind::Efta(EftaOptions::optimized()).run(&req))
     });
     g.bench_function("efta_per_step", |b| {
-        b.iter(|| efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::per_step()))
+        b.iter(|| BackendKind::Efta(EftaOptions::per_step()).run(&req))
     });
     g.bench_function("decoupled_ft", |b| {
         b.iter(|| {
-            decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev)
+            BackendKind::Decoupled(DecoupledOptions::default())
+                .try_run(&dec_req)
                 .unwrap()
         })
     });

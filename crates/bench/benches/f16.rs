@@ -19,12 +19,7 @@ fn bench_f16(c: &mut Criterion) {
         })
     });
     g.bench_function("to_f32_4096", |b| {
-        b.iter(|| {
-            halves
-                .iter()
-                .map(|h| black_box(*h).to_f32())
-                .sum::<f32>()
-        })
+        b.iter(|| halves.iter().map(|h| black_box(*h).to_f32()).sum::<f32>())
     });
     g.finish();
 }

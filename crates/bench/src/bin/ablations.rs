@@ -8,9 +8,9 @@
 
 use ft_abft::thresholds::Thresholds;
 use ft_bench::{attention_workload, banner, ms, pct, HarnessArgs, TextTable};
-use ft_core::efta::{efta_attention, EftaOptions};
+use ft_core::backend::{AttentionBackend, AttentionRequest, BackendKind};
+use ft_core::efta::EftaOptions;
 use ft_inject::{coverage_campaign_stride, GemmShape};
-use ft_sim::NoFaults;
 
 fn stride_ablation(args: &HarnessArgs) {
     println!("--- Checksum stride ablation (coverage at BER 1e-7, EFTA overhead) ---");
@@ -18,7 +18,7 @@ fn stride_ablation(args: &HarnessArgs) {
     let cfg = args.medium_cfg(seq);
     let (q, k, v) = attention_workload(&cfg, args.seed);
     let (_, t_base) = ft_bench::time_best(2, || {
-        efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::unprotected())
+        BackendKind::Efta(EftaOptions::unprotected()).run(&AttentionRequest::new(cfg, &q, &k, &v))
     });
     // Same collision regime as Fig. 12: 4096-wide rows, per-bit BER.
     let shape = GemmShape {
@@ -38,7 +38,7 @@ fn stride_ablation(args: &HarnessArgs) {
         );
         let opts = EftaOptions::optimized().with_stride(s);
         let (_, t) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &opts)
+            BackendKind::Efta(opts).run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         table.row(&[
             s.to_string(),
@@ -60,10 +60,11 @@ fn block_size_ablation(args: &HarnessArgs) {
         let cfg = args.medium_cfg(seq).with_block(block);
         let (q, k, v) = attention_workload(&cfg, args.seed);
         let (_, t_base) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::unprotected())
+            BackendKind::Efta(EftaOptions::unprotected())
+                .run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         let (_, t) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized())
+            BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         table.row(&[
             block.to_string(),
@@ -82,10 +83,10 @@ fn verify_mode_ablation(args: &HarnessArgs) {
         let cfg = args.medium_cfg(seq);
         let (q, k, v) = attention_workload(&cfg, args.seed + idx as u64);
         let (_, t_ps) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::per_step())
+            BackendKind::Efta(EftaOptions::per_step()).run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         let (_, t_u) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized())
+            BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         table.row(&[
             args.sweep_labels()[idx].clone(),
@@ -99,10 +100,14 @@ fn verify_mode_ablation(args: &HarnessArgs) {
 
 fn main() {
     let args = HarnessArgs::parse();
-    banner("Ablations: stride, block size, verification frequency", &args);
+    banner(
+        "Ablations: stride, block size, verification frequency",
+        &args,
+    );
     let warm = args.medium_cfg(64);
     let (q, k, v) = attention_workload(&warm, 1);
-    let _ = efta_attention(&warm, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    let _ =
+        BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(warm, &q, &k, &v));
     stride_ablation(&args);
     block_size_ablation(&args);
     verify_mode_ablation(&args);

@@ -12,12 +12,12 @@
 //!   (reported from the analytic HBM demand at full scale).
 
 use ft_bench::{attention_workload, banner, ms, pct, HarnessArgs, TextTable};
-use ft_core::decoupled::{decoupled_ft_attention, hbm_demand, DecoupledOptions};
-use ft_core::efta::{efta_attention, EftaOptions};
+use ft_core::backend::{AttentionBackend, AttentionRequest, BackendKind};
+use ft_core::decoupled::{hbm_demand, DecoupledOptions};
+use ft_core::efta::EftaOptions;
 use ft_core::{decoupled_analytic_timeline, efta_analytic_stats};
 use ft_sim::cost::{CostModel, Timeline};
 use ft_sim::device::Device;
-use ft_sim::NoFaults;
 
 fn run_config(name: &str, args: &HarnessArgs, large: bool) {
     let model = CostModel::a100_pcie_40gb();
@@ -34,6 +34,11 @@ fn run_config(name: &str, args: &HarnessArgs, large: bool) {
         "sim speedup",
     ]);
 
+    let e2e = BackendKind::Efta(EftaOptions::unprotected());
+    let efta_o = BackendKind::Efta(EftaOptions::optimized());
+    let dec_base_kind = BackendKind::Decoupled(DecoupledOptions::unprotected());
+    let dec_ft_kind = BackendKind::Decoupled(DecoupledOptions::default());
+
     for (idx, seq) in args.sweep_seqs().into_iter().enumerate() {
         let cfg = if large {
             args.large_cfg(seq)
@@ -47,7 +52,10 @@ fn run_config(name: &str, args: &HarnessArgs, large: bool) {
         let dec_timeline = decoupled_analytic_timeline(&full, true);
         let sim_dec = dec_timeline.simulated_time(&model);
         let mut efta_tl = Timeline::new();
-        efta_tl.push("efta", efta_analytic_stats(&full, &EftaOptions::optimized()));
+        efta_tl.push(
+            "efta",
+            efta_analytic_stats(&full, &EftaOptions::optimized()),
+        );
         let sim_efta = efta_tl.simulated_time(&model);
 
         // OOM check at full scale on the 40 GB card.
@@ -62,47 +70,21 @@ fn run_config(name: &str, args: &HarnessArgs, large: bool) {
         let dev = Device::with_capacity(scaled_capacity);
 
         let (q, k, v) = attention_workload(&cfg, args.seed + idx as u64);
-        let (_, t_e2e) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::unprotected())
-        });
-        let (_, t_efta) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized())
-        });
+        let req = AttentionRequest::new(cfg, &q, &k, &v);
+        let dec_req = req.with_device(&dev);
+        let (_, t_e2e) = ft_bench::time_best(2, || e2e.run(&req));
+        let (_, t_efta) = ft_bench::time_best(2, || efta_o.run(&req));
         let (dec_base, dec_ft): (String, (String, Option<f64>)) = if oom {
             ("OOM".into(), ("OOM".into(), None))
         } else {
-            let base = decoupled_ft_attention(
-                &cfg,
-                &q,
-                &k,
-                &v,
-                &NoFaults,
-                &DecoupledOptions::unprotected(),
-                &dev,
-            );
+            let base = dec_base_kind.try_run(&dec_req);
             let t0 = std::time::Instant::now();
-            let ft = decoupled_ft_attention(
-                &cfg,
-                &q,
-                &k,
-                &v,
-                &NoFaults,
-                &DecoupledOptions::default(),
-                &dev,
-            );
+            let ft = dec_ft_kind.try_run(&dec_req);
             let t_ft = t0.elapsed().as_secs_f64();
             match (base, ft) {
                 (Ok(_), Ok(_)) => {
                     let t0 = std::time::Instant::now();
-                    let _ = decoupled_ft_attention(
-                        &cfg,
-                        &q,
-                        &k,
-                        &v,
-                        &NoFaults,
-                        &DecoupledOptions::unprotected(),
-                        &dev,
-                    );
+                    let _ = dec_base_kind.try_run(&dec_req);
                     (ms(t0.elapsed().as_secs_f64()), (ms(t_ft), Some(t_ft)))
                 }
                 _ => ("OOM".into(), ("OOM".into(), None)),
@@ -135,11 +117,15 @@ fn run_config(name: &str, args: &HarnessArgs, large: bool) {
 
 fn main() {
     let args = HarnessArgs::parse();
-    banner("Figure 9: E2E FT attention vs decoupled FT attention", &args);
+    banner(
+        "Figure 9: E2E FT attention vs decoupled FT attention",
+        &args,
+    );
     // Warm the rayon pool and allocator so the first row is not penalised.
     let warm = args.medium_cfg(64);
     let (q, k, v) = attention_workload(&warm, 1);
-    let _ = efta_attention(&warm, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    let _ =
+        BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(warm, &q, &k, &v));
     run_config("head=16, dim=64", &args, false);
     run_config("head=32, dim=128", &args, true);
     let _ = pct(0.0);

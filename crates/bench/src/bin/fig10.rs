@@ -7,8 +7,8 @@
 //! alone averages 47%, traditional ABFT on the GEMMs 35%.
 
 use ft_bench::{attention_workload, banner, ms, pct, HarnessArgs, TextTable};
-use ft_core::efta::{efta_attention, EftaOptions, GemmProtection, SoftmaxProtection, VerifyMode};
-use ft_sim::NoFaults;
+use ft_core::backend::{AttentionBackend, AttentionRequest, BackendKind};
+use ft_core::efta::{EftaOptions, GemmProtection, SoftmaxProtection, VerifyMode};
 
 fn run_config(name: &str, args: &HarnessArgs, large: bool) {
     println!("--- Overhead Breakdown ({name}) ---");
@@ -34,10 +34,11 @@ fn run_config(name: &str, args: &HarnessArgs, large: bool) {
         };
         let (q, k, v) = attention_workload(&cfg, args.seed + idx as u64);
         let (_, t_base) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::unprotected())
+            BackendKind::Efta(EftaOptions::unprotected())
+                .run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         let (out, t_ft) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &opts)
+            BackendKind::Efta(opts).run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         // Phase timers sum worker-thread time; normalise each protection
         // phase by its share of the total worker time, then apply to the
@@ -72,7 +73,8 @@ fn main() {
     );
     let warm = args.medium_cfg(64);
     let (q, k, v) = attention_workload(&warm, 1);
-    let _ = efta_attention(&warm, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    let _ =
+        BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(warm, &q, &k, &v));
     run_config("head=16, dim=64", &args, false);
     run_config("head=32, dim=128", &args, true);
     println!("paper: medium avg total 96%, large avg 68%; DMR softmax ≈47%, traditional ABFT ≈35%");

@@ -6,10 +6,10 @@
 //! strided ABFT 11.8% (medium) / 10.5% (large) — a ~64% reduction.
 
 use ft_bench::{attention_workload, banner, ms, pct, HarnessArgs, TextTable};
-use ft_core::efta::{efta_attention, EftaOptions, GemmProtection, SoftmaxProtection, VerifyMode};
+use ft_core::backend::{AttentionBackend, AttentionRequest, BackendKind};
+use ft_core::efta::{EftaOptions, GemmProtection, SoftmaxProtection, VerifyMode};
 use ft_core::efta_analytic_stats;
 use ft_sim::cost::{CostModel, Timeline};
-use ft_sim::NoFaults;
 
 fn run_config(name: &str, args: &HarnessArgs, large: bool) {
     println!("--- FT-design for Mixed-Precision GEMM ({name}) ---");
@@ -47,13 +47,13 @@ fn run_config(name: &str, args: &HarnessArgs, large: bool) {
         let full = args.full_cfg(&cfg, idx);
         let (q, k, v) = attention_workload(&cfg, args.seed + idx as u64);
         let (_, t_base) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &base_opts)
+            BackendKind::Efta(base_opts).run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         let (_, t_trad) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &trad_opts)
+            BackendKind::Efta(trad_opts).run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         let (_, t_str) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &strided_opts)
+            BackendKind::Efta(strided_opts).run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
 
         let sim = |o: &EftaOptions| {
@@ -81,10 +81,14 @@ fn run_config(name: &str, args: &HarnessArgs, large: bool) {
 
 fn main() {
     let args = HarnessArgs::parse();
-    banner("Figure 11: strided ABFT vs traditional ABFT inside EFTA", &args);
+    banner(
+        "Figure 11: strided ABFT vs traditional ABFT inside EFTA",
+        &args,
+    );
     let warm = args.medium_cfg(64);
     let (q, k, v) = attention_workload(&warm, 1);
-    let _ = efta_attention(&warm, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    let _ =
+        BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(warm, &q, &k, &v));
     run_config("head=16, dim=64", &args, false);
     run_config("head=32, dim=128", &args, true);
     println!("paper: traditional ≈35% avg overhead; strided 11.8% (medium) / 10.5% (large)");

@@ -5,8 +5,8 @@
 //! BER 1e-7). Right: fault-detection and false-alarm rates of strided ABFT
 //! across relative detection thresholds (paper optimum ≈ 0.48).
 
-use ft_bench::{banner, bar, pct, HarnessArgs, TextTable};
 use ft_abft::thresholds::Thresholds;
+use ft_bench::{banner, bar, pct, HarnessArgs, TextTable};
 use ft_inject::{abft_threshold_sweep, coverage_campaign, GemmShape, Scheme};
 
 fn main() {
@@ -32,7 +32,13 @@ fn main() {
     let chk = ft_abft::thresholds::Check::new(0.02, 1e-3);
     let _ = Thresholds::calibrated();
     let bers = [1e-8f64, 5e-8, 1e-7];
-    let mut table = TextTable::new(&["BER", "tensor coverage", "element coverage", "tensor faults", "element faults"]);
+    let mut table = TextTable::new(&[
+        "BER",
+        "tensor coverage",
+        "element coverage",
+        "tensor faults",
+        "element faults",
+    ]);
     for &ber in &bers {
         let op_ber = ber * bits_per_op;
         let t = coverage_campaign(args.trials, args.seed, op_ber, Scheme::Tensor, shape, chk);

@@ -6,8 +6,8 @@
 //! only the softmax protection varies.
 
 use ft_bench::{attention_workload, banner, ms, pct, HarnessArgs, TextTable};
-use ft_core::efta::{efta_attention, EftaOptions, SoftmaxProtection, VerifyMode};
-use ft_sim::NoFaults;
+use ft_core::backend::{AttentionBackend, AttentionRequest, BackendKind};
+use ft_core::efta::{EftaOptions, SoftmaxProtection, VerifyMode};
 
 fn run_config(name: &str, args: &HarnessArgs, large: bool) {
     println!("--- FT-design for Softmax ({name}) ---");
@@ -40,14 +40,18 @@ fn run_config(name: &str, args: &HarnessArgs, large: bool) {
         };
         let (q, k, v) = attention_workload(&cfg, args.seed + idx as u64);
         let (_, t_e2e) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::unprotected())
+            BackendKind::Efta(EftaOptions::unprotected())
+                .run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
-        let (_, t_base) =
-            ft_bench::time_best(2, || efta_attention(&cfg, &q, &k, &v, &NoFaults, &base));
-        let (_, t_dmr) =
-            ft_bench::time_best(2, || efta_attention(&cfg, &q, &k, &v, &NoFaults, &dmr));
-        let (_, t_snvr) =
-            ft_bench::time_best(2, || efta_attention(&cfg, &q, &k, &v, &NoFaults, &snvr));
+        let (_, t_base) = ft_bench::time_best(2, || {
+            BackendKind::Efta(base).run(&AttentionRequest::new(cfg, &q, &k, &v))
+        });
+        let (_, t_dmr) = ft_bench::time_best(2, || {
+            BackendKind::Efta(dmr).run(&AttentionRequest::new(cfg, &q, &k, &v))
+        });
+        let (_, t_snvr) = ft_bench::time_best(2, || {
+            BackendKind::Efta(snvr).run(&AttentionRequest::new(cfg, &q, &k, &v))
+        });
         table.row(&[
             args.sweep_labels()[idx].clone(),
             ms(t_e2e),
@@ -65,7 +69,8 @@ fn main() {
     banner("Figure 13: DMR vs SNVR softmax protection in EFTA", &args);
     let warm = args.medium_cfg(64);
     let (q, k, v) = attention_workload(&warm, 1);
-    let _ = efta_attention(&warm, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    let _ =
+        BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(warm, &q, &k, &v));
     run_config("head=16, dim=64", &args, false);
     run_config("head=32, dim=128", &args, true);
     println!("paper: DMR 62.5%/30.6% avg overhead; SNVR 14.3%/13.6%");

@@ -12,7 +12,10 @@ use ft_inject::{restriction_error_distribution, snvr_threshold_sweep};
 
 fn main() {
     let args = HarnessArgs::parse();
-    banner("Figure 14: SNVR detection sweep and restriction quality", &args);
+    banner(
+        "Figure 14: SNVR detection sweep and restriction quality",
+        &args,
+    );
 
     // ---- Left: detection / false alarm vs threshold --------------------
     let taus: Vec<f32> = vec![1e-7, 7e-7, 3e-6, 7e-6, 3e-5, 1e-4, 1e-3];

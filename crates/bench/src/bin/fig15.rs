@@ -12,15 +12,13 @@
 use ft_bench::{banner, ms, pct, HarnessArgs, TextTable};
 use ft_core::efta::EftaOptions;
 use ft_sim::{FaultSite, NoFaults, OpCoord, SeuInjector};
-use ft_transformer::{
-    AttentionKernel, LinearProtection, ModelConfig, TransformerModel,
-};
+use ft_transformer::{BackendKind, LinearProtection, ModelConfig, TransformerModel};
 
 fn build(seed: u64, cfg: ModelConfig, protected: bool) -> TransformerModel {
     let kernel = if protected {
-        AttentionKernel::Efta(EftaOptions::optimized())
+        BackendKind::Efta(EftaOptions::optimized())
     } else {
-        AttentionKernel::Flash
+        BackendKind::Flash
     };
     let mut model = TransformerModel::random(seed, cfg, kernel);
     if !protected {
@@ -38,7 +36,10 @@ fn build(seed: u64, cfg: ModelConfig, protected: bool) -> TransformerModel {
 
 fn main() {
     let args = HarnessArgs::parse();
-    banner("Figure 15: EFTA on Transformer models (input length 512)", &args);
+    banner(
+        "Figure 15: EFTA on Transformer models (input length 512)",
+        &args,
+    );
 
     // Default scale shrinks seq and layer count while keeping head
     // structure; --full runs the paper's exact shapes.
@@ -71,8 +72,8 @@ fn main() {
         // One SEU per attention computation: all layers share slot-local
         // fault coordinates, so a single targeted SEU fires once per
         // attention call (per layer).
-        let inj = SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(0, 3, 5, 0), 30)
-            .at_chain_step(10);
+        let inj =
+            SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(0, 3, 5, 0), 30).at_chain_step(10);
         let ((_, rep), t_correct) =
             ft_bench::time_best(2, || protected.forward_hidden(&tokens, &inj));
 

@@ -5,15 +5,16 @@
 //! speedup, and is 7.56× faster than the decoupled method.
 
 use ft_bench::{attention_workload, banner, ms, pct, HarnessArgs, TextTable};
-use ft_core::efta::{efta_attention, EftaOptions};
-use ft_sim::NoFaults;
+use ft_core::backend::{AttentionBackend, AttentionRequest, BackendKind};
+use ft_core::efta::EftaOptions;
 
 /// Shared implementation for Tables 1 and 2.
 pub fn run_table(title: &str, args: &HarnessArgs, large: bool, paper_note: &str) {
     banner(title, args);
     let warm = args.medium_cfg(64);
     let (q, k, v) = attention_workload(&warm, 1);
-    let _ = efta_attention(&warm, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+    let _ =
+        BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(warm, &q, &k, &v));
 
     let mut table = TextTable::new(&[
         "Length",
@@ -32,13 +33,14 @@ pub fn run_table(title: &str, args: &HarnessArgs, large: bool, paper_note: &str)
         };
         let (q, k, v) = attention_workload(&cfg, args.seed + idx as u64);
         let (_, t_base) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::unprotected())
+            BackendKind::Efta(EftaOptions::unprotected())
+                .run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         let (_, t_per_step) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::per_step())
+            BackendKind::Efta(EftaOptions::per_step()).run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         let (_, t_unified) = ft_bench::time_best(2, || {
-            efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized())
+            BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(cfg, &q, &k, &v))
         });
         speedups.push(t_per_step / t_unified);
         table.row(&[

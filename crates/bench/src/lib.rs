@@ -124,8 +124,7 @@ impl HarnessArgs {
     /// simulated-A100 numbers.
     pub fn full_cfg(&self, cfg: &AttentionConfig, idx: usize) -> AttentionConfig {
         let paper_seq = [512usize, 1024, 2048, 4096, 8192, 16384][idx];
-        AttentionConfig::new(1, cfg.heads, paper_seq, cfg.head_dim)
-            .with_total_tokens(16 * 1024)
+        AttentionConfig::new(1, cfg.heads, paper_seq, cfg.head_dim).with_total_tokens(16 * 1024)
     }
 }
 
@@ -206,7 +205,9 @@ mod tests {
 
     #[test]
     fn time_best_returns_min() {
-        let (_, t) = time_best(3, || std::thread::sleep(std::time::Duration::from_millis(1)));
+        let (_, t) = time_best(3, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
         assert!(t >= 0.001);
     }
 }

@@ -59,6 +59,19 @@ impl AttentionConfig {
         self
     }
 
+    /// Choose the tiling block size from the sequence length: the paper's
+    /// 64-wide CTA tile for long sequences, clamped down to `seq` (but
+    /// never below 8, one MMA tile) for short ones.
+    ///
+    /// This is the policy every shape-agnostic caller (multi-head
+    /// attention, serving paths) should use instead of hand-picking tiles;
+    /// `seq` values that are not multiples of the chosen block simply
+    /// produce a ragged final block, which all kernels handle.
+    pub fn with_auto_block(self) -> Self {
+        let block = 64.min(self.seq.max(8));
+        self.with_block(block)
+    }
+
     /// Enable or disable causal masking.
     pub fn with_causal(mut self, causal: bool) -> Self {
         self.causal = causal;
@@ -107,6 +120,23 @@ mod tests {
         assert_eq!(c.batch, 32);
         let c = AttentionConfig::medium(1, 16 * 1024).with_total_tokens(16 * 1024);
         assert_eq!(c.batch, 1);
+    }
+
+    #[test]
+    fn auto_block_policy() {
+        // Long sequences take the paper's 64-wide tile.
+        assert_eq!(AttentionConfig::medium(1, 512).with_auto_block().block, 64);
+        // Short sequences shrink the tile to the sequence length…
+        assert_eq!(
+            AttentionConfig::new(1, 1, 32, 16).with_auto_block().block,
+            32
+        );
+        // …but never below one 8-wide MMA tile.
+        assert_eq!(AttentionConfig::new(1, 1, 4, 16).with_auto_block().block, 8);
+        // Non-divisible sequences keep the 64 tile and go ragged.
+        let c = AttentionConfig::new(1, 1, 100, 16).with_auto_block();
+        assert_eq!(c.block, 64);
+        assert_eq!(c.num_blocks(), 2);
     }
 
     #[test]

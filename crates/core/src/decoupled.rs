@@ -105,7 +105,12 @@ pub fn analytic_timeline(cfg: &AttentionConfig, protect: bool) -> Timeline {
         sfu_ops: 0,
         // Element-checksum verification reduces S twice (rows and columns)
         // with the inter-thread gathers of the traditional layout.
-        serial_flops: slots_u * if protect { 3 * (4 * seq2 + 2 * (cfg.seq * d) as u64 * nb_u) } else { 0 },
+        serial_flops: slots_u
+            * if protect {
+                3 * (4 * seq2 + 2 * (cfg.seq * d) as u64 * nb_u)
+            } else {
+                0
+            },
     };
     let dmr_reads = if protect { 2 } else { 1 };
     let k2 = KernelStats {
@@ -124,7 +129,12 @@ pub fn analytic_timeline(cfg: &AttentionConfig, protect: bool) -> Timeline {
         tc_flops: slots_u * gemm_flops(cfg.seq + aug, d, cfg.seq),
         fp32_flops: 0,
         sfu_ops: 0,
-        serial_flops: slots_u * if protect { 3 * (2 * seq2 + 2 * (cfg.seq * d) as u64) } else { 0 },
+        serial_flops: slots_u
+            * if protect {
+                3 * (2 * seq2 + 2 * (cfg.seq * d) as u64)
+            } else {
+                0
+            },
     };
     let mut timeline = Timeline::new();
     timeline.push("kernel1/abft-gemm-qkt", k1);
@@ -138,6 +148,12 @@ pub fn analytic_timeline(cfg: &AttentionConfig, protect: bool) -> Timeline {
 /// `device` provides the simulated HBM; the S and P tensors are reserved on
 /// it and the run fails with [`OomError`] exactly where the paper's baseline
 /// does. Pass [`Device::a100_40gb`] for the paper's card.
+///
+/// Compatibility shim: new code should go through the unified API —
+/// `BackendKind::Decoupled(opts)` with
+/// [`crate::backend::AttentionRequest::with_device`] and
+/// [`crate::backend::AttentionBackend::try_run`].
+#[doc(hidden)]
 pub fn decoupled_ft_attention<I: FaultInjector>(
     cfg: &AttentionConfig,
     q: &Tensor4F16,
@@ -147,7 +163,34 @@ pub fn decoupled_ft_attention<I: FaultInjector>(
     opts: &DecoupledOptions,
     device: &Device,
 ) -> Result<AttentionOutput, OomError> {
-    assert!(!cfg.causal, "the decoupled baseline protects unmasked attention");
+    use crate::backend::{AttentionBackend, AttentionRequest, BackendError, DecoupledBackend};
+    DecoupledBackend { options: *opts }
+        .try_run(
+            &AttentionRequest::new(*cfg, q, k, v)
+                .with_injector(inj)
+                .with_device(device),
+        )
+        .map_err(|e| match e {
+            BackendError::Oom(oom) => oom,
+            other => panic!("decoupled attention failed: {other}"),
+        })
+}
+
+/// Decoupled pipeline body; [`crate::backend::DecoupledBackend`] is the
+/// public entry point.
+pub(crate) fn decoupled_forward<I: FaultInjector>(
+    cfg: &AttentionConfig,
+    q: &Tensor4F16,
+    k: &Tensor4F16,
+    v: &Tensor4F16,
+    inj: &I,
+    opts: &DecoupledOptions,
+    device: &Device,
+) -> Result<AttentionOutput, OomError> {
+    assert!(
+        !cfg.causal,
+        "the decoupled baseline protects unmasked attention"
+    );
     let counters = FtCounters::new();
     let timers = PhaseTimers::new();
     let b = cfg.block;
@@ -156,7 +199,9 @@ pub fn decoupled_ft_attention<I: FaultInjector>(
     let chk = opts.thresholds.gemm;
 
     // Input/output tensors resident in HBM.
-    let _qkv_alloc = device.hbm.alloc(3 * cfg.tensor_bytes() + cfg.tensor_bytes())?;
+    let _qkv_alloc = device
+        .hbm
+        .alloc(3 * cfg.tensor_bytes() + cfg.tensor_bytes())?;
     // Kernel I materialises S in FP32 (accumulator precision — the softmax
     // kernel and the checksum comparisons consume it directly), plus the
     // per-block checksum rows/cols.
@@ -229,7 +274,10 @@ pub fn decoupled_ft_attention<I: FaultInjector>(
                         }
                         s_blk.set(loc.row, loc.col, acc);
                     }
-                    FtCounters::add(&counters.gemm1_detected, (rep_c.detections + rep_r.detections) as u64);
+                    FtCounters::add(
+                        &counters.gemm1_detected,
+                        (rep_c.detections + rep_r.detections) as u64,
+                    );
                     FtCounters::add(
                         &counters.gemm1_corrected,
                         (rep_c.corrected.len() + rep_r.corrected.len()) as u64,
@@ -306,7 +354,9 @@ pub fn decoupled_ft_attention<I: FaultInjector>(
                     &p_aug,
                     &vm,
                     inj,
-                    GemmCtx::new(FaultSite::GemmIiAccum, slot).at(r0, 0).iter(ib),
+                    GemmCtx::new(FaultSite::GemmIiAccum, slot)
+                        .at(r0, 0)
+                        .iter(ib),
                 );
                 PhaseTimers::add(&timers.gemm2, t0.elapsed().as_nanos() as u64);
 
@@ -379,9 +429,16 @@ mod tests {
         let cfg = AttentionConfig::new(1, 2, 64, 32).with_block(32);
         let (q, k, v) = qkv(&cfg, 70);
         let dev = Device::a100_40gb();
-        let out =
-            decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev)
-                .unwrap();
+        let out = decoupled_ft_attention(
+            &cfg,
+            &q,
+            &k,
+            &v,
+            &NoFaults,
+            &DecoupledOptions::default(),
+            &dev,
+        )
+        .unwrap();
         let reference = reference_attention(&cfg, &q, &k, &v);
         // S and P round-trip through FP16 in HBM, so tolerance is FP16-ish.
         let diff = out.o.max_abs_diff(&reference);
@@ -394,9 +451,16 @@ mod tests {
         let cfg = AttentionConfig::new(1, 2, 128, 32).with_block(64);
         let (q, k, v) = qkv(&cfg, 71);
         let dev = Device::a100_40gb();
-        let out =
-            decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev)
-                .unwrap();
+        let out = decoupled_ft_attention(
+            &cfg,
+            &q,
+            &k,
+            &v,
+            &NoFaults,
+            &DecoupledOptions::default(),
+            &dev,
+        )
+        .unwrap();
         let total = out.timeline.total();
         assert_eq!(total.launches, 3);
         // Writes include two full seq² tensors.
@@ -423,7 +487,13 @@ mod tests {
         let (q, k, v) = qkv(&cfg, 72);
         let dev = Device::a100_40gb();
         let clean = decoupled_ft_attention(
-            &cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev,
+            &cfg,
+            &q,
+            &k,
+            &v,
+            &NoFaults,
+            &DecoupledOptions::default(),
+            &dev,
         )
         .unwrap();
         // Setting exponent bit 30 of a sub-2.0 accumulator scales it by
@@ -444,7 +514,13 @@ mod tests {
         let (q, k, v) = qkv(&cfg, 73);
         let dev = Device::a100_40gb();
         let clean = decoupled_ft_attention(
-            &cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev,
+            &cfg,
+            &q,
+            &k,
+            &v,
+            &NoFaults,
+            &DecoupledOptions::default(),
+            &dev,
         )
         .unwrap();
         let inj = SeuInjector::new(FaultSite::ExpUnit, OpCoord::new(0, 5, 9, 0), 28);
@@ -462,7 +538,13 @@ mod tests {
         let (q, k, v) = qkv(&cfg, 74);
         let dev = Device::a100_40gb();
         let clean = decoupled_ft_attention(
-            &cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev,
+            &cfg,
+            &q,
+            &k,
+            &v,
+            &NoFaults,
+            &DecoupledOptions::default(),
+            &dev,
         )
         .unwrap();
         let inj = SeuInjector::new(FaultSite::GemmIiAccum, OpCoord::new(0, 7, 11, 0), 30)
@@ -481,7 +563,13 @@ mod tests {
         let (q, k, v) = qkv(&cfg, 75);
         let dev = Device::a100_40gb();
         let _ = decoupled_ft_attention(
-            &cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev,
+            &cfg,
+            &q,
+            &k,
+            &v,
+            &NoFaults,
+            &DecoupledOptions::default(),
+            &dev,
         )
         .unwrap();
         assert_eq!(dev.hbm.in_use(), 0);

@@ -22,21 +22,26 @@
 //! of Figs. 11 and 13 (traditional element ABFT, DMR) inside the same fused
 //! kernel.
 
+// Index-based loops are kept deliberately: they mirror the thread/lane
+// structure of the GPU kernels this module models.
+#![allow(clippy::needless_range_loop)]
+
 use crate::config::AttentionConfig;
 use crate::snvr::{restrict_row_max, restrict_rowsum, Restriction};
 use crate::types::{AttentionOutput, FtCounters, PhaseTimers};
-use ft_abft::propagate::{
-    residue_counts, transport_subtract_max, verify_products,
-};
+use ft_abft::propagate::{residue_counts, transport_subtract_max, verify_products};
 use ft_abft::strided::{
-    correct_strided, encode_cols_strided, encode_rows_strided, strided_sums,
-    strided_sums_weighted, StridedChecksums, StridedMismatch,
+    correct_strided, encode_cols_strided, encode_rows_strided, strided_sums, strided_sums_weighted,
+    StridedChecksums, StridedMismatch,
 };
 use ft_abft::thresholds::Thresholds;
 use ft_num::{block_starts, Matrix, MatrixF32, Tensor4F16, Tensor4F32};
 use ft_sim::cost::Timeline;
 use ft_sim::device::KernelStats;
-use ft_sim::{gemm_flops, gemm_nn_inj, gemm_nt, gemm_nt_inj, FaultInjector, FaultSite, GemmCtx, NoFaults, OpCoord};
+use ft_sim::{
+    gemm_flops, gemm_nn_inj, gemm_nt, gemm_nt_inj, FaultInjector, FaultSite, GemmCtx, NoFaults,
+    OpCoord,
+};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -201,7 +206,10 @@ fn scheme_sums(opts: &EftaOptions, c: &MatrixF32, s: usize) -> (MatrixF32, Matri
     match opts.gemm {
         GemmProtection::Traditional => {
             let gathered = c.transpose().transpose();
-            (strided_sums(&gathered, s), strided_sums_weighted(&gathered, s))
+            (
+                strided_sums(&gathered, s),
+                strided_sums_weighted(&gathered, s),
+            )
         }
         _ => (strided_sums(c, s), strided_sums_weighted(c, s)),
     }
@@ -244,7 +252,14 @@ impl<I: FaultInjector> Worker<'_, I> {
 
     /// Execute one row block; returns its unnormalised-then-normalised O.
     #[allow(clippy::too_many_lines)]
-    fn run(&self, slot: usize, r0: usize, q_blk: &MatrixF32, km: &MatrixF32, vm: &MatrixF32) -> MatrixF32 {
+    fn run(
+        &self,
+        slot: usize,
+        r0: usize,
+        q_blk: &MatrixF32,
+        km: &MatrixF32,
+        vm: &MatrixF32,
+    ) -> MatrixF32 {
         let cfg = self.cfg;
         let opts = self.opts;
         let inj = self.inj;
@@ -285,7 +300,9 @@ impl<I: FaultInjector> Worker<'_, I> {
                 q_blk,
                 &k_blk,
                 inj,
-                GemmCtx::new(FaultSite::GemmIAccum, slot).at(r0, c0).iter(3 * jb),
+                GemmCtx::new(FaultSite::GemmIAccum, slot)
+                    .at(r0, c0)
+                    .iter(3 * jb),
             );
             PhaseTimers::add(&self.timers.gemm1, t0.elapsed().as_nanos() as u64);
 
@@ -316,7 +333,11 @@ impl<I: FaultInjector> Worker<'_, I> {
                 let c2 = checksum_gemm(&kcs.w2, 2);
                 if per_step {
                     // "EFTA": verify the GEMM result immediately.
-                    let sbe = if opts.gemm == GemmProtection::Traditional { 1 } else { sb };
+                    let sbe = if opts.gemm == GemmProtection::Traditional {
+                        1
+                    } else {
+                        sb
+                    };
                     let (sums1, sums2) = scheme_sums(opts, &s_blk, sbe);
                     let mut mismatches = Vec::new();
                     for i in 0..rows {
@@ -339,7 +360,10 @@ impl<I: FaultInjector> Worker<'_, I> {
                         if rep.uncorrectable > 0 {
                             // Recompute the whole block cleanly.
                             s_blk = gemm_nt(q_blk, &k_blk);
-                            FtCounters::add(&self.counters.gemm1_recomputed, rep.uncorrectable as u64);
+                            FtCounters::add(
+                                &self.counters.gemm1_recomputed,
+                                rep.uncorrectable as u64,
+                            );
                         }
                     }
                 }
@@ -369,7 +393,9 @@ impl<I: FaultInjector> Worker<'_, I> {
                 // Case 1: restrict — a max below its block's true max risks
                 // exp overflow; repair by recomputing.
                 for i in 0..rows {
-                    if let Restriction::Repaired { repaired } = restrict_row_max(s_blk.row(i), blk_max[i]) {
+                    if let Restriction::Repaired { repaired } =
+                        restrict_row_max(s_blk.row(i), blk_max[i])
+                    {
                         blk_max[i] = repaired;
                         m_new[i] = m[i].max(repaired);
                         FtCounters::add(&self.counters.max_restricted, 1);
@@ -400,13 +426,21 @@ impl<I: FaultInjector> Worker<'_, I> {
                             q_blk,
                             &k_blk,
                             &mut s_blk,
-                            &[ft_abft::element::ErrorLoc { row: i, col: arg, delta: best }],
+                            &[ft_abft::element::ErrorLoc {
+                                row: i,
+                                col: arg,
+                                delta: best,
+                            }],
                         );
                         if s_blk.get(i, arg) != before {
                             // The argmax itself was the corrupted element.
                             FtCounters::add(&self.counters.gemm1_corrected, 1);
                         }
-                        let bm = s_blk.row(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        let bm = s_blk
+                            .row(i)
+                            .iter()
+                            .cloned()
+                            .fold(f32::NEG_INFINITY, f32::max);
                         blk_max[i] = bm;
                         m_new[i] = m[i].max(bm);
                         FtCounters::add(&self.counters.max_restricted, 1);
@@ -419,7 +453,11 @@ impl<I: FaultInjector> Worker<'_, I> {
                     for &v in s_blk.row(i) {
                         bm2 = bm2.max(v);
                     }
-                    bm2 = inj.corrupt_f32(FaultSite::MaxReduce, OpCoord::new(slot, r0 + i, jb, 1), bm2);
+                    bm2 = inj.corrupt_f32(
+                        FaultSite::MaxReduce,
+                        OpCoord::new(slot, r0 + i, jb, 1),
+                        bm2,
+                    );
                     if blk_max[i] != bm2 {
                         FtCounters::add(&self.counters.dmr_retries, 1);
                         // Third execution, fault-free arbitration.
@@ -462,7 +500,11 @@ impl<I: FaultInjector> Worker<'_, I> {
             if snvr && protected {
                 // Checksum reuse: transport S_c1 through subtraction + exp
                 // and verify GEMM I + subtract + exp in one product check.
-                let se = if opts.gemm == GemmProtection::Traditional { 1 } else { sb };
+                let se = if opts.gemm == GemmProtection::Traditional {
+                    1
+                } else {
+                    sb
+                };
                 let counts = residue_counts(bc, se);
                 let mut tc1 = s_c1.clone().expect("protected");
                 transport_subtract_max(&mut tc1, &m_new, &counts);
@@ -501,7 +543,10 @@ impl<I: FaultInjector> Worker<'_, I> {
                         FtCounters::add(&self.counters.gemm1_corrected, rep.corrected.len() as u64);
                         if rep.uncorrectable > 0 {
                             s_blk = gemm_nt(q_blk, &k_blk);
-                            FtCounters::add(&self.counters.gemm1_recomputed, rep.uncorrectable as u64);
+                            FtCounters::add(
+                                &self.counters.gemm1_recomputed,
+                                rep.uncorrectable as u64,
+                            );
                         }
                         // Recompute the affected residue classes of P from
                         // the corrected S.
@@ -560,8 +605,13 @@ impl<I: FaultInjector> Worker<'_, I> {
             let mut rowsums = vec![0.0f32; rows];
             for i in 0..rows {
                 let gi = r0 + i;
-                let factor = if m[i].is_finite() { (m[i] - m_new[i]).exp() } else { 0.0 };
-                let factor = inj.corrupt_f32(FaultSite::Rescale, OpCoord::new(slot, gi, jb, 2), factor);
+                let factor = if m[i].is_finite() {
+                    (m[i] - m_new[i]).exp()
+                } else {
+                    0.0
+                };
+                let factor =
+                    inj.corrupt_f32(FaultSite::Rescale, OpCoord::new(slot, gi, jb, 2), factor);
                 let mut rs = 0.0f32;
                 for &e in p.row(i) {
                     rs += e;
@@ -585,8 +635,11 @@ impl<I: FaultInjector> Worker<'_, I> {
                     for &e in p.row(i) {
                         rs2 += e;
                     }
-                    let rs2 =
-                        inj.corrupt_f32(FaultSite::SumReduce, OpCoord::new(slot, gi, jb, 2001), rs2);
+                    let rs2 = inj.corrupt_f32(
+                        FaultSite::SumReduce,
+                        OpCoord::new(slot, gi, jb, 2001),
+                        rs2,
+                    );
                     if (rowsums[i] - rs2).abs() > 1e-5 * rowsums[i].abs().max(rs2.abs()) {
                         // Third, fault-free execution arbitrates; redo the
                         // ℓ update with the arbitrated sum.
@@ -633,7 +686,9 @@ impl<I: FaultInjector> Worker<'_, I> {
                 &p16,
                 &v_blk,
                 inj,
-                GemmCtx::new(FaultSite::GemmIiAccum, slot).at(r0, 0).iter(3 * jb),
+                GemmCtx::new(FaultSite::GemmIiAccum, slot)
+                    .at(r0, 0)
+                    .iter(3 * jb),
             );
             for i in 0..rows {
                 let f = factors[i];
@@ -707,12 +762,15 @@ impl<I: FaultInjector> Worker<'_, I> {
                         FtCounters::add(&self.counters.gemm2_corrected, rep.corrected.len() as u64);
                         // A delta so large it swamps f32 cannot restore the
                         // true value by subtraction — recompute the block.
-                        let catastrophic = rep
-                            .corrected
-                            .iter()
-                            .any(|l| !l.delta.is_finite() || l.delta.abs() > 1e3 * (o_c1.get(l.row, l.col % s).abs() + 1.0));
+                        let catastrophic = rep.corrected.iter().any(|l| {
+                            !l.delta.is_finite()
+                                || l.delta.abs() > 1e3 * (o_c1.get(l.row, l.col % s).abs() + 1.0)
+                        });
                         if rep.uncorrectable > 0 || catastrophic {
-                            FtCounters::add(&self.counters.gemm2_recomputed, rep.uncorrectable.max(1) as u64);
+                            FtCounters::add(
+                                &self.counters.gemm2_recomputed,
+                                rep.uncorrectable.max(1) as u64,
+                            );
                             needs_recompute = true;
                         }
                     }
@@ -771,7 +829,11 @@ impl<I: FaultInjector> Worker<'_, I> {
             let mut mismatches = Vec::new();
             for i in 0..rows {
                 for t in 0..s {
-                    if opts.thresholds.output.detects(sums1.get(i, t), o_c1.get(i, t)) {
+                    if opts
+                        .thresholds
+                        .output
+                        .detects(sums1.get(i, t), o_c1.get(i, t))
+                    {
                         mismatches.push(StridedMismatch {
                             i,
                             t,
@@ -785,12 +847,15 @@ impl<I: FaultInjector> Worker<'_, I> {
                 let rep = correct_strided(&mut o, &mismatches, s);
                 FtCounters::add(&self.counters.gemm2_detected, rep.detections as u64);
                 FtCounters::add(&self.counters.gemm2_corrected, rep.corrected.len() as u64);
-                let catastrophic = rep
-                    .corrected
-                    .iter()
-                    .any(|l| !l.delta.is_finite() || l.delta.abs() > 1e3 * (o_c1.get(l.row, l.col % s).abs() + 1.0));
+                let catastrophic = rep.corrected.iter().any(|l| {
+                    !l.delta.is_finite()
+                        || l.delta.abs() > 1e3 * (o_c1.get(l.row, l.col % s).abs() + 1.0)
+                });
                 if rep.uncorrectable > 0 || catastrophic {
-                    FtCounters::add(&self.counters.gemm2_recomputed, rep.uncorrectable.max(1) as u64);
+                    FtCounters::add(
+                        &self.counters.gemm2_recomputed,
+                        rep.uncorrectable.max(1) as u64,
+                    );
                     needs_recompute = true;
                 }
             }
@@ -882,8 +947,9 @@ pub fn analytic_stats(cfg: &AttentionConfig, opts: &EftaOptions) -> KernelStats 
     stats
 }
 
-/// Run the fused EFTA kernel.
-pub fn efta_attention<I: FaultInjector>(
+/// Fused EFTA kernel body; [`crate::backend::EftaBackend`] is the public
+/// entry point.
+pub(crate) fn efta_forward<I: FaultInjector>(
     cfg: &AttentionConfig,
     q: &Tensor4F16,
     k: &Tensor4F16,
@@ -891,7 +957,10 @@ pub fn efta_attention<I: FaultInjector>(
     inj: &I,
     opts: &EftaOptions,
 ) -> AttentionOutput {
-    assert!(!cfg.causal, "EFTA protects unmasked attention (paper setting)");
+    assert!(
+        !cfg.causal,
+        "EFTA protects unmasked attention (paper setting)"
+    );
     assert!(
         cfg.seq >= opts.stride,
         "sequence shorter than checksum stride"
@@ -941,6 +1010,23 @@ pub fn efta_attention<I: FaultInjector>(
         report: counters.snapshot(),
         phases: timers.snapshot_secs(),
     }
+}
+
+/// Run the fused EFTA kernel.
+///
+/// Compatibility shim: new code should go through the unified API —
+/// `BackendKind::Efta(opts)` and [`crate::backend::AttentionBackend::run`].
+#[doc(hidden)]
+pub fn efta_attention<I: FaultInjector>(
+    cfg: &AttentionConfig,
+    q: &Tensor4F16,
+    k: &Tensor4F16,
+    v: &Tensor4F16,
+    inj: &I,
+    opts: &EftaOptions,
+) -> AttentionOutput {
+    use crate::backend::{AttentionBackend, AttentionRequest, EftaBackend};
+    EftaBackend { options: *opts }.run(&AttentionRequest::new(*cfg, q, k, v).with_injector(inj))
 }
 
 /// Convenience: fault-free EFTA with the optimised options.
@@ -1074,7 +1160,8 @@ mod tests {
     impl FaultInjector for ScaleFault {
         fn corrupt_f32(&self, site: FaultSite, coord: OpCoord, value: f32) -> f32 {
             if site == self.site && coord == self.coord {
-                self.fired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.fired
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 value * self.scale
             } else {
                 value
@@ -1126,7 +1213,11 @@ mod tests {
         // Other rows are untouched.
         for i in 0..16 {
             if i != 7 {
-                let d: f32 = clean.o.slot(0, 0).row(i).iter()
+                let d: f32 = clean
+                    .o
+                    .slot(0, 0)
+                    .row(i)
+                    .iter()
                     .zip(out.o.slot(0, 0).row(i))
                     .map(|(a, b)| (a - b).abs())
                     .fold(0.0, f32::max);

@@ -5,11 +5,15 @@
 //! Figs. 10–13 and Tables 1–2 is measured against. The EFTA kernel in
 //! [`crate::efta`] is this computation plus the hybrid protection scheme.
 
+// Index-based loops are kept deliberately: they mirror the thread/lane
+// structure of the GPU kernels this module models.
+#![allow(clippy::needless_range_loop)]
+
 use crate::config::AttentionConfig;
 use crate::types::{AttentionOutput, FtReport, PhaseBreakdown};
 use ft_num::{block_starts, Matrix, MatrixF32, Tensor4F16, Tensor4F32};
-use ft_sim::device::KernelStats;
 use ft_sim::cost::Timeline;
+use ft_sim::device::KernelStats;
 use ft_sim::{gemm_flops, gemm_nn, gemm_nt};
 use rayon::prelude::*;
 
@@ -37,12 +41,20 @@ impl OnlineState {
 /// `s_blk` (rows × bc) and value block `v_blk` (bc × d):
 /// new maxima, rescale factors, exp block P, rowsum update and O update.
 /// Returns P for reuse by callers that need it.
-pub(crate) fn online_update(state: &mut OnlineState, s_blk: &MatrixF32, v_blk: &MatrixF32) -> MatrixF32 {
+pub(crate) fn online_update(
+    state: &mut OnlineState,
+    s_blk: &MatrixF32,
+    v_blk: &MatrixF32,
+) -> MatrixF32 {
     let rows = s_blk.rows();
     let mut p = Matrix::zeros(rows, s_blk.cols());
     let mut factors = vec![0.0f32; rows];
     for i in 0..rows {
-        let blk_max = s_blk.row(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let blk_max = s_blk
+            .row(i)
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         let m_new = state.m[i].max(blk_max);
         let factor = if state.m[i].is_finite() {
             (state.m[i] - m_new).exp()
@@ -82,7 +94,23 @@ pub(crate) fn finalize(state: &mut OnlineState) {
 }
 
 /// Flash attention forward pass (no protection).
+///
+/// Compatibility shim: new code should go through the unified API —
+/// `BackendKind::Flash` and [`crate::backend::AttentionBackend::run`].
+#[doc(hidden)]
 pub fn flash_attention(
+    cfg: &AttentionConfig,
+    q: &Tensor4F16,
+    k: &Tensor4F16,
+    v: &Tensor4F16,
+) -> AttentionOutput {
+    use crate::backend::{AttentionBackend, AttentionRequest, FlashBackend};
+    FlashBackend.run(&AttentionRequest::new(*cfg, q, k, v))
+}
+
+/// Flash kernel body; [`crate::backend::FlashBackend`] is the public entry
+/// point.
+pub(crate) fn flash_forward(
     cfg: &AttentionConfig,
     q: &Tensor4F16,
     k: &Tensor4F16,
@@ -105,8 +133,7 @@ pub fn flash_attention(
             let vm = v.slot_flat(slot);
             let q_blk_raw = qm.block(r0, 0, b, d).to_f32();
             let rows = q_blk_raw.rows();
-            let q_blk =
-                Matrix::from_fn(rows, d, |i, j| q_blk_raw.get(i, j) * cfg.scale);
+            let q_blk = Matrix::from_fn(rows, d, |i, j| q_blk_raw.get(i, j) * cfg.scale);
             let mut state = OnlineState::new(rows, d);
             for c0 in block_starts(cfg.seq, b) {
                 if cfg.causal && c0 > r0 + rows - 1 {

@@ -3,35 +3,64 @@
 //! The primary contribution of *FT-Transformer: Resilient and Reliable
 //! Transformer with End-to-End Fault Tolerant Attention* (SC 2025),
 //! reproduced in safe Rust on the simulated tensor-core substrate of
-//! [`ft_sim`]:
+//! [`ft_sim`].
 //!
-//! * [`reference`] — naive exact attention (correctness oracle);
-//! * [`flash`] — tiled online-softmax flash attention, the unprotected
-//!   baseline;
-//! * [`decoupled`] — the traditional three-kernel ABFT + DMR pipeline with
-//!   O(n²) HBM materialisation (§3.1);
-//! * [`efta`] — the fused single-kernel EFTA with hybrid strided-ABFT +
-//!   SNVR protection and per-step or unified verification (§3.2–3.4,
-//!   Algorithm 1);
-//! * [`dmr`] / [`snvr`] — the softmax protection schemes compared in
-//!   Fig. 13.
+//! ## The unified backend API
+//!
+//! Every kernel family is a strategy behind one trait: build an
+//! [`AttentionRequest`](backend::AttentionRequest), pick a
+//! [`BackendKind`](backend::BackendKind) — by variant or by name — and
+//! [`run`](backend::AttentionBackend::run) it:
 //!
 //! ```
+//! use ft_core::backend::{AttentionBackend, AttentionRequest, BackendKind};
 //! use ft_core::config::AttentionConfig;
-//! use ft_core::efta::{efta_attention, EftaOptions};
 //! use ft_num::rng::normal_tensor_f16;
-//! use ft_sim::NoFaults;
+//! use ft_sim::{FaultSite, OpCoord, SeuInjector};
 //!
-//! let cfg = AttentionConfig::new(1, 2, 64, 32).with_block(32);
+//! let cfg = AttentionConfig::new(1, 2, 64, 32).with_auto_block();
 //! let q = normal_tensor_f16(1, 1, 2, 64, 32, 0.5);
 //! let k = normal_tensor_f16(2, 1, 2, 64, 32, 0.5);
 //! let v = normal_tensor_f16(3, 1, 2, 64, 32, 0.5);
-//! let out = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
-//! assert!(out.report.clean());
+//!
+//! // Select the optimised EFTA pipeline by name, as a CLI would.
+//! let backend: BackendKind = "efta-o".parse().unwrap();
+//!
+//! // Fault-free run.
+//! let clean = backend.run(&AttentionRequest::new(cfg, &q, &k, &v));
+//! assert!(clean.report.clean());
+//!
+//! // The same request under a single-event upset: detected and repaired.
+//! let seu = SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(1, 5, 40, 0), 30)
+//!     .at_chain_step(20);
+//! let out = backend.run(&AttentionRequest::new(cfg, &q, &k, &v).with_injector(&seu));
+//! assert!(out.report.total_detected() > 0);
+//! assert!(out.o.max_abs_diff(&clean.o) < 5e-2);
 //! ```
+//!
+//! ## The kernel families
+//!
+//! * [`backend::ReferenceBackend`] (`"reference"`) — naive exact attention,
+//!   the correctness oracle ([`reference`]);
+//! * [`backend::FlashBackend`] (`"flash"`) — tiled online-softmax flash
+//!   attention, the unprotected baseline ([`flash`]);
+//! * [`backend::DecoupledBackend`] (`"decoupled"`) — the traditional
+//!   three-kernel ABFT + DMR pipeline with O(n²) HBM materialisation
+//!   (§3.1, [`decoupled`]); the only backend that can legitimately fail
+//!   (OOM), surfaced through
+//!   [`try_run`](backend::AttentionBackend::try_run);
+//! * [`backend::EftaBackend`] (`"efta"`, `"efta-o"`) — the fused
+//!   single-kernel EFTA with hybrid strided-ABFT + SNVR protection and
+//!   per-step or unified verification (§3.2–3.4, Algorithm 1, [`efta`]);
+//! * [`dmr`] / [`snvr`] — the softmax protection schemes compared in
+//!   Fig. 13, selectable through [`efta::EftaOptions`].
+//!
+//! The pre-API free functions (`efta_attention` & friends) remain as
+//! hidden shims delegating to the trait.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod decoupled;
 pub mod dmr;
@@ -41,14 +70,26 @@ pub mod reference;
 pub mod snvr;
 pub mod types;
 
+pub use backend::{
+    AttentionBackend, AttentionRequest, BackendError, BackendKind, DecoupledBackend, EftaBackend,
+    FlashBackend, ReferenceBackend,
+};
 pub use config::AttentionConfig;
-pub use decoupled::{decoupled_ft_attention, DecoupledOptions};
+pub use decoupled::{
+    analytic_timeline as decoupled_analytic_timeline, hbm_demand as decoupled_hbm_demand,
+    DecoupledOptions,
+};
 pub use efta::{
-    efta_attention, efta_attention_clean, EftaOptions, GemmProtection, SoftmaxProtection,
+    analytic_stats as efta_analytic_stats, EftaOptions, GemmProtection, SoftmaxProtection,
     VerifyMode,
 };
-pub use decoupled::{analytic_timeline as decoupled_analytic_timeline, hbm_demand as decoupled_hbm_demand};
-pub use efta::analytic_stats as efta_analytic_stats;
-pub use flash::flash_attention;
-pub use reference::reference_attention;
 pub use types::{AttentionOutput, FtReport, PhaseBreakdown};
+
+#[doc(hidden)]
+pub use decoupled::decoupled_ft_attention;
+#[doc(hidden)]
+pub use efta::{efta_attention, efta_attention_clean};
+#[doc(hidden)]
+pub use flash::flash_attention;
+#[doc(hidden)]
+pub use reference::reference_attention;

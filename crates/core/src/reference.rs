@@ -61,7 +61,26 @@ pub fn reference_attention_slot(
 }
 
 /// Exact attention over a full `batch × heads × seq × dim` problem.
+///
+/// Compatibility shim: new code should go through the unified API —
+/// `BackendKind::Reference` and [`crate::backend::AttentionBackend::run`]
+/// (whose [`crate::types::AttentionOutput::o`] is this tensor).
+#[doc(hidden)]
 pub fn reference_attention(
+    cfg: &AttentionConfig,
+    q: &Tensor4F16,
+    k: &Tensor4F16,
+    v: &Tensor4F16,
+) -> Tensor4F32 {
+    use crate::backend::{AttentionBackend, AttentionRequest, ReferenceBackend};
+    ReferenceBackend
+        .run(&AttentionRequest::new(*cfg, q, k, v))
+        .o
+}
+
+/// Reference kernel body; [`crate::backend::ReferenceBackend`] is the
+/// public entry point.
+pub(crate) fn reference_forward(
     cfg: &AttentionConfig,
     q: &Tensor4F16,
     k: &Tensor4F16,

@@ -60,10 +60,7 @@ pub fn restrict_row_max(scores: &[f32], m: f32) -> Restriction {
 /// block maxima and `m_final` the global row max (paper §3.4 and
 /// Algorithm 1 lines 22–24).
 pub fn rowsum_bounds(block_maxes: &[f32], m_final: f32, n: usize) -> (f32, f32) {
-    let lower: f32 = block_maxes
-        .iter()
-        .map(|&mk| (mk - m_final).exp())
-        .sum();
+    let lower: f32 = block_maxes.iter().map(|&mk| (mk - m_final).exp()).sum();
     (lower, n as f32)
 }
 
@@ -120,7 +117,9 @@ mod tests {
         // True ℓ = Σ exp(s − 3) over 16 scores; each block contributes at
         // least exp(m_k − 3), and every term is ≤ 1.
         let block_maxes = [1.0f32, 3.0];
-        let scores: Vec<f32> = vec![0.1, 0.4, 1.0, -0.5, 0.0, 0.9, 0.3, -1.0, 2.9, 3.0, 1.0, 2.0, 0.0, 1.5, 2.5, 0.5];
+        let scores: Vec<f32> = vec![
+            0.1, 0.4, 1.0, -0.5, 0.0, 0.9, 0.3, -1.0, 2.9, 3.0, 1.0, 2.0, 0.0, 1.5, 2.5, 0.5,
+        ];
         let ell: f32 = scores.iter().map(|&s| (s - 3.0).exp()).sum();
         let (lo, hi) = rowsum_bounds(&block_maxes, 3.0, 16);
         assert!(lo <= ell && ell <= hi, "{lo} <= {ell} <= {hi}");

@@ -118,6 +118,23 @@ impl FtReport {
     pub fn clean(&self) -> bool {
         self.total_detected() == 0
     }
+
+    /// Field-wise sum with another report (batched/multi-run aggregation).
+    pub fn merged(&self, other: &FtReport) -> FtReport {
+        FtReport {
+            gemm1_detected: self.gemm1_detected + other.gemm1_detected,
+            gemm1_corrected: self.gemm1_corrected + other.gemm1_corrected,
+            gemm1_recomputed: self.gemm1_recomputed + other.gemm1_recomputed,
+            exp_detected: self.exp_detected + other.exp_detected,
+            exp_recomputed: self.exp_recomputed + other.exp_recomputed,
+            max_restricted: self.max_restricted + other.max_restricted,
+            sum_restricted: self.sum_restricted + other.sum_restricted,
+            gemm2_detected: self.gemm2_detected + other.gemm2_detected,
+            gemm2_corrected: self.gemm2_corrected + other.gemm2_corrected,
+            gemm2_recomputed: self.gemm2_recomputed + other.gemm2_recomputed,
+            dmr_retries: self.dmr_retries + other.dmr_retries,
+        }
+    }
 }
 
 /// Per-phase wall-clock accumulators (nanoseconds, summed across rayon
@@ -191,6 +208,18 @@ impl PhaseBreakdown {
     /// Total compute (unprotected work) time.
     pub fn compute_total(&self) -> f64 {
         self.gemm1 + self.softmax + self.gemm2
+    }
+
+    /// Field-wise sum with another breakdown (batched aggregation).
+    pub fn merged(&self, other: &PhaseBreakdown) -> PhaseBreakdown {
+        PhaseBreakdown {
+            gemm1: self.gemm1 + other.gemm1,
+            gemm1_protect: self.gemm1_protect + other.gemm1_protect,
+            softmax: self.softmax + other.softmax,
+            softmax_protect: self.softmax_protect + other.softmax_protect,
+            gemm2: self.gemm2 + other.gemm2,
+            gemm2_protect: self.gemm2_protect + other.gemm2_protect,
+        }
     }
 }
 

@@ -7,16 +7,17 @@
 //! algebra the kernels use — so millions of checksum lanes can be evaluated
 //! quickly.
 
-use ft_abft::strided::{correct_strided, encode_rows_strided, strided_sums, strided_sums_weighted, StridedMismatch};
+use ft_abft::strided::{
+    correct_strided, encode_rows_strided, strided_sums, strided_sums_weighted, StridedMismatch,
+};
 use ft_abft::thresholds::Check;
 use ft_num::rng::{normal_matrix_f16, rng_from_seed};
 use ft_num::MatrixF32;
 use ft_sim::{gemm_nt, gemm_nt_inj, BerInjector, FaultInjector, FaultSite, GemmCtx};
 use rayon::prelude::*;
-use serde::Serialize;
 
 /// Checksum scheme under test.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scheme {
     /// Width-1 element checksum (traditional ABFT).
     Element,
@@ -36,7 +37,7 @@ impl Scheme {
 
 /// Geometry of the protected GEMM used by the campaigns: one EFTA-style
 /// block pair, S = Q(br×d) · K(bc×d)ᵀ.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GemmShape {
     /// Rows of Q (and S).
     pub br: usize,
@@ -57,7 +58,7 @@ impl Default for GemmShape {
 }
 
 /// Aggregate result of a coverage campaign.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CoverageStats {
     /// Independent trials executed.
     pub trials: u64,
@@ -205,7 +206,7 @@ pub fn coverage_campaign_stride(
 }
 
 /// Detection / false-alarm statistics at one threshold.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct DetectionStats {
     /// Trials with an injected fault.
     pub fault_trials: u64,
@@ -307,7 +308,9 @@ pub fn detection_campaign(
 /// subtract + exp, inject one bit flip into one exponential output, measure
 /// detection at `tau`; false alarms from the clean product lanes.
 fn snvr_trial(seed: u64, tau: f32, shape: GemmShape) -> DetectionStats {
-    use ft_abft::propagate::{residue_counts, strided_products, transport_exp, transport_subtract_max};
+    use ft_abft::propagate::{
+        residue_counts, strided_products, transport_exp, transport_subtract_max,
+    };
     let s = 8usize;
     let chk = Check::new(tau, 0.0);
     let mut rng = rng_from_seed(seed);
@@ -320,9 +323,17 @@ fn snvr_trial(seed: u64, tau: f32, shape: GemmShape) -> DetectionStats {
     let mut c1 = gemm_nt(&q, &cs.w1);
 
     let row_max: Vec<f32> = (0..shape.br)
-        .map(|i| s_mat.row(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max))
+        .map(|i| {
+            s_mat
+                .row(i)
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max)
+        })
         .collect();
-    let p = MatrixF32::from_fn(shape.br, shape.bc, |i, j| (s_mat.get(i, j) - row_max[i]).exp());
+    let p = MatrixF32::from_fn(shape.br, shape.bc, |i, j| {
+        (s_mat.get(i, j) - row_max[i]).exp()
+    });
     let counts = residue_counts(shape.bc, s);
     transport_subtract_max(&mut c1, &row_max, &counts);
     let p_c1 = transport_exp(&c1);
@@ -343,7 +354,11 @@ fn snvr_trial(seed: u64, tau: f32, shape: GemmShape) -> DetectionStats {
     let (fi, fj) = (rng.gen_range(0..shape.br), rng.gen_range(0..shape.bc));
     let bit = rng.gen_range(0..32u32);
     let mut dirty = p.clone();
-    dirty.set(fi, fj, f32::from_bits(dirty.get(fi, fj).to_bits() ^ (1u32 << bit)));
+    dirty.set(
+        fi,
+        fj,
+        f32::from_bits(dirty.get(fi, fj).to_bits() ^ (1u32 << bit)),
+    );
     let prods_dirty = strided_products(&dirty, s);
     let mut detected = false;
     for i in 0..shape.br {
@@ -404,7 +419,11 @@ mod tests {
         let ber = 2e-4; // ≈ 0.8 faults/row on a 64×64×64 block pair
         let tensor = coverage_campaign(24, 7, ber, Scheme::Tensor, shape, chk);
         let element = coverage_campaign(24, 7, ber, Scheme::Element, shape, chk);
-        assert!(tensor.injected > 50, "need enough faults: {}", tensor.injected);
+        assert!(
+            tensor.injected > 50,
+            "need enough faults: {}",
+            tensor.injected
+        );
         assert!(
             tensor.coverage() > element.coverage(),
             "tensor {} vs element {}",
@@ -421,7 +440,11 @@ mod tests {
         assert!(lo.detection_rate() >= hi.detection_rate());
         // Near-zero threshold flags everything incl. clean lanes.
         let fa_lo = detection_campaign(64, 3, 1e-6, Scheme::Tensor, shape);
-        assert!(fa_lo.false_alarm_rate() > 0.5, "fa {}", fa_lo.false_alarm_rate());
+        assert!(
+            fa_lo.false_alarm_rate() > 0.5,
+            "fa {}",
+            fa_lo.false_alarm_rate()
+        );
     }
 
     #[test]

@@ -17,8 +17,8 @@ pub mod report;
 pub mod sweep;
 
 pub use campaign::{
-    coverage_campaign, coverage_campaign_stride, detection_campaign, snvr_campaign, CoverageStats, DetectionStats,
-    GemmShape, Scheme,
+    coverage_campaign, coverage_campaign_stride, detection_campaign, snvr_campaign, CoverageStats,
+    DetectionStats, GemmShape, Scheme,
 };
 pub use sweep::{
     abft_threshold_sweep, coverage_vs_ber, restriction_error_distribution, snvr_threshold_sweep,

@@ -2,18 +2,17 @@
 //! (Fig. 14-right).
 
 use crate::campaign::{
-    coverage_campaign, detection_campaign, snvr_campaign, CoverageStats, DetectionStats,
-    GemmShape, Scheme,
+    coverage_campaign, detection_campaign, snvr_campaign, CoverageStats, DetectionStats, GemmShape,
+    Scheme,
 };
 use ft_abft::thresholds::Check;
 use ft_core::snvr::{restrict_rowsum, traditional_restrict_weight, Restriction};
 use ft_num::rng::rng_from_seed;
 use rand::Rng;
 use rayon::prelude::*;
-use serde::Serialize;
 
 /// Coverage-vs-BER series (Fig. 12-left).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CoverageSweep {
     /// Swept bit-error rates.
     pub bers: Vec<f64>,
@@ -40,7 +39,7 @@ pub fn coverage_vs_ber(trials: u64, seed: u64, bers: &[f64], chk: Check) -> Cove
 }
 
 /// Detection/false-alarm-vs-threshold series (Figs. 12-right and 14-left).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ThresholdSweep {
     /// Swept relative thresholds.
     pub taus: Vec<f32>,
@@ -88,7 +87,7 @@ pub fn snvr_threshold_sweep(trials: u64, seed: u64, taus: &[f32]) -> ThresholdSw
 }
 
 /// Histogram of post-restriction relative errors (Fig. 14-right).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ErrorHistogram {
     /// Bin width.
     pub bin_width: f32,
@@ -140,13 +139,19 @@ impl ErrorHistogram {
         let total: u64 = self.bins.iter().sum::<u64>() + self.overflow;
         self.bins
             .iter()
-            .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+            .map(|&c| {
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                }
+            })
             .collect()
     }
 }
 
 /// Post-restriction error distributions for the two restriction schemes.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RestrictionComparison {
     /// Selective neuron value restriction (the paper's).
     pub selective: ErrorHistogram,
@@ -239,7 +244,11 @@ fn restriction_trial(seed: u64, hist_bins: usize, bin_w: f32) -> RestrictionComp
             }
         }
     }
-    let ell_snvr_input: f32 = if op == n { ell_faulty } else { exps_snvr.iter().sum() };
+    let ell_snvr_input: f32 = if op == n {
+        ell_faulty
+    } else {
+        exps_snvr.iter().sum()
+    };
     let ell_snvr = match restrict_rowsum(ell_snvr_input, &block_maxes, m_global, n) {
         Restriction::InRange => ell_snvr_input,
         Restriction::Repaired { repaired } => repaired,
@@ -248,7 +257,11 @@ fn restriction_trial(seed: u64, hist_bins: usize, bin_w: f32) -> RestrictionComp
     selective.add(rms(&p_snvr));
 
     // ---- Traditional: clamp final weights to [0, 1] ----------------------
-    let ell_trad: f32 = if op == n { ell_faulty } else { exps_faulty.iter().sum() };
+    let ell_trad: f32 = if op == n {
+        ell_faulty
+    } else {
+        exps_faulty.iter().sum()
+    };
     let p_trad: Vec<f32> = exps_faulty
         .iter()
         .map(|e| traditional_restrict_weight(e / ell_trad))

@@ -333,7 +333,10 @@ mod tests {
         // Build the correctly rounded result by searching the two
         // neighbouring representable halves around v.
         if v.is_nan() {
-            return 0x7E00 | ((v.to_bits() >> 13) as u16 & 0x03FF) | 0x0200 | ((v.to_bits() >> 16) as u16 & 0x8000);
+            return 0x7E00
+                | ((v.to_bits() >> 13) as u16 & 0x03FF)
+                | 0x0200
+                | ((v.to_bits() >> 16) as u16 & 0x8000);
         }
         let sign = if v.is_sign_negative() { 0x8000u16 } else { 0 };
         let a = v.abs();
@@ -401,19 +404,19 @@ mod tests {
             0.1,
             0.2,
             0.3,
-            1.0009765625,      // 1 + 2^-10 exactly representable
-            1.00048828125,     // 1 + 2^-11: tie, rounds to even (1.0)
-            1.00146484375,     // 1 + 3*2^-11: tie, rounds up to 1+2^-9... (even)
+            1.000_976_6, // 1 + 2^-10 exactly representable
+            1.000_488_3, // 1 + 2^-11: tie, rounds to even (1.0)
+            1.001_464_8, // 1 + 3*2^-11: tie, rounds up to 1+2^-9... (even)
             65504.0,
-            65519.0,           // just below the overflow threshold
-            65520.0,           // exactly the RN overflow tie -> Inf
-            5.960_464_5e-8,    // min subnormal
-            2.980_232_2e-8,    // half of min subnormal: tie -> 0 (even)
-            2.980_233e-8,      // just above the tie -> min subnormal
-            6.097_555_160e-5,  // just below min normal
-            6.103_515_625e-5,  // min normal
-            3.14159265,
-            -2.718281828,
+            65519.0,        // just below the overflow threshold
+            65520.0,        // exactly the RN overflow tie -> Inf
+            5.960_464_5e-8, // min subnormal
+            2.980_232_2e-8, // half of min subnormal: tie -> 0 (even)
+            2.980_233e-8,   // just above the tie -> min subnormal
+            6.097_555e-5,   // just below min normal
+            6.103_515_6e-5, // min normal
+            core::f32::consts::PI,
+            -core::f32::consts::E,
             1e-7,
             42.42,
         ];
@@ -505,7 +508,7 @@ mod tests {
 
     #[test]
     fn total_cmp_sorts_nan_last_and_orders_values() {
-        let mut vals = vec![
+        let mut vals = [
             F16::NAN,
             F16::ONE,
             F16::NEG_INFINITY,

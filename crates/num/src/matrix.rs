@@ -118,7 +118,11 @@ impl<T: Copy + Default> Matrix<T> {
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> T {
-        debug_assert!(r < self.rows && c < self.cols, "({r},{c}) out of {:?}", (self.rows, self.cols));
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of {:?}",
+            (self.rows, self.cols)
+        );
         self.data[r * self.cols + c]
     }
 
@@ -138,8 +142,7 @@ impl<T: Copy + Default> Matrix<T> {
         assert!(r0 <= r1 && c0 <= c1, "block origin out of bounds");
         let mut out = Matrix::zeros(r1 - r0, c1 - c0);
         for r in r0..r1 {
-            out.row_mut(r - r0)
-                .copy_from_slice(&self.row(r)[c0..c1]);
+            out.row_mut(r - r0).copy_from_slice(&self.row(r)[c0..c1]);
         }
         out
     }

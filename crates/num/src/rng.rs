@@ -114,10 +114,7 @@ mod tests {
     #[test]
     fn tensor_generator_uses_requested_shape() {
         let t = normal_tensor_f16(1, 2, 3, 16, 8, 0.5);
-        assert_eq!(
-            (t.batch(), t.heads(), t.seq(), t.dim()),
-            (2, 3, 16, 8)
-        );
+        assert_eq!((t.batch(), t.heads(), t.seq(), t.dim()), (2, 3, 16, 8));
     }
 
     #[test]

@@ -203,7 +203,9 @@ mod tests {
 
     #[test]
     fn shape_and_slot_addressing() {
-        let t = Tensor4F32::from_fn(2, 3, 4, 5, |b, h, r, c| (b * 1000 + h * 100 + r * 10 + c) as f32);
+        let t = Tensor4F32::from_fn(2, 3, 4, 5, |b, h, r, c| {
+            (b * 1000 + h * 100 + r * 10 + c) as f32
+        });
         assert_eq!(t.num_slots(), 6);
         assert_eq!(t.slot(1, 2).get(3, 4), 1234.0);
         assert_eq!(t.unflatten(5), (1, 2));

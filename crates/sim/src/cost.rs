@@ -106,10 +106,7 @@ impl Timeline {
 
     /// Total simulated time under `model`: kernels execute sequentially.
     pub fn simulated_time(&self, model: &CostModel) -> f64 {
-        self.records
-            .iter()
-            .map(|(_, s)| model.kernel_time(s))
-            .sum()
+        self.records.iter().map(|(_, s)| model.kernel_time(s)).sum()
     }
 
     /// Simulated time of records whose label contains `needle` — used for

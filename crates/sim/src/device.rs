@@ -187,12 +187,10 @@ impl Hbm {
                     capacity: self.capacity,
                 });
             }
-            match self.in_use.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .in_use
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => {
                     self.peak.fetch_max(next, Ordering::Relaxed);
                     return Ok(Allocation { hbm: self, bytes });

@@ -385,7 +385,8 @@ impl FaultInjector for BerInjector {
             let sel = mix(h ^ 0xC2B2_AE3D_27D4_EB4F);
             Some(ChainFault {
                 step: (sel % k_len as u64) as usize,
-                bit: self.bit_range.0 + (mix(sel) % (self.bit_range.1 - self.bit_range.0) as u64) as u32,
+                bit: self.bit_range.0
+                    + (mix(sel) % (self.bit_range.1 - self.bit_range.0) as u64) as u32,
             })
         } else {
             None
@@ -429,10 +430,7 @@ mod tests {
         let inj = NoFaults;
         let c = OpCoord::new(0, 1, 2, 3);
         assert_eq!(inj.corrupt_f32(FaultSite::ExpUnit, c, 1.5), 1.5);
-        assert_eq!(
-            inj.corrupt_f16(FaultSite::ExpUnit, c, F16::ONE),
-            F16::ONE
-        );
+        assert_eq!(inj.corrupt_f16(FaultSite::ExpUnit, c, F16::ONE), F16::ONE);
         assert!(inj.is_noop());
         assert_eq!(inj.fired(), 0);
     }
@@ -502,10 +500,7 @@ mod tests {
             );
         }
         let rate = inj.fired() as f64 / n as f64;
-        assert!(
-            (rate - ber).abs() < ber * 0.2,
-            "rate {rate} vs ber {ber}"
-        );
+        assert!((rate - ber).abs() < ber * 0.2, "rate {rate} vs ber {ber}");
     }
 
     #[test]

@@ -210,13 +210,9 @@ mod tests {
         let mut rng = rng_from_seed(2);
         let a = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
         let b = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
-        let clean = gemm_nt(&a, &b, );
-        let inj = SeuInjector::new(
-            FaultSite::GemmIAccum,
-            OpCoord::new(0, 3, 5, 0),
-            30,
-        )
-        .at_chain_step(31);
+        let clean = gemm_nt(&a, &b);
+        let inj =
+            SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(0, 3, 5, 0), 30).at_chain_step(31);
         let dirty = gemm_nt_inj(&a, &b, &inj, GemmCtx::new(FaultSite::GemmIAccum, 0));
         let mut diffs = 0;
         for i in 0..16 {
@@ -238,8 +234,8 @@ mod tests {
         let a = normal_matrix_f16(&mut rng, 4, 8, 1.0).to_f32();
         let b = normal_matrix_f16(&mut rng, 4, 8, 1.0).to_f32();
         let clean = gemm_nt(&a, &b);
-        let inj = SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(0, 1, 2, 0), 20)
-            .at_chain_step(7);
+        let inj =
+            SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(0, 1, 2, 0), 20).at_chain_step(7);
         let dirty = gemm_nt_inj(&a, &b, &inj, GemmCtx::new(FaultSite::GemmIAccum, 0));
         assert_eq!(
             dirty.get(1, 2).to_bits() ^ clean.get(1, 2).to_bits(),
@@ -257,8 +253,8 @@ mod tests {
         let b = MatrixF32::from_fn(1, 16, |_, _| 1.0);
         let clean = gemm_nt(&a, &b);
         assert_eq!(clean.get(0, 0), 16.0);
-        let inj = SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(0, 0, 0, 0), 23)
-            .at_chain_step(3);
+        let inj =
+            SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(0, 0, 0, 0), 23).at_chain_step(3);
         let dirty = gemm_nt_inj(&a, &b, &inj, GemmCtx::new(FaultSite::GemmIAccum, 0));
         // After step 3 the accumulator is 4.0 (bits 0x40800000); bit 23 is
         // the exponent LSB, so 4.0 becomes 2.0 and the −2 delta propagates

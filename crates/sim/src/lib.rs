@@ -28,5 +28,7 @@ pub mod tiled;
 
 pub use cost::{CostModel, Timeline};
 pub use device::{Device, Hbm, KernelStats, OomError, StatsCollector};
-pub use fault::{BerInjector, ChainFault, FaultInjector, FaultSite, NoFaults, OpCoord, SeuInjector};
+pub use fault::{
+    BerInjector, ChainFault, FaultInjector, FaultSite, NoFaults, OpCoord, SeuInjector,
+};
 pub use gemm::{gemm_flops, gemm_nn, gemm_nn_inj, gemm_nt, gemm_nt_inj, GemmCtx};

@@ -62,8 +62,10 @@ pub fn tiled_gemm_exec(a: &MatrixF16, b: &MatrixF16, c: &mut MatrixF32) {
     let (kb, n) = b.shape();
     assert_eq!(k_len, kb, "inner dimensions must agree");
     assert_eq!(c.shape(), (m, n));
-    assert!(m % ATOM_M == 0 && n % ATOM_N == 0 && k_len % ATOM_K == 0,
-        "layout-faithful executor requires atom-aligned shapes ({m}x{k_len}x{n})");
+    assert!(
+        m % ATOM_M == 0 && n % ATOM_N == 0 && k_len % ATOM_K == 0,
+        "layout-faithful executor requires atom-aligned shapes ({m}x{k_len}x{n})"
+    );
 
     for i0 in (0..m).step_by(ATOM_M) {
         for j0 in (0..n).step_by(ATOM_N) {

@@ -1,7 +1,7 @@
 //! A pre-norm transformer block: `x + MHA(LN(x))`, then `x + FFN(LN(x))`.
 
 use crate::ffn::{FeedForward, FfnReport};
-use crate::mha::{AttentionKernel, MhaReport, MultiHeadAttention};
+use crate::mha::{BackendKind, MhaReport, MultiHeadAttention};
 use crate::norm::LayerNorm;
 use ft_abft::thresholds::Thresholds;
 use ft_num::MatrixF32;
@@ -36,7 +36,7 @@ impl TransformerBlock {
         hidden: usize,
         heads: usize,
         ffn_dim: usize,
-        kernel: AttentionKernel,
+        kernel: BackendKind,
     ) -> Self {
         TransformerBlock {
             ln1: LayerNorm::new(hidden),
@@ -69,7 +69,9 @@ impl TransformerBlock {
 
         let mut normed2 = h.clone();
         self.ln2.forward(&mut normed2);
-        let (ff, ffn_rep) = self.ffn.forward(&normed2, inj, layer_idx * 2 + 1, thresholds);
+        let (ff, ffn_rep) = self
+            .ffn
+            .forward(&normed2, inj, layer_idx * 2 + 1, thresholds);
         report.ffn = ffn_rep;
         for i in 0..h.rows() {
             for (v, f) in h.row_mut(i).iter_mut().zip(ff.row(i)) {
@@ -89,7 +91,7 @@ mod tests {
 
     #[test]
     fn block_preserves_shape_and_is_deterministic() {
-        let blk = TransformerBlock::random(1, 32, 4, 64, AttentionKernel::Flash);
+        let blk = TransformerBlock::random(1, 32, 4, 64, BackendKind::Flash);
         let mut rng = rng_from_seed(2);
         let x = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
         let (y1, _) = blk.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
@@ -101,7 +103,7 @@ mod tests {
     #[test]
     fn residual_path_dominates_small_weights() {
         // With 0.02-scale weights the block output stays near the input.
-        let blk = TransformerBlock::random(3, 32, 4, 64, AttentionKernel::Flash);
+        let blk = TransformerBlock::random(3, 32, 4, 64, BackendKind::Flash);
         let mut rng = rng_from_seed(4);
         let x = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
         let (y, _) = blk.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
@@ -110,10 +112,10 @@ mod tests {
 
     #[test]
     fn efta_and_flash_blocks_agree_when_clean() {
-        let flash_blk = TransformerBlock::random(5, 64, 8, 128, AttentionKernel::Flash);
+        let flash_blk = TransformerBlock::random(5, 64, 8, 128, BackendKind::Flash);
         let efta_blk = TransformerBlock {
             mha: MultiHeadAttention {
-                kernel: AttentionKernel::Efta(EftaOptions::optimized()),
+                kernel: BackendKind::Efta(EftaOptions::optimized()),
                 ..flash_blk.mha.clone()
             },
             ..flash_blk.clone()

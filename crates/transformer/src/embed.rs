@@ -36,7 +36,7 @@ impl Embedding {
     fn positional(&self, pos: usize, ch: usize, hidden: usize) -> f32 {
         let i = (ch / 2) as f32;
         let angle = pos as f32 / 10_000f32.powf(2.0 * i / hidden as f32);
-        if ch % 2 == 0 {
+        if ch.is_multiple_of(2) {
             angle.sin()
         } else {
             angle.cos()
@@ -71,7 +71,12 @@ mod tests {
     fn same_token_differs_by_position() {
         let e = Embedding::random(2, 50, 16, 64);
         let x = e.forward(&[7, 7]);
-        let d: f32 = x.row(0).iter().zip(x.row(1)).map(|(a, b)| (a - b).abs()).sum();
+        let d: f32 = x
+            .row(0)
+            .iter()
+            .zip(x.row(1))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(d > 1e-3, "positions must distinguish identical tokens");
     }
 

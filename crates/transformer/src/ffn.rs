@@ -51,11 +51,7 @@ impl FeedForward {
         report.projections = r1;
         // Range-restricted activation, row by row.
         for i in 0..h.rows() {
-            let max_in = h
-                .row(i)
-                .iter()
-                .map(|v| v.abs())
-                .fold(0.0f32, f32::max);
+            let max_in = h.row(i).iter().map(|v| v.abs()).fold(0.0f32, f32::max);
             let rep = apply_restricted(
                 self.activation,
                 h.row_mut(i),

@@ -28,6 +28,8 @@ pub use configs::ModelConfig;
 pub use embed::Embedding;
 pub use ffn::FeedForward;
 pub use linear::{Linear, LinearProtection};
-pub use mha::{AttentionKernel, MultiHeadAttention};
+#[doc(hidden)]
+pub use mha::AttentionKernel;
+pub use mha::{BackendKind, MhaReport, MultiHeadAttention};
 pub use model::{ModelReport, TransformerModel};
 pub use norm::LayerNorm;

@@ -4,7 +4,9 @@
 //! Protection": the same tensor-checksum scheme as attention GEMM I is
 //! applied per 64-row block of X, with located elements recomputed exactly.
 
-use ft_abft::strided::{correct_strided, encode_rows_strided, strided_sums, strided_sums_weighted, StridedMismatch};
+use ft_abft::strided::{
+    correct_strided, encode_rows_strided, strided_sums, strided_sums_weighted, StridedMismatch,
+};
 use ft_abft::thresholds::Thresholds;
 use ft_num::rng::{normal_matrix_f16, rng_from_seed};
 use ft_num::{block_starts, Matrix, MatrixF16, MatrixF32};
@@ -105,13 +107,17 @@ impl Linear {
                         &x_blk,
                         &cs.w1,
                         inj,
-                        GemmCtx::new(FaultSite::LinearAccum, layer_slot).at(r0, out_f).iter(1),
+                        GemmCtx::new(FaultSite::LinearAccum, layer_slot)
+                            .at(r0, out_f)
+                            .iter(1),
                     );
                     let y_c2 = gemm_nt_inj(
                         &x_blk,
                         &cs.w2,
                         inj,
-                        GemmCtx::new(FaultSite::LinearAccum, layer_slot).at(r0, out_f).iter(2),
+                        GemmCtx::new(FaultSite::LinearAccum, layer_slot)
+                            .at(r0, out_f)
+                            .iter(2),
                     );
                     let sums1 = strided_sums(&y, stride);
                     let sums2 = strided_sums_weighted(&y, stride);
@@ -208,7 +214,11 @@ mod tests {
         assert_eq!(inj.fired(), 1);
         assert!(rep.detected > 0);
         assert!(rep.corrected > 0);
-        assert!(dirty.max_abs_diff(&clean) < 1e-3, "diff {}", dirty.max_abs_diff(&clean));
+        assert!(
+            dirty.max_abs_diff(&clean) < 1e-3,
+            "diff {}",
+            dirty.max_abs_diff(&clean)
+        );
     }
 
     #[test]

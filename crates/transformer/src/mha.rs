@@ -1,23 +1,19 @@
-//! Multi-head attention wiring the Q/K/V/O projections around an attention
-//! kernel from `ft-core`.
+//! Multi-head attention wiring the Q/K/V/O projections around any
+//! [`AttentionBackend`] from `ft-core`, selected by [`BackendKind`].
 
 use crate::linear::{Linear, LinearReport};
 use ft_abft::thresholds::Thresholds;
+use ft_core::backend::{AttentionBackend, AttentionRequest};
 use ft_core::config::AttentionConfig;
-use ft_core::efta::{efta_attention, EftaOptions};
-use ft_core::flash::flash_attention;
 use ft_core::types::FtReport;
 use ft_num::{Matrix, MatrixF32, Tensor4F16};
 use ft_sim::FaultInjector;
 
-/// Which attention kernel the block uses.
-#[derive(Clone, Copy, Debug)]
-pub enum AttentionKernel {
-    /// Unprotected flash attention.
-    Flash,
-    /// End-to-end fault tolerant attention with the given options.
-    Efta(EftaOptions),
-}
+pub use ft_core::backend::BackendKind;
+
+/// Pre-`BackendKind` name of the kernel selector, kept for downstream code.
+#[doc(hidden)]
+pub type AttentionKernel = BackendKind;
 
 /// Multi-head attention module.
 #[derive(Clone, Debug)]
@@ -32,8 +28,8 @@ pub struct MultiHeadAttention {
     pub wo: Linear,
     /// Number of heads.
     pub heads: usize,
-    /// Attention kernel selection.
-    pub kernel: AttentionKernel,
+    /// Attention backend selection.
+    pub kernel: BackendKind,
 }
 
 /// FT events of one MHA forward.
@@ -47,7 +43,7 @@ pub struct MhaReport {
 
 impl MultiHeadAttention {
     /// Random MHA (seeded) for `hidden = heads × head_dim`.
-    pub fn random(seed: u64, hidden: usize, heads: usize, kernel: AttentionKernel) -> Self {
+    pub fn random(seed: u64, hidden: usize, heads: usize, kernel: BackendKind) -> Self {
         assert_eq!(hidden % heads, 0, "hidden must split evenly across heads");
         MultiHeadAttention {
             wq: Linear::random(seed, hidden, hidden),
@@ -108,17 +104,17 @@ impl MultiHeadAttention {
         let qt = self.split_heads(&q);
         let kt = self.split_heads(&k);
         let vt = self.split_heads(&v);
-        let cfg = AttentionConfig::new(1, self.heads, seq, hd)
-            .with_block(64.min(seq.max(8)));
+        let cfg = AttentionConfig::new(1, self.heads, seq, hd).with_auto_block();
 
-        let out = match self.kernel {
-            AttentionKernel::Flash => flash_attention(&cfg, &qt, &kt, &vt),
-            AttentionKernel::Efta(opts) => efta_attention(&cfg, &qt, &kt, &vt, inj, &opts),
-        };
+        let out = self
+            .kernel
+            .run(&AttentionRequest::new(cfg, &qt, &kt, &vt).with_injector(inj));
         report.attention = out.report;
 
         let merged = self.merge_heads(&out.o);
-        let (y, r4) = self.wo.forward(&merged, inj, layer_slot * 8 + 3, thresholds);
+        let (y, r4) = self
+            .wo
+            .forward(&merged, inj, layer_slot * 8 + 3, thresholds);
         report.projections.detected += r4.detected;
         report.projections.corrected += r4.corrected;
         report.projections.recomputed += r4.recomputed;
@@ -129,12 +125,13 @@ impl MultiHeadAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ft_core::efta::EftaOptions;
     use ft_num::rng::{normal_matrix_f16, rng_from_seed};
     use ft_sim::NoFaults;
 
     #[test]
     fn split_merge_round_trip() {
-        let mha = MultiHeadAttention::random(1, 32, 4, AttentionKernel::Flash);
+        let mha = MultiHeadAttention::random(1, 32, 4, BackendKind::Flash);
         let mut rng = rng_from_seed(2);
         let x = normal_matrix_f16(&mut rng, 16, 32, 1.0).to_f32();
         let t = mha.split_heads(&x);
@@ -148,9 +145,9 @@ mod tests {
     fn flash_and_efta_kernels_agree_when_clean() {
         let mut rng = rng_from_seed(3);
         let x = normal_matrix_f16(&mut rng, 64, 32, 1.0).to_f32();
-        let flash = MultiHeadAttention::random(7, 32, 4, AttentionKernel::Flash);
+        let flash = MultiHeadAttention::random(7, 32, 4, BackendKind::Flash);
         let efta = MultiHeadAttention {
-            kernel: AttentionKernel::Efta(EftaOptions::optimized()),
+            kernel: BackendKind::Efta(EftaOptions::optimized()),
             ..flash.clone()
         };
         let (yf, _) = flash.forward(&x, &NoFaults, 0, &Thresholds::calibrated());
@@ -162,7 +159,7 @@ mod tests {
 
     #[test]
     fn output_shape_matches_input() {
-        let mha = MultiHeadAttention::random(5, 48, 6, AttentionKernel::Flash);
+        let mha = MultiHeadAttention::random(5, 48, 6, BackendKind::Flash);
         let mut rng = rng_from_seed(6);
         let x = normal_matrix_f16(&mut rng, 40, 48, 1.0).to_f32();
         let (y, _) = mha.forward(&x, &NoFaults, 0, &Thresholds::calibrated());

@@ -4,7 +4,7 @@ use crate::block::{BlockReport, TransformerBlock};
 use crate::configs::ModelConfig;
 use crate::embed::Embedding;
 use crate::linear::{Linear, LinearProtection};
-use crate::mha::AttentionKernel;
+use crate::mha::BackendKind;
 use crate::norm::LayerNorm;
 use ft_abft::thresholds::Thresholds;
 use ft_num::MatrixF32;
@@ -38,7 +38,7 @@ pub struct ModelReport {
 
 impl TransformerModel {
     /// Random model (seeded) with every block using `kernel`.
-    pub fn random(seed: u64, config: ModelConfig, kernel: AttentionKernel) -> Self {
+    pub fn random(seed: u64, config: ModelConfig, kernel: BackendKind) -> Self {
         let blocks = (0..config.layers)
             .map(|l| {
                 TransformerBlock::random(
@@ -66,7 +66,9 @@ impl TransformerModel {
     /// Forward pass: token ids → logits (`seq × vocab`).
     pub fn forward<I: FaultInjector>(&self, tokens: &[u32], inj: &I) -> (MatrixF32, ModelReport) {
         let (h, report) = self.forward_hidden(tokens, inj);
-        let (logits, _) = self.lm_head.forward(&h, inj, usize::MAX / 2, &self.thresholds);
+        let (logits, _) = self
+            .lm_head
+            .forward(&h, inj, usize::MAX / 2, &self.thresholds);
         (logits, report)
     }
 
@@ -155,7 +157,7 @@ mod tests {
 
     #[test]
     fn forward_shapes_and_determinism() {
-        let model = TransformerModel::random(1, tiny_config(), AttentionKernel::Flash);
+        let model = TransformerModel::random(1, tiny_config(), BackendKind::Flash);
         let tokens: Vec<u32> = (0..16).collect();
         let (l1, rep) = model.forward(&tokens, &NoFaults);
         let (l2, _) = model.forward(&tokens, &NoFaults);
@@ -166,14 +168,14 @@ mod tests {
 
     #[test]
     fn efta_model_matches_flash_model_when_clean() {
-        let flash = TransformerModel::random(2, tiny_config(), AttentionKernel::Flash);
+        let flash = TransformerModel::random(2, tiny_config(), BackendKind::Flash);
         let efta = TransformerModel {
             blocks: flash
                 .blocks
                 .iter()
                 .map(|b| TransformerBlock {
                     mha: crate::mha::MultiHeadAttention {
-                        kernel: AttentionKernel::Efta(EftaOptions::optimized()),
+                        kernel: BackendKind::Efta(EftaOptions::optimized()),
                         ..b.mha.clone()
                     },
                     ..b.clone()
@@ -190,7 +192,7 @@ mod tests {
 
     #[test]
     fn generation_extends_sequence_deterministically() {
-        let model = TransformerModel::random(3, tiny_config(), AttentionKernel::Flash);
+        let model = TransformerModel::random(3, tiny_config(), BackendKind::Flash);
         let (out, _) = model.generate(&[5, 6, 7], 4, &NoFaults);
         assert_eq!(out.len(), 7);
         let (out2, _) = model.generate(&[5, 6, 7], 4, &NoFaults);
@@ -199,22 +201,26 @@ mod tests {
 
     #[test]
     fn fault_in_protected_projection_is_repaired_and_counted() {
-        let model = TransformerModel::random(4, tiny_config(), AttentionKernel::Flash);
+        let model = TransformerModel::random(4, tiny_config(), BackendKind::Flash);
         let tokens: Vec<u32> = (0..16).collect();
         let (clean, _) = model.forward_hidden(&tokens, &NoFaults);
         // Layer 0 MHA query projection is layer_slot 0 (layer_idx*2*8).
-        let inj = SeuInjector::new(FaultSite::LinearAccum, OpCoord::new(0, 3, 7, 0), 30)
-            .at_chain_step(5);
+        let inj =
+            SeuInjector::new(FaultSite::LinearAccum, OpCoord::new(0, 3, 7, 0), 30).at_chain_step(5);
         let (dirty, rep) = model.forward_hidden(&tokens, &inj);
         assert_eq!(inj.fired(), 1);
         assert!(rep.total_detected > 0);
         assert!(rep.total_repaired > 0);
-        assert!(dirty.max_abs_diff(&clean) < 0.05, "diff {}", dirty.max_abs_diff(&clean));
+        assert!(
+            dirty.max_abs_diff(&clean) < 0.05,
+            "diff {}",
+            dirty.max_abs_diff(&clean)
+        );
     }
 
     #[test]
     fn fault_without_protection_changes_output() {
-        let mut model = TransformerModel::random(5, tiny_config(), AttentionKernel::Flash);
+        let mut model = TransformerModel::random(5, tiny_config(), BackendKind::Flash);
         for b in &mut model.blocks {
             b.mha.wq.protection = LinearProtection::None;
             b.mha.wk.protection = LinearProtection::None;
@@ -225,8 +231,8 @@ mod tests {
         }
         let tokens: Vec<u32> = (0..16).collect();
         let (clean, _) = model.forward_hidden(&tokens, &NoFaults);
-        let inj = SeuInjector::new(FaultSite::LinearAccum, OpCoord::new(0, 3, 7, 0), 30)
-            .at_chain_step(5);
+        let inj =
+            SeuInjector::new(FaultSite::LinearAccum, OpCoord::new(0, 3, 7, 0), 30).at_chain_step(5);
         let (dirty, rep) = model.forward_hidden(&tokens, &inj);
         assert_eq!(inj.fired(), 1);
         // With projections unprotected the fault reaches the activations

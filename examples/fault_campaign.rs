@@ -10,11 +10,21 @@ use ft_transformer_suite::abft::thresholds::Check;
 use ft_transformer_suite::inject::{coverage_campaign, GemmShape, Scheme};
 
 fn main() {
-    let shape = GemmShape { br: 64, bc: 4096, d: 64 };
+    let shape = GemmShape {
+        br: 64,
+        bc: 4096,
+        d: 64,
+    };
     let chk = Check::new(0.02, 1e-3);
     let trials = 60;
-    println!("coverage vs per-bit BER (rows 4096 wide, {} trials/point):\n", trials);
-    println!("{:>8}  {:>16} {:>8}  {:>16} {:>8}", "BER", "tensor coverage", "faults", "element coverage", "faults");
+    println!(
+        "coverage vs per-bit BER (rows 4096 wide, {} trials/point):\n",
+        trials
+    );
+    println!(
+        "{:>8}  {:>16} {:>8}  {:>16} {:>8}",
+        "BER", "tensor coverage", "faults", "element coverage", "faults"
+    );
     for ber in [1e-8f64, 5e-8, 1e-7] {
         let t = coverage_campaign(trials, 1, ber * 32.0, Scheme::Tensor, shape, chk);
         let e = coverage_campaign(trials, 1, ber * 32.0, Scheme::Element, shape, chk);

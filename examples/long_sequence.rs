@@ -2,18 +2,22 @@
 //! tensors in HBM and dies with OOM exactly where the paper's Fig. 9 shows;
 //! the fused EFTA kernel streams blocks in O(n) memory and keeps going.
 //!
+//! Both pipelines run through the same `AttentionBackend` API — the
+//! decoupled one simply returns `Err(BackendError::Oom)` from `try_run`
+//! when its request does not fit the device.
+//!
 //! ```sh
 //! cargo run --release --example long_sequence
 //! ```
 
-use ft_transformer_suite::attention::config::AttentionConfig;
-use ft_transformer_suite::attention::decoupled::{
-    decoupled_ft_attention, hbm_demand, DecoupledOptions,
+use ft_transformer_suite::attention::backend::{
+    AttentionBackend, AttentionRequest, BackendError, BackendKind,
 };
-use ft_transformer_suite::attention::efta::{efta_attention, EftaOptions};
+use ft_transformer_suite::attention::config::AttentionConfig;
+use ft_transformer_suite::attention::decoupled::{hbm_demand, DecoupledOptions};
+use ft_transformer_suite::attention::efta::EftaOptions;
 use ft_transformer_suite::num::rng::normal_tensor_f16;
 use ft_transformer_suite::sim::device::Device;
-use ft_transformer_suite::sim::NoFaults;
 
 fn main() {
     // Paper-scale memory demands on the 40 GB A100 (analytic; no compute).
@@ -22,28 +26,37 @@ fn main() {
         let cfg = AttentionConfig::large(1, seq).with_total_tokens(16 * 1024);
         let need = hbm_demand(&cfg, true) as f64 / (1u64 << 30) as f64;
         let fits = hbm_demand(&cfg, true) <= Device::a100_40gb().hbm.capacity();
-        println!("  seq {seq:>6}: {need:>7.1} GiB -> {}", if fits { "fits" } else { "OOM" });
+        println!(
+            "  seq {seq:>6}: {need:>7.1} GiB -> {}",
+            if fits { "fits" } else { "OOM" }
+        );
     }
 
     // A scaled device shows the same crossover live.
     let dev = Device::with_capacity((40u64 << 30) / 16384);
+    let decoupled = BackendKind::Decoupled(DecoupledOptions::default());
+    let efta = BackendKind::Efta(EftaOptions::optimized());
     println!("\nrunning on a 1/16384-capacity device (~2.6 MiB) to show the crossover:");
     for seq in [128usize, 256, 512] {
         let cfg = AttentionConfig::new(1, 4, seq, 64);
         let q = normal_tensor_f16(1, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
         let k = normal_tensor_f16(2, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
         let v = normal_tensor_f16(3, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.8);
+        let req = AttentionRequest::new(cfg, &q, &k, &v);
 
-        let decoupled =
-            decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev);
-        let efta = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+        let dec_result = decoupled.try_run(&req.with_device(&dev));
+        let efta_out = efta.run(&req);
         println!(
             "  seq {seq:>4}: decoupled = {:<28} EFTA = ok (report clean: {})",
-            match &decoupled {
+            match &dec_result {
                 Ok(_) => "ok".to_string(),
-                Err(e) => format!("OOM ({:.1} MiB over)", (e.requested + e.in_use - e.capacity) as f64 / (1 << 20) as f64),
+                Err(BackendError::Oom(e)) => format!(
+                    "OOM ({:.1} MiB over)",
+                    (e.requested + e.in_use - e.capacity) as f64 / (1 << 20) as f64
+                ),
+                Err(other) => format!("error: {other}"),
             },
-            efta.report.clean(),
+            efta_out.report.clean(),
         );
     }
     println!("\nEFTA's O(n) streaming survives where the decoupled pipeline OOMs.");

@@ -10,7 +10,7 @@
 use ft_transformer_suite::attention::efta::EftaOptions;
 use ft_transformer_suite::sim::{BerInjector, FaultInjector, FaultSite, NoFaults};
 use ft_transformer_suite::transformer::{
-    AttentionKernel, LinearProtection, ModelConfig, TransformerModel,
+    BackendKind, LinearProtection, ModelConfig, TransformerModel,
 };
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
     // Fault-free reference generation. The vocab-wide LM head dominates
     // the model's op count, so this demo protects it too.
     let mut protected =
-        TransformerModel::random(7, cfg, AttentionKernel::Efta(EftaOptions::optimized()));
+        TransformerModel::random(7, cfg, BackendKind::Efta(EftaOptions::optimized()));
     protected.lm_head.protection = LinearProtection::StridedAbft;
     let (reference, _) = protected.generate(&prompt, new_tokens, &NoFaults);
     println!("reference tokens:  {:?}", &reference[prompt.len()..]);
@@ -51,7 +51,7 @@ fn main() {
     );
 
     // Unprotected model under the same fire.
-    let mut bare = TransformerModel::random(7, cfg, AttentionKernel::Flash);
+    let mut bare = TransformerModel::random(7, cfg, BackendKind::Flash);
     for b in &mut bare.blocks {
         b.mha.wq.protection = LinearProtection::None;
         b.mha.wk.protection = LinearProtection::None;

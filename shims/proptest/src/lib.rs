@@ -1,0 +1,254 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this workspace ships the
+//! property-testing subset it uses: the [`proptest!`] macro over functions
+//! whose parameters are drawn from range strategies, `prop::sample::select`
+//! and `prop::bool::ANY`, plus [`prop_assert!`]/[`prop_assert_eq!`].
+//!
+//! Differences from upstream: cases are drawn from a deterministic
+//! per-test RNG (seeded from the test name) instead of an entropy source,
+//! and there is no shrinking — a failing case panics with the regular
+//! assert message, which together with determinism is enough to reproduce
+//! and debug.
+
+#![warn(missing_docs)]
+
+/// What callers import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Per-block configuration; only the case count is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream default is 256; these in-process numeric properties are
+        // cheap, so match it.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic case RNG (SplitMix64 seeded from the test name).
+pub mod rng {
+    /// Deterministic RNG driving case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name, so every test has its own fixed stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::ops::Range;
+
+    /// A source of random values for one proptest parameter.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(usize, u64, u32, u16, u8, i32, i64);
+
+    macro_rules! float_strategy {
+        ($($t:ty => $bits:expr),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let frac = (rng.next_u64() >> (64 - $bits)) as $t
+                        / (1u64 << $bits) as $t;
+                    let v = self.start + (self.end - self.start) * frac;
+                    if v < self.end { v } else { self.start }
+                }
+            }
+        )*};
+    }
+
+    float_strategy!(f32 => 24, f64 => 53);
+}
+
+/// The `prop::` namespace (`prop::sample::select`, `prop::bool::ANY`).
+pub mod prop {
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+
+        /// Strategy drawing uniformly from a fixed list.
+        #[derive(Clone, Debug)]
+        pub struct Select<T>(Vec<T>);
+
+        /// Uniform choice among `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.0[(rng.next_u64() % self.0.len() as u64) as usize].clone()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+
+        /// Strategy yielding `true` or `false` with equal probability.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Assert inside a property; panics (no shrinking) with the case values in
+/// scope of the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3usize..17,
+            b in -2.5f32..2.5,
+            flag in prop::bool::ANY,
+            pick in prop::sample::select(vec![16usize, 24, 32]),
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.5..2.5).contains(&b));
+            let _: bool = flag;
+            prop_assert!([16, 24, 32].contains(&pick));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert_eq!(x < 10, true);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::rng::TestRng::deterministic("t");
+        let mut b = crate::rng::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no crates.io access, so this workspace ships the
+//! parallel-iterator subset it uses: `into_par_iter()` on ranges and
+//! vectors, with `map`, `enumerate`, `collect`, `reduce` and `for_each`.
+//!
+//! Unlike upstream rayon's work-stealing pool, this implementation is an
+//! eager fork-join: `map` materialises its input, splits it into one chunk
+//! per available core, and runs the chunks on `std::thread::scope` threads.
+//! Nested calls (a parallel region inside a worker thread) degrade to
+//! sequential execution instead of oversubscribing, which bounds the thread
+//! count to one level of fan-out — the same discipline rayon's shared pool
+//! enforces by construction.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+
+/// The traits and types callers import with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items` in parallel, preserving order.
+fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = worker_count().min(n);
+    if n <= 1 || workers <= 1 || IN_WORKER.with(Cell::get) {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    chunk.into_iter().map(f).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// An eager "parallel iterator" over an owned item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; the work happens here, one chunk per core.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: par_map(self.items, f),
+        }
+    }
+
+    /// Pair every item with its index (order-preserving).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Collect the (already computed) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Fold all items into one value; `identity` seeds the fold exactly as
+    /// rayon's `reduce` does.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Run `f` on every item in parallel for its side effects.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map(self.items, f);
+    }
+}
+
+/// Conversion into a [`ParIter`]; the `into_par_iter()` entry point.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+
+    /// Convert into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_par_iter!(usize, u64, u32, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let total = (0..100u64)
+            .into_par_iter()
+            .map(|i| i * i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0..100u64).map(|i| i * i).sum());
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let v = vec!["a", "b", "c"];
+        let out: Vec<String> = v
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}{s}"))
+            .collect();
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_explode() {
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                (0..64usize)
+                    .into_par_iter()
+                    .map(move |j| i + j)
+                    .collect::<Vec<_>>()
+                    .len()
+            })
+            .collect();
+        assert!(out.iter().all(|&n| n == 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let _: Vec<usize> = (0..16usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 7 {
+                    panic!("worker boom");
+                }
+                i
+            })
+            .collect();
+    }
+}

@@ -2,6 +2,35 @@
 //!
 //! Re-exports every member crate under a single roof so examples and
 //! integration tests can use one dependency.
+//!
+//! The front door is the unified attention backend API in
+//! [`attention::backend`]: build an
+//! [`AttentionRequest`](attention::backend::AttentionRequest), select a
+//! [`BackendKind`](attention::backend::BackendKind) by variant or by name
+//! (`"reference"`, `"flash"`, `"decoupled"`, `"efta"`, `"efta-o"`, …), and
+//! [`run`](attention::backend::AttentionBackend::run) it:
+//!
+//! ```
+//! use ft_transformer_suite::attention::backend::{
+//!     AttentionBackend, AttentionRequest, BackendKind,
+//! };
+//! use ft_transformer_suite::attention::config::AttentionConfig;
+//! use ft_transformer_suite::num::rng::normal_tensor_f16;
+//!
+//! let cfg = AttentionConfig::new(1, 2, 64, 32).with_auto_block();
+//! let q = normal_tensor_f16(1, 1, 2, 64, 32, 0.5);
+//! let k = normal_tensor_f16(2, 1, 2, 64, 32, 0.5);
+//! let v = normal_tensor_f16(3, 1, 2, 64, 32, 0.5);
+//!
+//! let backend: BackendKind = "efta-o".parse().unwrap();
+//! let out = backend.run(&AttentionRequest::new(cfg, &q, &k, &v));
+//! assert!(out.report.clean());
+//! ```
+//!
+//! The same enum drives the transformer stack
+//! ([`transformer::TransformerModel::random`] takes a `BackendKind`), the
+//! fault-injection campaigns in [`inject`], and every figure/table binary
+//! in the `ft-bench` crate.
 
 pub use ft_abft as abft;
 pub use ft_core as attention;

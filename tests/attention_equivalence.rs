@@ -1,15 +1,14 @@
-//! Cross-crate integration: all four attention implementations must agree
-//! on fault-free inputs, across shapes and seeds.
+//! Cross-crate integration: all attention backends must agree on
+//! fault-free inputs, across shapes and seeds, through the unified
+//! `AttentionBackend` API.
 
+use ft_transformer_suite::attention::backend::{AttentionBackend, AttentionRequest, BackendKind};
 use ft_transformer_suite::attention::config::AttentionConfig;
-use ft_transformer_suite::attention::decoupled::{decoupled_ft_attention, DecoupledOptions};
-use ft_transformer_suite::attention::efta::{efta_attention, EftaOptions};
-use ft_transformer_suite::attention::flash::flash_attention;
-use ft_transformer_suite::attention::reference::reference_attention;
+use ft_transformer_suite::attention::decoupled::DecoupledOptions;
+use ft_transformer_suite::attention::efta::EftaOptions;
 use ft_transformer_suite::num::rng::normal_tensor_f16;
 use ft_transformer_suite::num::Tensor4F16;
 use ft_transformer_suite::sim::device::Device;
-use ft_transformer_suite::sim::NoFaults;
 use proptest::prelude::*;
 
 fn workload(cfg: &AttentionConfig, seed: u64) -> (Tensor4F16, Tensor4F16, Tensor4F16) {
@@ -24,18 +23,24 @@ fn all_four_kernels_agree_fault_free() {
     let cfg = AttentionConfig::new(2, 4, 96, 32).with_block(32);
     let (q, k, v) = workload(&cfg, 1000);
     let dev = Device::a100_40gb();
+    let req = AttentionRequest::new(cfg, &q, &k, &v);
 
-    let reference = reference_attention(&cfg, &q, &k, &v);
-    let flash = flash_attention(&cfg, &q, &k, &v);
-    let efta = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
-    let efta_ps = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::per_step());
-    let dec = decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev)
+    let reference = BackendKind::Reference.run(&req);
+    let flash = BackendKind::Flash.run(&req);
+    let efta = BackendKind::Efta(EftaOptions::optimized()).run(&req);
+    let efta_ps = BackendKind::Efta(EftaOptions::per_step()).run(&req);
+    let dec = BackendKind::Decoupled(DecoupledOptions::default())
+        .try_run(&req.with_device(&dev))
         .expect("fits in 40GB");
 
-    assert!(flash.o.max_abs_diff(&reference) < 1e-4);
-    assert!(efta.o.max_abs_diff(&reference) < 5e-3, "{}", efta.o.max_abs_diff(&reference));
-    assert!(efta_ps.o.max_abs_diff(&reference) < 5e-3);
-    assert!(dec.o.max_abs_diff(&reference) < 5e-3);
+    assert!(flash.o.max_abs_diff(&reference.o) < 1e-4);
+    assert!(
+        efta.o.max_abs_diff(&reference.o) < 5e-3,
+        "{}",
+        efta.o.max_abs_diff(&reference.o)
+    );
+    assert!(efta_ps.o.max_abs_diff(&reference.o) < 5e-3);
+    assert!(dec.o.max_abs_diff(&reference.o) < 5e-3);
     assert!(efta.report.clean());
     assert!(efta_ps.report.clean());
     assert!(dec.report.clean());
@@ -47,10 +52,16 @@ fn launch_count_contract() {
     let cfg = AttentionConfig::new(1, 2, 256, 32).with_block(64);
     let (q, k, v) = workload(&cfg, 2000);
     let dev = Device::a100_40gb();
-    let efta = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
-    let dec = decoupled_ft_attention(&cfg, &q, &k, &v, &NoFaults, &DecoupledOptions::default(), &dev)
+    let req = AttentionRequest::new(cfg, &q, &k, &v);
+    let efta = BackendKind::Efta(EftaOptions::optimized()).run(&req);
+    let dec = BackendKind::Decoupled(DecoupledOptions::default())
+        .try_run(&req.with_device(&dev))
         .unwrap();
-    assert_eq!(efta.timeline.total().launches, 1, "EFTA is one fused kernel");
+    assert_eq!(
+        efta.timeline.total().launches,
+        1,
+        "EFTA is one fused kernel"
+    );
     assert_eq!(dec.timeline.total().launches, 3, "decoupled launches three");
     // Decoupled writes O(n²); EFTA writes O(n·d).
     assert!(dec.timeline.total().hbm_written > 10 * efta.timeline.total().hbm_written);
@@ -67,10 +78,11 @@ proptest! {
     ) {
         let cfg = AttentionConfig::new(1, heads, seq, 32).with_block(32);
         let (q, k, v) = workload(&cfg, seed);
-        let reference = reference_attention(&cfg, &q, &k, &v);
-        let efta = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+        let req = AttentionRequest::new(cfg, &q, &k, &v);
+        let reference = BackendKind::Reference.run(&req);
+        let efta = BackendKind::Efta(EftaOptions::optimized()).run(&req);
         prop_assert!(efta.report.clean(), "false alarms: {:?}", efta.report);
-        let diff = efta.o.max_abs_diff(&reference);
+        let diff = efta.o.max_abs_diff(&reference.o);
         prop_assert!(diff < 5e-3, "diff {diff}");
     }
 }

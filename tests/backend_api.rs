@@ -1,0 +1,144 @@
+//! Unified-API integration suite: the cross-backend equivalence matrix,
+//! registry round-trips, block-size policy, and batched execution.
+//!
+//! This is the contract the `AttentionBackend` redesign exists to enforce:
+//! every backend in the registry computes the *same attention* as the
+//! reference oracle, over shapes that exercise ragged tiling
+//! (`seq % block != 0`), through nothing but `BackendKind::from_str` and
+//! `AttentionBackend::run`.
+
+use ft_transformer_suite::attention::backend::{
+    AttentionBackend, AttentionRequest, BackendError, BackendKind,
+};
+use ft_transformer_suite::attention::config::AttentionConfig;
+use ft_transformer_suite::num::rng::normal_tensor_f16;
+use ft_transformer_suite::num::Tensor4F16;
+use ft_transformer_suite::sim::{FaultInjector, FaultSite, OpCoord, SeuInjector};
+
+fn workload(cfg: &AttentionConfig, seed: u64) -> (Tensor4F16, Tensor4F16, Tensor4F16) {
+    let q = normal_tensor_f16(seed, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
+    let k = normal_tensor_f16(seed + 1, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.6);
+    let v = normal_tensor_f16(seed + 2, cfg.batch, cfg.heads, cfg.seq, cfg.head_dim, 0.8);
+    (q, k, v)
+}
+
+/// FP16-data tolerance: flash shares the reference's arithmetic almost
+/// exactly; the FT pipelines round checksums and intermediates through
+/// binary16, so they get the half-precision budget.
+fn tolerance_for(kind: &BackendKind) -> f32 {
+    match kind {
+        BackendKind::Reference | BackendKind::Flash => 1e-4,
+        _ => 5e-3,
+    }
+}
+
+#[test]
+fn equivalence_matrix_every_backend_times_every_shape() {
+    // ≥3 shapes, two of which have seq % block != 0 (ragged final tiles),
+    // one with auto-block selection.
+    let shapes: Vec<(&str, AttentionConfig)> = vec![
+        (
+            "even 2x4x96x32/b32",
+            AttentionConfig::new(2, 4, 96, 32).with_block(32),
+        ),
+        (
+            "ragged 1x2x80x32/b32",
+            AttentionConfig::new(1, 2, 80, 32).with_block(32),
+        ),
+        (
+            "ragged 1x2x50x16/b16",
+            AttentionConfig::new(1, 2, 50, 16).with_block(16),
+        ),
+        (
+            "auto 1x3x100x32",
+            AttentionConfig::new(1, 3, 100, 32).with_auto_block(),
+        ),
+    ];
+    for (label, cfg) in shapes {
+        assert!(
+            cfg.seq % cfg.block != 0 || label.starts_with("even"),
+            "shape grid must keep its ragged cases ragged: {label}"
+        );
+        let (q, k, v) = workload(&cfg, 0xFACE ^ cfg.seq as u64);
+        let req = AttentionRequest::new(cfg, &q, &k, &v);
+        let reference = BackendKind::Reference.run(&req);
+        for name in BackendKind::NAMES {
+            let kind: BackendKind = name.parse().expect("registry name parses");
+            let out = kind
+                .try_run(&req)
+                .unwrap_or_else(|e| panic!("{name} on {label}: {e}"));
+            let diff = out.o.max_abs_diff(&reference.o);
+            let tol = tolerance_for(&kind);
+            assert!(
+                diff < tol,
+                "{name} disagrees with reference on {label}: {diff} >= {tol}"
+            );
+            assert!(
+                out.report.clean(),
+                "{name} raised false alarms on {label}: {:?}",
+                out.report
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_is_total_and_round_trips() {
+    assert!(BackendKind::NAMES.len() >= 5, "all kernel families listed");
+    for name in BackendKind::NAMES {
+        let kind: BackendKind = name.parse().unwrap();
+        assert_eq!(&kind.to_string(), name);
+        // Kind names match the backend's self-reported name.
+        assert_eq!(&kind.name(), name);
+    }
+    assert!("not-a-backend".parse::<BackendKind>().is_err());
+}
+
+#[test]
+fn auto_block_handles_extreme_sequences() {
+    // seq smaller than the default 64 tile must still produce one valid
+    // block and correct output (this was the ad-hoc `64.min(seq.max(8))`
+    // logic previously buried in MultiHeadAttention::forward).
+    for seq in [8usize, 12, 33, 100] {
+        let cfg = AttentionConfig::new(1, 2, seq, 16).with_auto_block();
+        assert!(cfg.block >= 8 && cfg.block <= 64);
+        let (q, k, v) = workload(&cfg, seq as u64);
+        let req = AttentionRequest::new(cfg, &q, &k, &v);
+        let reference = BackendKind::Reference.run(&req);
+        let efta = "efta-o".parse::<BackendKind>().unwrap().run(&req);
+        let diff = efta.o.max_abs_diff(&reference.o);
+        assert!(diff < 5e-3, "seq {seq}: diff {diff}");
+    }
+}
+
+#[test]
+fn run_batched_agrees_with_run_and_remaps_faults() {
+    let cfg = AttentionConfig::new(2, 2, 64, 32).with_block(32);
+    let (q, k, v) = workload(&cfg, 777);
+    let kind: BackendKind = "efta-o".parse().unwrap();
+    let req = AttentionRequest::new(cfg, &q, &k, &v);
+    let whole = kind.run(&req);
+    let split = kind.run_batched(&req);
+    assert!(split.o.max_abs_diff(&whole.o) < 1e-6);
+
+    // A fault aimed at batched slot 2 fires exactly once after the split.
+    let inj =
+        SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(2, 5, 40, 3), 30).at_chain_step(20);
+    let out = kind.run_batched(&AttentionRequest::new(cfg, &q, &k, &v).with_injector(&inj));
+    assert_eq!(inj.fired(), 1);
+    assert!(out.report.total_detected() > 0, "{:?}", out.report);
+    assert!(out.o.max_abs_diff(&whole.o) < 5e-2);
+}
+
+#[test]
+fn efta_rejects_sub_stride_sequences_gracefully() {
+    // Through the API this is an error value, not a panic.
+    let cfg = AttentionConfig::new(1, 1, 4, 16).with_block(4);
+    let (q, k, v) = workload(&cfg, 5);
+    let err = "efta-o"
+        .parse::<BackendKind>()
+        .unwrap()
+        .try_run(&AttentionRequest::new(cfg, &q, &k, &v))
+        .unwrap_err();
+    assert!(matches!(err, BackendError::Unsupported(_)), "{err}");
+}

@@ -3,10 +3,11 @@
 //! output non-finite, and catastrophic (exponent-range) upsets must be
 //! repaired to within tolerance of the fault-free answer.
 
+use ft_transformer_suite::attention::backend::{AttentionBackend, AttentionRequest, BackendKind};
 use ft_transformer_suite::attention::config::AttentionConfig;
-use ft_transformer_suite::attention::efta::{efta_attention, EftaOptions};
+use ft_transformer_suite::attention::efta::EftaOptions;
 use ft_transformer_suite::num::rng::normal_tensor_f16;
-use ft_transformer_suite::sim::{FaultInjector, FaultSite, NoFaults, OpCoord, SeuInjector};
+use ft_transformer_suite::sim::{FaultInjector, FaultSite, OpCoord, SeuInjector};
 use proptest::prelude::*;
 
 fn site_from_index(i: usize) -> FaultSite {
@@ -42,7 +43,7 @@ proptest! {
         let q = normal_tensor_f16(seed, 1, 2, 64, 32, 0.6);
         let k = normal_tensor_f16(seed + 1, 1, 2, 64, 32, 0.6);
         let v = normal_tensor_f16(seed + 2, 1, 2, 64, 32, 0.8);
-        let clean = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+        let clean = BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(cfg, &q, &k, &v));
 
         let site = site_from_index(site_idx);
         // Coordinate conventions per site (see ft-core::efta):
@@ -56,7 +57,7 @@ proptest! {
             _ => unreachable!(),
         };
         let inj = SeuInjector::new(site, coord, bit).at_chain_step(step);
-        let out = efta_attention(&cfg, &q, &k, &v, &inj, &EftaOptions::optimized());
+        let out = BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(cfg, &q, &k, &v).with_injector(&inj));
         prop_assert!(!out.o.has_non_finite(), "{site:?} left non-finite output");
         if inj.fired() > 0 {
             let diff = out.o.max_abs_diff(&clean.o);
@@ -82,7 +83,7 @@ proptest! {
         let q = normal_tensor_f16(seed, 1, 1, 64, 32, 0.6);
         let k = normal_tensor_f16(seed + 1, 1, 1, 64, 32, 0.6);
         let v = normal_tensor_f16(seed + 2, 1, 1, 64, 32, 0.8);
-        let clean = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::optimized());
+        let clean = BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(cfg, &q, &k, &v));
         let site = site_from_index(site_idx);
         let coord = match site {
             FaultSite::GemmIAccum | FaultSite::GemmIiAccum => OpCoord::new(0, i, j, 3 * (j / 32)),
@@ -91,7 +92,7 @@ proptest! {
             _ => unreachable!(),
         };
         let inj = SeuInjector::new(site, coord, bit).at_chain_step(10);
-        let out = efta_attention(&cfg, &q, &k, &v, &inj, &EftaOptions::optimized());
+        let out = BackendKind::Efta(EftaOptions::optimized()).run(&AttentionRequest::new(cfg, &q, &k, &v).with_injector(&inj));
         prop_assert!(!out.o.has_non_finite());
         // Undetected faults are below the detection floor; their effect on
         // normalised attention outputs is bounded.
@@ -111,14 +112,14 @@ proptest! {
         let q = normal_tensor_f16(seed, 1, 1, 64, 32, 0.6);
         let k = normal_tensor_f16(seed + 1, 1, 1, 64, 32, 0.6);
         let v = normal_tensor_f16(seed + 2, 1, 1, 64, 32, 0.8);
-        let clean = efta_attention(&cfg, &q, &k, &v, &NoFaults, &EftaOptions::per_step());
+        let clean = BackendKind::Efta(EftaOptions::per_step()).run(&AttentionRequest::new(cfg, &q, &k, &v));
         let inj = SeuInjector::new(
             FaultSite::GemmIAccum,
             OpCoord::new(0, i, j, 3 * (j / 32)),
             bit,
         )
         .at_chain_step(3);
-        let out = efta_attention(&cfg, &q, &k, &v, &inj, &EftaOptions::per_step());
+        let out = BackendKind::Efta(EftaOptions::per_step()).run(&AttentionRequest::new(cfg, &q, &k, &v).with_injector(&inj));
         prop_assert_eq!(inj.fired(), 1);
         prop_assert!(!out.o.has_non_finite());
         let diff = out.o.max_abs_diff(&clean.o);
