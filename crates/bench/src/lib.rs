@@ -35,6 +35,8 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// True when running the paper's full sizes.
     pub full: bool,
+    /// CI smoke mode: minimal sizes and trial counts, seconds not minutes.
+    pub smoke: bool,
 }
 
 impl Default for HarnessArgs {
@@ -44,6 +46,7 @@ impl Default for HarnessArgs {
             trials: 200,
             seed: 2025,
             full: false,
+            smoke: false,
         }
     }
 }
@@ -59,6 +62,9 @@ impl HarnessArgs {
                 "--full" => {
                     out.full = true;
                     out.scale = 1.0;
+                }
+                "--smoke" => {
+                    out.smoke = true;
                 }
                 "--scale" => {
                     i += 1;

@@ -34,6 +34,7 @@
 //! ```
 
 use crate::config::AttentionConfig;
+use crate::decode::DecodeRequest;
 use crate::decoupled::DecoupledOptions;
 use crate::efta::EftaOptions;
 use crate::types::{AttentionOutput, FtReport, PhaseBreakdown};
@@ -244,6 +245,29 @@ pub trait AttentionBackend: Sync {
         match self.try_run_batched(req) {
             Ok(out) => out,
             Err(e) => panic!("{} backend failed: {e}", self.name()),
+        }
+    }
+
+    /// One incremental-decode step: attend the request's single query row
+    /// over its [`KvCache`](crate::kv::KvCache) and return a
+    /// `batch × heads × 1 × dim` output.
+    ///
+    /// The default is the unprotected [`reference_decode`] — every backend
+    /// can serve decode traffic, but only backends with a protected decode
+    /// variant (EFTA) override this to verify cache-resident state and the
+    /// decode arithmetic itself.
+    ///
+    /// [`reference_decode`]: crate::decode::reference_decode
+    fn try_decode(&self, req: &DecodeRequest<'_>) -> Result<AttentionOutput, BackendError> {
+        crate::decode::reference_decode(req)
+    }
+
+    /// [`try_decode`](AttentionBackend::try_decode), panicking on
+    /// [`BackendError`].
+    fn decode(&self, req: &DecodeRequest<'_>) -> AttentionOutput {
+        match self.try_decode(req) {
+            Ok(out) => out,
+            Err(e) => panic!("{} backend failed to decode: {e}", self.name()),
         }
     }
 }
@@ -486,6 +510,11 @@ impl AttentionBackend for EftaBackend {
             &opts,
         ))
     }
+
+    fn try_decode(&self, req: &DecodeRequest<'_>) -> Result<AttentionOutput, BackendError> {
+        // efta_decode resolves req.thresholds itself.
+        crate::decode::efta_decode(req, &self.options)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -599,6 +628,18 @@ impl AttentionBackend for BackendKind {
             BackendKind::Flash => FlashBackend.try_run(req),
             BackendKind::Decoupled(options) => DecoupledBackend { options: *options }.try_run(req),
             BackendKind::Efta(options) => EftaBackend { options: *options }.try_run(req),
+        }
+    }
+
+    fn try_decode(&self, req: &DecodeRequest<'_>) -> Result<AttentionOutput, BackendError> {
+        match self {
+            // The decoupled pipeline's three-kernel O(n²) structure has no
+            // incremental form; like reference and flash it serves decode
+            // through the shared unprotected path.
+            BackendKind::Reference | BackendKind::Flash | BackendKind::Decoupled(_) => {
+                crate::decode::reference_decode(req)
+            }
+            BackendKind::Efta(options) => EftaBackend { options: *options }.try_decode(req),
         }
     }
 }

@@ -1,0 +1,668 @@
+//! Single-query incremental decode over a [`KvCache`].
+//!
+//! Autoregressive serving computes, per step, the attention of **one** new
+//! query row against every cached K/V row. This module provides the two
+//! decode kernels behind [`AttentionBackend::try_decode`]:
+//!
+//! * [`reference_decode`] — unprotected online-softmax single-query
+//!   attention reading the cache raw (what every backend without its own
+//!   protected decode path runs);
+//! * [`efta_decode`] — the EFTA-protected variant: cached K/V blocks are
+//!   re-verified on read against their append-time checksums (SEUs that
+//!   landed in cache-resident state between steps are corrected, not just
+//!   faults inside the GEMM), GEMM I + subtract + EXP are covered by the
+//!   transported product check, the rowsum is SNVR-range-restricted, and
+//!   output checksums `O_c1`/`O_c2` ride the online-softmax rescaling state
+//!   across cache-block steps to one final post-loop verification — the
+//!   prefill kernel's Algorithm 1 restructured around a 1-row tile.
+//!
+//! The checksum GEMM operands are **not** re-encoded per call the way the
+//! prefill kernel must: they are the cache's stored append-time checksums,
+//! so the encode cost is amortised over every decode step that reuses the
+//! block.
+//!
+//! [`AttentionBackend::try_decode`]: crate::backend::AttentionBackend::try_decode
+
+use crate::backend::BackendError;
+use crate::efta::{EftaOptions, GemmProtection, SoftmaxProtection};
+use crate::kv::KvCache;
+use crate::snvr::{restrict_row_max, restrict_rowsum, Restriction};
+use crate::types::{AttentionOutput, FtCounters, PhaseBreakdown};
+use ft_abft::propagate::{residue_counts, transport_subtract_max, verify_products};
+use ft_abft::strided::{correct_strided, strided_sums, strided_sums_weighted, StridedMismatch};
+use ft_abft::thresholds::Thresholds;
+use ft_num::{Matrix, MatrixF32, Tensor4F16, Tensor4F32};
+use ft_sim::cost::Timeline;
+use ft_sim::device::KernelStats;
+use ft_sim::{
+    gemm_flops, gemm_nn_inj, gemm_nt, gemm_nt_inj, FaultInjector, FaultSite, GemmCtx, NoFaults,
+    OpCoord,
+};
+use rayon::prelude::*;
+
+static NO_FAULTS: NoFaults = NoFaults;
+
+/// One decode step: the cache, the new per-slot query row, an injector and
+/// optional threshold override.
+///
+/// Built with [`DecodeRequest::new`] plus the `with_*` builders; consumed by
+/// [`AttentionBackend::try_decode`](crate::backend::AttentionBackend::try_decode).
+#[derive(Clone, Copy)]
+pub struct DecodeRequest<'a> {
+    /// The checksum-protected K/V store (already containing the current
+    /// token's K/V row — decode attends to itself like causal prefill).
+    pub cache: &'a KvCache,
+    /// Query tensor, `batch × heads × 1 × dim`: one new row per slot.
+    pub q: &'a Tensor4F16,
+    /// Fault injector consulted by protected operations.
+    pub injector: &'a dyn FaultInjector,
+    /// Per-request detection-threshold override.
+    pub thresholds: Option<Thresholds>,
+    /// Decode step index (namespaces fault coordinates across steps).
+    pub step: usize,
+}
+
+impl<'a> DecodeRequest<'a> {
+    /// Request decoding `q` against `cache`, fault-free, at step
+    /// `cache.len() - 1` (the just-appended token).
+    ///
+    /// Panics if the query shape disagrees with the cache geometry or the
+    /// cache is empty.
+    pub fn new(cache: &'a KvCache, q: &'a Tensor4F16) -> Self {
+        assert!(!cache.is_empty(), "decode against an empty cache");
+        assert_eq!(
+            (q.batch(), q.heads(), q.seq(), q.dim()),
+            (cache.batch(), cache.heads(), 1, cache.dim()),
+            "query tensor shape does not match the cache geometry",
+        );
+        DecodeRequest {
+            cache,
+            q,
+            injector: &NO_FAULTS,
+            thresholds: None,
+            step: cache.len() - 1,
+        }
+    }
+
+    /// Attach a fault injector.
+    pub fn with_injector(mut self, injector: &'a dyn FaultInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Override the detection thresholds.
+    pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = Some(thresholds);
+        self
+    }
+
+    /// Set the decode step index used for fault coordinates.
+    pub fn at_step(mut self, step: usize) -> Self {
+        self.step = step;
+        self
+    }
+}
+
+impl core::fmt::Debug for DecodeRequest<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DecodeRequest")
+            .field("cache_len", &self.cache.len())
+            .field("step", &self.step)
+            .field("thresholds", &self.thresholds)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Analytic kernel statistics of one decode step (shape-derived, like
+/// [`crate::efta::analytic_stats`]): reads the whole cache once, writes one
+/// row, two rank-1 GEMMs per cached column.
+fn decode_stats(cache: &KvCache, protected: bool) -> KernelStats {
+    let slots = cache.num_slots() as u64;
+    let len = cache.len() as u64;
+    let d = cache.dim() as u64;
+    let mut stats = KernelStats {
+        launches: 1,
+        hbm_read: slots * 2 * len * d * 2,
+        hbm_written: slots * d * 2,
+        tc_flops: slots * 2 * gemm_flops(1, cache.len(), cache.dim()),
+        fp32_flops: slots * 4 * len,
+        sfu_ops: slots * len,
+        serial_flops: 0,
+    };
+    if protected {
+        // Like the prefill cost model (`efta::analytic_stats`), a checksum
+        // operand narrower than 8 still occupies one 8-wide MMA tile on
+        // tensor cores, so the modeled width floors at 8 regardless of the
+        // configured stride or a ragged block's narrower fold.
+        let s = cache.stride().max(8) as u64;
+        // Stored-checksum GEMMs (no encode: amortised at append) plus the
+        // product check and final output verification.
+        stats.tc_flops += slots * 2 * 2 * gemm_flops(1, s as usize, cache.dim());
+        stats.serial_flops += slots * (len + 2 * d + 4 * cache.num_blocks() as u64);
+        stats.hbm_read += slots * 4 * (cache.num_blocks() as u64 * s * d) / 2;
+    }
+    stats
+}
+
+/// Unprotected single-query decode: raw cache reads, online softmax, no
+/// checks. The default [`try_decode`] path for backends without a protected
+/// decode variant — and the baseline that *visibly corrupts* when cached
+/// state is hit.
+///
+/// [`try_decode`]: crate::backend::AttentionBackend::try_decode
+pub fn reference_decode(req: &DecodeRequest<'_>) -> Result<AttentionOutput, BackendError> {
+    let cache = req.cache;
+    let inj = req.injector;
+    let d = cache.dim();
+    let rows: Vec<MatrixF32> = (0..cache.num_slots())
+        .into_par_iter()
+        .map(|slot| {
+            let q_raw = req.q.slot_flat(slot).to_f32();
+            let q_blk = Matrix::from_fn(1, d, |_, j| q_raw.get(0, j) * cache.scale());
+            let mut state = crate::flash::OnlineState::new(1, d);
+            for (jb, c0) in (0..cache.num_blocks()).map(|b| (b, b * cache.block())) {
+                let k_blk = cache.read_k_raw(slot, jb);
+                let v_blk = cache.read_v_raw(slot, jb);
+                let s_blk = gemm_nt_inj(
+                    &q_blk,
+                    &k_blk,
+                    &inj,
+                    GemmCtx::new(FaultSite::GemmIAccum, slot)
+                        .at(req.step, c0)
+                        .iter(3 * jb),
+                );
+                crate::flash::online_update(&mut state, &s_blk, &v_blk);
+            }
+            crate::flash::finalize(&mut state);
+            state.o
+        })
+        .collect();
+    let o = Tensor4F32::from_slots(cache.batch(), cache.heads(), 1, d, rows);
+    let mut timeline = Timeline::new();
+    timeline.push("decode", decode_stats(cache, false));
+    Ok(AttentionOutput {
+        o,
+        timeline,
+        report: Default::default(),
+        phases: PhaseBreakdown::default(),
+    })
+}
+
+/// EFTA-protected single-query decode (see the module docs for the
+/// protection layout). Degenerates to [`reference_decode`] when `opts`
+/// disables both GEMM and softmax protection.
+pub fn efta_decode(
+    req: &DecodeRequest<'_>,
+    opts: &EftaOptions,
+) -> Result<AttentionOutput, BackendError> {
+    if opts.gemm == GemmProtection::Unprotected && opts.softmax == SoftmaxProtection::Unprotected {
+        return reference_decode(req);
+    }
+    if opts.gemm == GemmProtection::Traditional {
+        return Err(BackendError::Unsupported(
+            "decode reuses the cache's strided append-time checksums; the traditional \
+             element scheme has no cached operands to reuse"
+                .into(),
+        ));
+    }
+    let cache = req.cache;
+    let inj = req.injector;
+    let thr = req.thresholds.unwrap_or(opts.thresholds);
+    let d = cache.dim();
+    let step = req.step;
+    // Output-checksum width: the V column fold is over `dim`.
+    let so = cache.stride().min(d);
+    let counters = FtCounters::new();
+    // Corruption permanently absorbed by an append-time re-encode leaves
+    // every per-read report clean; surface the cache's sticky damage count
+    // on every step so the re-prefill signal cannot be missed.
+    FtCounters::add(&counters.cache_uncorrectable, cache.poisoned());
+
+    let rows: Vec<MatrixF32> = (0..cache.num_slots())
+        .into_par_iter()
+        .map(|slot| {
+            let q_raw = req.q.slot_flat(slot).to_f32();
+            let q_blk = Matrix::from_fn(1, d, |_, j| q_raw.get(0, j) * cache.scale());
+            let q_norm = q_blk.row(0).iter().map(|x| x * x).sum::<f32>().sqrt();
+
+            let mut m = f32::NEG_INFINITY;
+            let mut ell = 0.0f32;
+            let mut o: MatrixF32 = Matrix::zeros(1, d);
+            let mut o_c1: MatrixF32 = Matrix::zeros(1, so);
+            let mut o_c2: MatrixF32 = Matrix::zeros(1, so);
+            let mut max_hist: Vec<f32> = Vec::with_capacity(cache.num_blocks());
+            let mut damaged = false;
+
+            for (jb, c0) in (0..cache.num_blocks()).map(|b| (b, b * cache.block())) {
+                // ---- Verified cache reads: residency protection ---------
+                let (k_blk, krep) = cache.read_k_verified(slot, jb);
+                let (v_blk, vrep) = cache.read_v_verified(slot, jb);
+                for rep in [krep, vrep] {
+                    FtCounters::add(&counters.cache_detected, rep.detected);
+                    FtCounters::add(&counters.cache_corrected, rep.corrected);
+                    FtCounters::add(&counters.cache_uncorrectable, rep.uncorrectable);
+                }
+                if krep.uncorrectable + vrep.uncorrectable > 0 {
+                    damaged = true;
+                }
+                let kcs = cache.k_checksums(slot, jb);
+                let vcs = cache.v_checksums(slot, jb);
+                let bc = k_blk.rows();
+                let sb = kcs.stride;
+
+                // ---- GEMM I + stored-checksum GEMMs ---------------------
+                let ctx = |it: usize, col_off: usize| {
+                    GemmCtx::new(FaultSite::GemmIAccum, slot)
+                        .at(step, col_off)
+                        .iter(3 * jb + it)
+                };
+                let mut s_blk = gemm_nt_inj(&q_blk, &k_blk, &inj, ctx(0, c0));
+                let s_c1 = gemm_nt_inj(&q_blk, &kcs.w1, &inj, ctx(1, cache.len() + c0));
+                let s_c2 = gemm_nt_inj(&q_blk, &kcs.w2, &inj, ctx(2, cache.len() + c0));
+
+                // ---- Reduce max + SNVR restriction ----------------------
+                let mut bm = s_blk
+                    .row(0)
+                    .iter()
+                    .cloned()
+                    .fold(f32::NEG_INFINITY, f32::max);
+                bm = inj.corrupt_f32(FaultSite::MaxReduce, OpCoord::new(slot, step, jb, 0), bm);
+                if let Restriction::Repaired { repaired } = restrict_row_max(s_blk.row(0), bm) {
+                    bm = repaired;
+                    FtCounters::add(&counters.max_restricted, 1);
+                }
+                // Cauchy–Schwarz plausibility bound unmasks a positive-huge
+                // hijack (same extension as the prefill kernel). The K row
+                // norm is snapshotted at append time, not rescanned here.
+                let k_max_norm = cache.k_max_norm(slot, jb);
+                if bm > q_norm * k_max_norm * 1.05 + 1e-3 || !bm.is_finite() {
+                    let (mut arg, mut best) = (0usize, f32::NEG_INFINITY);
+                    for (j, &v) in s_blk.row(0).iter().enumerate() {
+                        if v > best || !v.is_finite() {
+                            best = v;
+                            arg = j;
+                        }
+                    }
+                    let mut acc = 0.0f32;
+                    for (a, b) in q_blk.row(0).iter().zip(k_blk.row(arg)) {
+                        acc += a * b;
+                    }
+                    if s_blk.get(0, arg) != acc {
+                        s_blk.set(0, arg, acc);
+                        FtCounters::add(&counters.gemm1_corrected, 1);
+                    }
+                    bm = s_blk
+                        .row(0)
+                        .iter()
+                        .cloned()
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    FtCounters::add(&counters.max_restricted, 1);
+                }
+                let m_new = m.max(bm);
+
+                // ---- Subtract + EXP -------------------------------------
+                let mut p: MatrixF32 = Matrix::zeros(1, bc);
+                for j in 0..bc {
+                    let diff = inj.corrupt_f32(
+                        FaultSite::Subtract,
+                        OpCoord::new(slot, step, c0 + j, jb),
+                        s_blk.get(0, j) - m_new,
+                    );
+                    let e = inj.corrupt_f32(
+                        FaultSite::ExpUnit,
+                        OpCoord::new(slot, step, c0 + j, jb),
+                        diff.exp(),
+                    );
+                    p.set(0, j, e);
+                }
+
+                // ---- Product check: GEMM I ∪ subtract ∪ EXP -------------
+                if opts.softmax == SoftmaxProtection::Snvr {
+                    let counts = residue_counts(bc, sb);
+                    let mut tc1 = s_c1.clone();
+                    transport_subtract_max(&mut tc1, &[m_new], &counts);
+                    let p_c1 = ft_abft::propagate::transport_exp(&tc1);
+                    let mismatches = verify_products(&p, &p_c1, sb, thr.exp_product);
+                    if !mismatches.is_empty() {
+                        FtCounters::add(&counters.exp_detected, mismatches.len() as u64);
+                        let classify_floor = thr.gemm.abs_floor.max(1e-2);
+                        let sums1 = strided_sums(&s_blk, sb);
+                        let sums2 = strided_sums_weighted(&s_blk, sb);
+                        let mut linear = Vec::new();
+                        let mut exp_only = Vec::new();
+                        for mm in &mismatches {
+                            let d1 = sums1.get(0, mm.t) - s_c1.get(0, mm.t);
+                            if d1.abs() > classify_floor || !d1.is_finite() {
+                                linear.push(StridedMismatch {
+                                    i: 0,
+                                    t: mm.t,
+                                    delta1: d1,
+                                    delta2: sums2.get(0, mm.t) - s_c2.get(0, mm.t),
+                                });
+                            } else {
+                                exp_only.push(mm.t);
+                            }
+                        }
+                        if !linear.is_empty() {
+                            let rep = correct_strided(&mut s_blk, &linear, sb);
+                            for loc in &rep.corrected {
+                                let mut acc = 0.0f32;
+                                for (a, b) in q_blk.row(0).iter().zip(k_blk.row(loc.col)) {
+                                    acc += a * b;
+                                }
+                                s_blk.set(0, loc.col, acc);
+                            }
+                            FtCounters::add(&counters.gemm1_detected, rep.detections as u64);
+                            FtCounters::add(&counters.gemm1_corrected, rep.corrected.len() as u64);
+                            if rep.uncorrectable > 0 {
+                                s_blk = gemm_nt(&q_blk, &k_blk);
+                                FtCounters::add(
+                                    &counters.gemm1_recomputed,
+                                    rep.uncorrectable as u64,
+                                );
+                            }
+                            for mm in &linear {
+                                let mut col = mm.t;
+                                while col < bc {
+                                    p.set(0, col, (s_blk.get(0, col) - m_new).exp());
+                                    col += sb;
+                                }
+                            }
+                        }
+                        for t in exp_only {
+                            let mut col = t;
+                            while col < bc {
+                                p.set(0, col, (s_blk.get(0, col) - m_new).exp());
+                                col += sb;
+                            }
+                            FtCounters::add(&counters.exp_recomputed, 1);
+                        }
+                    }
+                }
+
+                // ---- Rowsum + rescale state -----------------------------
+                let factor = if m.is_finite() {
+                    (m - m_new).exp()
+                } else {
+                    0.0
+                };
+                let factor =
+                    inj.corrupt_f32(FaultSite::Rescale, OpCoord::new(slot, step, jb, 2), factor);
+                let mut rs = 0.0f32;
+                for &e in p.row(0) {
+                    rs += e;
+                }
+                let rs = inj.corrupt_f32(FaultSite::SumReduce, OpCoord::new(slot, step, jb, 1), rs);
+                ell = factor * ell + rs;
+                m = m_new;
+                max_hist.push(bm);
+
+                // ---- GEMM II: data + stored-checksum operands -----------
+                let p16 = p.to_f16().to_f32();
+                let ctx2 = |it: usize, col_off: usize| {
+                    GemmCtx::new(FaultSite::GemmIiAccum, slot)
+                        .at(step, col_off)
+                        .iter(3 * jb + it)
+                };
+                let pv = gemm_nn_inj(&p16, &v_blk, &inj, ctx2(0, 0));
+                let pc1 = gemm_nn_inj(&p16, &vcs.w1, &inj, ctx2(1, d));
+                let pc2 = gemm_nn_inj(&p16, &vcs.w2, &inj, ctx2(2, d));
+                for (col, (ov, &dv)) in o.row_mut(0).iter_mut().zip(pv.row(0)).enumerate() {
+                    let scaled = inj.corrupt_f32(
+                        FaultSite::Rescale,
+                        OpCoord::new(slot, step, col, 4000 + jb),
+                        factor * *ov,
+                    );
+                    *ov = scaled + dv;
+                }
+                for (ov, &dv) in o_c1.row_mut(0).iter_mut().zip(pc1.row(0)) {
+                    *ov = factor * *ov + dv;
+                }
+                for (ov, &dv) in o_c2.row_mut(0).iter_mut().zip(pc2.row(0)) {
+                    *ov = factor * *ov + dv;
+                }
+            }
+
+            // ---- Post-loop SNVR rowsum restriction ----------------------
+            if opts.softmax == SoftmaxProtection::Snvr {
+                if let Restriction::Repaired { repaired } =
+                    restrict_rowsum(ell, &max_hist, m, cache.len())
+                {
+                    ell = repaired;
+                    FtCounters::add(&counters.sum_restricted, 1);
+                }
+            }
+
+            // ---- Normalise (output + checksums) -------------------------
+            let inv = inj.corrupt_f32(
+                FaultSite::Normalize,
+                OpCoord::new(slot, step, 0, 999),
+                1.0 / ell,
+            );
+            for (col, v) in o.row_mut(0).iter_mut().enumerate() {
+                *v = inj.corrupt_f32(
+                    FaultSite::Normalize,
+                    OpCoord::new(slot, step, col, 1000),
+                    *v * inv,
+                );
+            }
+            for v in o_c1.row_mut(0).iter_mut().chain(o_c2.row_mut(0)) {
+                *v *= inv;
+            }
+
+            // ---- Final unified output verification ----------------------
+            let sums1 = strided_sums(&o, so);
+            let sums2 = strided_sums_weighted(&o, so);
+            let mut mismatches = Vec::new();
+            for t in 0..so {
+                if thr.output.detects(sums1.get(0, t), o_c1.get(0, t)) {
+                    mismatches.push(StridedMismatch {
+                        i: 0,
+                        t,
+                        delta1: sums1.get(0, t) - o_c1.get(0, t),
+                        delta2: sums2.get(0, t) - o_c2.get(0, t),
+                    });
+                }
+            }
+            if !mismatches.is_empty() {
+                let rep = correct_strided(&mut o, &mismatches, so);
+                FtCounters::add(&counters.gemm2_detected, rep.detections as u64);
+                FtCounters::add(&counters.gemm2_corrected, rep.corrected.len() as u64);
+                let catastrophic = rep.corrected.iter().any(|l| {
+                    !l.delta.is_finite()
+                        || l.delta.abs() > 1e3 * (o_c1.get(0, l.col % so).abs() + 1.0)
+                });
+                if rep.uncorrectable > 0 || catastrophic {
+                    FtCounters::add(&counters.gemm2_recomputed, rep.uncorrectable.max(1) as u64);
+                    damaged = true;
+                }
+            }
+
+            if damaged {
+                // Recomputation fallback over verified reads: clean online
+                // softmax of the whole row (cache-uncorrectable damage stays
+                // in the data, but the report carries that signal).
+                let mut state = crate::flash::OnlineState::new(1, d);
+                for jb in 0..cache.num_blocks() {
+                    let (k_blk, _) = cache.read_k_verified(slot, jb);
+                    let (v_blk, _) = cache.read_v_verified(slot, jb);
+                    let s_blk = gemm_nt(&q_blk, &k_blk);
+                    crate::flash::online_update(&mut state, &s_blk, &v_blk);
+                }
+                crate::flash::finalize(&mut state);
+                o = state.o;
+            }
+            o
+        })
+        .collect();
+
+    let o = Tensor4F32::from_slots(cache.batch(), cache.heads(), 1, d, rows);
+    let mut timeline = Timeline::new();
+    timeline.push("decode", decode_stats(cache, true));
+    Ok(AttentionOutput {
+        o,
+        timeline,
+        report: counters.snapshot(),
+        phases: PhaseBreakdown::default(),
+    })
+}
+
+/// Prefill-equivalent oracle for decode tests: row `t` of causal exact
+/// attention equals the decode output at step `t`.
+pub fn causal_reference_rows(
+    q: &Tensor4F16,
+    k: &Tensor4F16,
+    v: &Tensor4F16,
+    scale: f32,
+) -> Tensor4F32 {
+    let slots: Vec<MatrixF32> = (0..q.num_slots())
+        .map(|i| {
+            crate::reference::reference_attention_slot(
+                &q.slot_flat(i).to_f32(),
+                &k.slot_flat(i).to_f32(),
+                &v.slot_flat(i).to_f32(),
+                scale,
+                true,
+            )
+        })
+        .collect();
+    Tensor4F32::from_slots(q.batch(), q.heads(), q.seq(), q.dim(), slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{AttentionBackend, BackendKind};
+    use ft_num::rng::normal_tensor_f16;
+    use ft_sim::SeuInjector;
+
+    fn workload(seq: usize, dim: usize, seed: u64) -> (Tensor4F16, Tensor4F16, Tensor4F16) {
+        let q = normal_tensor_f16(seed, 1, 2, seq, dim, 0.6);
+        let k = normal_tensor_f16(seed + 1, 1, 2, seq, dim, 0.6);
+        let v = normal_tensor_f16(seed + 2, 1, 2, seq, dim, 0.8);
+        (q, k, v)
+    }
+
+    fn fill(cache: &mut KvCache, k: &Tensor4F16, v: &Tensor4F16, upto: usize) {
+        for t in cache.len()..upto {
+            let k1 = Tensor4F16::from_fn(1, 2, 1, k.dim(), |b, h, _, c| k.slot(b, h).get(t, c));
+            let v1 = Tensor4F16::from_fn(1, 2, 1, v.dim(), |b, h, _, c| v.slot(b, h).get(t, c));
+            cache.append(&k1, &v1);
+        }
+    }
+
+    fn q_row(q: &Tensor4F16, t: usize) -> Tensor4F16 {
+        Tensor4F16::from_fn(1, 2, 1, q.dim(), |b, h, _, c| q.slot(b, h).get(t, c))
+    }
+
+    #[test]
+    fn decode_steps_match_causal_prefill_rows() {
+        let (q, k, v) = workload(21, 16, 70);
+        let oracle = causal_reference_rows(&q, &k, &v, 0.25);
+        let mut cache = KvCache::new(1, 2, 16, 8, 8, 0.25);
+        for t in 0..21 {
+            fill(&mut cache, &k, &v, t + 1);
+            let qt = q_row(&q, t);
+            let req = DecodeRequest::new(&cache, &qt).at_step(t);
+            let reference = reference_decode(&req).unwrap();
+            let efta = efta_decode(&req, &EftaOptions::optimized()).unwrap();
+            assert!(efta.report.clean(), "step {t}: {:?}", efta.report);
+            for slot in 0..2 {
+                for c in 0..16 {
+                    let want = oracle.slot_flat(slot).get(t, c);
+                    let got_ref = reference.o.slot_flat(slot).get(0, c);
+                    let got_efta = efta.o.slot_flat(slot).get(0, c);
+                    assert!(
+                        (got_ref - want).abs() < 1e-4,
+                        "ref step {t} slot {slot} col {c}: {got_ref} vs {want}"
+                    );
+                    assert!(
+                        (got_efta - want).abs() < 5e-3,
+                        "efta step {t} slot {slot} col {c}: {got_efta} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_seu_in_decode_is_detected_and_repaired() {
+        let (q, k, v) = workload(24, 16, 71);
+        let mut cache = KvCache::new(1, 2, 16, 8, 8, 0.25);
+        fill(&mut cache, &k, &v, 24);
+        let qt = q_row(&q, 23);
+        let req = DecodeRequest::new(&cache, &qt).at_step(23);
+        let clean = efta_decode(&req, &EftaOptions::optimized()).unwrap();
+        // Exponent flip in the GEMM I chain of cached column 10 (block 1).
+        let inj = SeuInjector::new(FaultSite::GemmIAccum, OpCoord::new(1, 23, 10, 3), 30)
+            .at_chain_step(8);
+        let req = req.with_injector(&inj);
+        let out = efta_decode(&req, &EftaOptions::optimized()).unwrap();
+        assert_eq!(inj.fired(), 1);
+        assert!(out.report.total_detected() > 0, "{:?}", out.report);
+        assert!(out.o.max_abs_diff(&clean.o) < 5e-2);
+    }
+
+    #[test]
+    fn cache_resident_seu_corrected_by_efta_but_corrupts_reference() {
+        let (q, k, v) = workload(20, 16, 72);
+        let mut cache = KvCache::new(1, 2, 16, 8, 8, 0.25);
+        fill(&mut cache, &k, &v, 20);
+        let qt = q_row(&q, 19);
+        let clean_req = DecodeRequest::new(&cache, &qt).at_step(19);
+        let clean = efta_decode(&clean_req, &EftaOptions::optimized()).unwrap();
+
+        let inj = SeuInjector::new(FaultSite::KvCache, OpCoord::new(0, 7, 3, 0), 14);
+        cache.expose(&inj, 0);
+        assert_eq!(inj.fired(), 1);
+        let req = DecodeRequest::new(&cache, &qt).at_step(19);
+        let protected = efta_decode(&req, &EftaOptions::optimized()).unwrap();
+        assert!(
+            protected.report.cache_detected > 0,
+            "{:?}",
+            protected.report
+        );
+        assert!(protected.report.cache_corrected > 0);
+        assert!(protected.o.max_abs_diff(&clean.o) < 5e-2);
+
+        let bare = reference_decode(&req).unwrap();
+        assert!(bare.report.clean());
+        assert!(
+            bare.o.max_abs_diff(&clean.o) > 1e-2,
+            "unprotected decode must let cached-state corruption through: {}",
+            bare.o.max_abs_diff(&clean.o)
+        );
+    }
+
+    #[test]
+    fn unprotected_options_fall_back_to_reference() {
+        let (q, k, v) = workload(12, 16, 73);
+        let mut cache = KvCache::new(1, 2, 16, 8, 8, 0.25);
+        fill(&mut cache, &k, &v, 12);
+        let qt = q_row(&q, 11);
+        let req = DecodeRequest::new(&cache, &qt).at_step(11);
+        let a = efta_decode(&req, &EftaOptions::unprotected()).unwrap();
+        let b = reference_decode(&req).unwrap();
+        assert_eq!(a.o.max_abs_diff(&b.o), 0.0);
+    }
+
+    #[test]
+    fn every_backend_kind_decodes_through_the_trait() {
+        let (q, k, v) = workload(10, 16, 74);
+        let mut cache = KvCache::new(1, 2, 16, 8, 8, 0.25);
+        fill(&mut cache, &k, &v, 10);
+        let qt = q_row(&q, 9);
+        let req = DecodeRequest::new(&cache, &qt).at_step(9);
+        let oracle = reference_decode(&req).unwrap();
+        for kind in BackendKind::all() {
+            let out = kind
+                .try_decode(&req)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(
+                out.o.max_abs_diff(&oracle.o) < 5e-3,
+                "{kind}: {}",
+                out.o.max_abs_diff(&oracle.o)
+            );
+        }
+    }
+}

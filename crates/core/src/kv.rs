@@ -1,0 +1,645 @@
+//! Checksum-protected KV cache for autoregressive decode.
+//!
+//! Serving traffic is dominated by incremental decode over cached K/V, a
+//! path whose state is *long-lived*: a soft error landing in a cached key
+//! between steps silently poisons every subsequent token. The paper's EFTA
+//! kernels protect state only while it flows through the fused prefill
+//! kernel; this module extends the same strided tensor-checksum algebra
+//! (§3.3, Eqs. 12–15) to cache residency:
+//!
+//! * every K block carries **row-folded** strided checksums
+//!   (`w1[t][c] = Σ_l K[t + s·l][c]`) — a corrupted `K[r][c]` perturbs
+//!   exactly lane `(r mod s, c)`, and the weighted/plain delta ratio
+//!   locates the group, hence the row;
+//! * every V block carries **column-folded** checksums
+//!   (`w1[r][t] = Σ_l V[r][t + s·l]`) — a corrupted `V[r][c]` is located
+//!   the same way along the row;
+//! * the *same* stored operand pairs double as the checksum GEMM operands
+//!   of the EFTA decode kernel (`S_c1 = q·w1ᵀ`, `O_c1 = p·w1`), so the
+//!   per-block encode cost the prefill kernel pays on every call is paid
+//!   **once at append time** and amortised over every future decode step.
+//!
+//! Checksums are stored in FP32 and treated as protected metadata (they are
+//! tiny compared to the payload — see [`KvCache::checksum_bytes`] — and a
+//! real deployment would keep them in ECC-scrubbed memory); the fault
+//! surface is the FP16 payload, targeted through [`KvCache::expose`] with
+//! [`FaultSite::KvCache`].
+
+use ft_abft::strided::{encode_cols_strided, encode_rows_strided, StridedChecksums};
+use ft_num::{MatrixF16, MatrixF32, Tensor4F16};
+use ft_sim::{FaultInjector, FaultSite, OpCoord};
+
+/// Verification criterion for cache reads: the stored checksum and the
+/// re-folded sum are computed by the *same* loop over the same f32 values,
+/// so a clean block reproduces them bit-exactly — any discrepancy above
+/// f32 noise is a corruption. (Contrast the GEMM checks, whose FP16
+/// tensor-core noise needs calibrated thresholds.)
+const READ_CHECK_FLOOR: f32 = 1e-6;
+
+/// One cached block: up to `block` rows of K and V plus their checksums.
+#[derive(Clone, Debug)]
+struct KvBlock {
+    /// Cached key rows (FP16 payload, the fault surface).
+    k: MatrixF16,
+    /// Cached value rows.
+    v: MatrixF16,
+    /// Row-folded checksums of `k` (shape `s × dim`): storage integrity
+    /// reference *and* GEMM I checksum operands.
+    k_cs: StridedChecksums,
+    /// Column-folded checksums of `v` (shape `rows × s`): storage integrity
+    /// reference *and* GEMM II checksum operands.
+    v_cs: StridedChecksums,
+    /// Largest Euclidean row norm of `k`, snapshotted at encode time —
+    /// the Cauchy–Schwarz bound the EFTA decode kernel uses to unmask
+    /// max hijacks, amortised here like the checksum operands instead of
+    /// rescanned every step.
+    k_max_norm: f32,
+}
+
+impl KvBlock {
+    fn encode(k: &MatrixF16, v: &MatrixF16, stride: usize) -> Self {
+        let kf = k.to_f32();
+        let vf = v.to_f32();
+        // Row-fold stride adapts to ragged (still-filling) blocks; the
+        // column fold is over `dim`, which never changes.
+        let sk = stride.min(kf.rows());
+        let sv = stride.min(vf.cols());
+        let k_max_norm = (0..kf.rows())
+            .map(|r| kf.row(r).iter().map(|x| x * x).sum::<f32>().sqrt())
+            .fold(0.0f32, f32::max);
+        KvBlock {
+            k_cs: encode_rows_strided(&kf, sk, false),
+            v_cs: encode_cols_strided(&vf, sv, false),
+            k: k.clone(),
+            v: v.clone(),
+            k_max_norm,
+        }
+    }
+}
+
+/// Outcome of verified cache reads (and scrubs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KvReadReport {
+    /// Checksum lanes that flagged a mismatch.
+    pub detected: u64,
+    /// Elements located and corrected.
+    pub corrected: u64,
+    /// Mismatches that could not be located (multi-error aliasing in one
+    /// lane). The cached data cannot be recomputed — callers must treat the
+    /// sequence as damaged (re-prefill).
+    pub uncorrectable: u64,
+}
+
+impl KvReadReport {
+    /// Field-wise sum.
+    pub fn merged(&self, other: &KvReadReport) -> KvReadReport {
+        KvReadReport {
+            detected: self.detected + other.detected,
+            corrected: self.corrected + other.corrected,
+            uncorrectable: self.uncorrectable + other.uncorrectable,
+        }
+    }
+
+    /// True when nothing flagged.
+    pub fn clean(&self) -> bool {
+        self.detected == 0
+    }
+}
+
+/// Checksum-protected per-(batch, head) K/V store for incremental decode.
+///
+/// Rows are appended one token at a time (or several for chunked prefill);
+/// storage is organised in blocks of `block` rows so the decode kernels
+/// iterate it exactly like the prefill kernels iterate their operands.
+#[derive(Clone, Debug)]
+pub struct KvCache {
+    batch: usize,
+    heads: usize,
+    dim: usize,
+    block: usize,
+    stride: usize,
+    scale: f32,
+    len: usize,
+    /// Sticky count of unlocatable corruption events swallowed by
+    /// re-encoding (append heals) or scrubs. Once a heal re-stamps
+    /// checksums over unrepairable rows the per-read reports go clean
+    /// again, so this counter is the only surviving damage signal.
+    poisoned: u64,
+    /// `batch × heads` slots, each a list of blocks.
+    slots: Vec<Vec<KvBlock>>,
+}
+
+impl KvCache {
+    /// Empty cache for `batch × heads` slots of `dim`-wide rows, tiled in
+    /// `block`-row blocks with checksum stride `stride` and score scale
+    /// `scale` (conventionally `1/sqrt(dim)`).
+    pub fn new(
+        batch: usize,
+        heads: usize,
+        dim: usize,
+        block: usize,
+        stride: usize,
+        scale: f32,
+    ) -> Self {
+        assert!(block > 0 && stride > 0 && dim > 0);
+        KvCache {
+            batch,
+            heads,
+            dim,
+            block,
+            stride,
+            scale,
+            len: 0,
+            poisoned: 0,
+            slots: vec![Vec::new(); batch * heads],
+        }
+    }
+
+    /// Cache for `batch × heads` slots at head dimension `dim` with the
+    /// paper's defaults: 64-row blocks (the CTA tile), stride-8 checksums,
+    /// `1/sqrt(dim)` score scale. The cache grows dynamically.
+    pub fn for_geometry(batch: usize, heads: usize, dim: usize) -> Self {
+        Self::new(
+            batch,
+            heads,
+            dim,
+            64,
+            ft_abft::strided::DEFAULT_STRIDE,
+            1.0 / (dim as f32).sqrt(),
+        )
+    }
+
+    /// Tokens cached per slot.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before the first append.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Head dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Block size (rows per block).
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Checksum stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Score scale applied to queries by the decode kernels.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Number of `(batch, head)` slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of blocks currently held per slot.
+    pub fn num_blocks(&self) -> usize {
+        self.len.div_ceil(self.block)
+    }
+
+    /// Rows held by block `b` (the last block may be ragged).
+    pub fn block_rows(&self, b: usize) -> usize {
+        debug_assert!(b < self.num_blocks());
+        if b + 1 == self.num_blocks() && !self.len.is_multiple_of(self.block) {
+            self.len % self.block
+        } else {
+            self.block
+        }
+    }
+
+    /// FP16 bytes of cached payload.
+    pub fn size_bytes(&self) -> u64 {
+        2 * (self.num_slots() * self.len * self.dim * 2) as u64
+    }
+
+    /// FP32 bytes of checksum metadata (the protection overhead).
+    pub fn checksum_bytes(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|b| {
+                4 * (b.k_cs.w1.len() + b.k_cs.w2.len() + b.v_cs.w1.len() + b.v_cs.w2.len()) as u64
+            })
+            .sum()
+    }
+
+    /// Append `n` new token rows per slot (`k`/`v` are
+    /// `batch × heads × n × dim`; decode appends `n = 1`). The trailing
+    /// (possibly ragged) block's checksums are re-encoded — *after* the
+    /// stored rows are verified against the old checksums and healed, so a
+    /// corruption that landed in the still-filling block is repaired rather
+    /// than silently baked into the fresh encoding. Returns the integrity
+    /// report of that pre-append verification.
+    pub fn append(&mut self, k: &Tensor4F16, v: &Tensor4F16) -> KvReadReport {
+        for (name, t) in [("k", k), ("v", v)] {
+            assert_eq!(
+                (t.batch(), t.heads(), t.dim()),
+                (self.batch, self.heads, self.dim),
+                "{name} rows do not match the cache geometry",
+            );
+        }
+        let n = k.seq();
+        assert_eq!(v.seq(), n, "k/v row counts differ");
+        let mut report = KvReadReport::default();
+        for slot in 0..self.num_slots() {
+            let km = k.slot_flat(slot);
+            let vm = v.slot_flat(slot);
+            for r in 0..n {
+                let row = self.len + r;
+                let (blocks, block, stride) = (&mut self.slots[slot], self.block, self.stride);
+                if row.is_multiple_of(block) {
+                    // Open a fresh block with this single row.
+                    let k1 = km.block(r, 0, 1, self.dim);
+                    let v1 = vm.block(r, 0, 1, self.dim);
+                    blocks.push(KvBlock::encode(&k1, &v1, stride));
+                } else {
+                    let last = blocks.last_mut().expect("non-empty trailing block");
+                    let mut kf = last.k.to_f32();
+                    let mut vf = last.v.to_f32();
+                    report = report
+                        .merged(&verify_rows(&mut kf, &last.k_cs))
+                        .merged(&verify_cols(&mut vf, &last.v_cs));
+                    let k_new = MatrixF16::vstack(&[&kf.to_f16(), &km.block(r, 0, 1, self.dim)]);
+                    let v_new = MatrixF16::vstack(&[&vf.to_f16(), &vm.block(r, 0, 1, self.dim)]);
+                    *last = KvBlock::encode(&k_new, &v_new, stride);
+                }
+            }
+        }
+        self.len += n;
+        // Re-encoding stamped clean checksums over rows the verification
+        // could not restore — record that permanently.
+        self.poisoned += report.uncorrectable;
+        report
+    }
+
+    /// Sticky count of unlocatable corruption events absorbed by heals:
+    /// once non-zero, per-read reports can look clean while the payload is
+    /// wrong, and the only recovery is re-prefilling the sequence. The
+    /// EFTA decode path folds this into every step's `cache_uncorrectable`
+    /// so the damage signal cannot be missed.
+    pub fn poisoned(&self) -> u64 {
+        self.poisoned
+    }
+
+    /// Unverified f32 copy of K block `b` in slot `slot` (the unprotected
+    /// read path: whatever sits in storage, corrupted or not).
+    pub fn read_k_raw(&self, slot: usize, b: usize) -> MatrixF32 {
+        self.slots[slot][b].k.to_f32()
+    }
+
+    /// Unverified f32 copy of V block `b` in slot `slot`.
+    pub fn read_v_raw(&self, slot: usize, b: usize) -> MatrixF32 {
+        self.slots[slot][b].v.to_f32()
+    }
+
+    /// Stored checksum operands of K block `b` (GEMM I operands).
+    pub fn k_checksums(&self, slot: usize, b: usize) -> &StridedChecksums {
+        &self.slots[slot][b].k_cs
+    }
+
+    /// Stored checksum operands of V block `b` (GEMM II operands).
+    pub fn v_checksums(&self, slot: usize, b: usize) -> &StridedChecksums {
+        &self.slots[slot][b].v_cs
+    }
+
+    /// Largest K row norm of block `b`, snapshotted at append time (the
+    /// decode kernel's Cauchy–Schwarz max-plausibility bound).
+    pub fn k_max_norm(&self, slot: usize, b: usize) -> f32 {
+        self.slots[slot][b].k_max_norm
+    }
+
+    /// Verified read of K block `b`: re-fold the stored rows, compare
+    /// against the append-time checksums, locate and correct corrupted
+    /// elements in the returned copy (storage itself is left untouched —
+    /// see [`scrub`](KvCache::scrub) for in-place repair).
+    pub fn read_k_verified(&self, slot: usize, b: usize) -> (MatrixF32, KvReadReport) {
+        let blk = &self.slots[slot][b];
+        let mut kf = blk.k.to_f32();
+        let report = verify_rows(&mut kf, &blk.k_cs);
+        (kf, report)
+    }
+
+    /// Verified read of V block `b` (column-folded checksums).
+    pub fn read_v_verified(&self, slot: usize, b: usize) -> (MatrixF32, KvReadReport) {
+        let blk = &self.slots[slot][b];
+        let mut vf = blk.v.to_f32();
+        let report = verify_cols(&mut vf, &blk.v_cs);
+        (vf, report)
+    }
+
+    /// Model soft errors landing in cache-resident state: every stored FP16
+    /// element is offered to `inj` at [`FaultSite::KvCache`] with coordinate
+    /// `(slot, global_row, col, 2·step + which)` (`which` = 0 for K, 1 for
+    /// V). `step` keeps repeated exposure of the same element across decode
+    /// steps from re-deriving the same stateless-hash decision.
+    pub fn expose(&mut self, inj: &dyn FaultInjector, step: u64) {
+        if inj.is_noop() {
+            return;
+        }
+        let block = self.block;
+        for (slot, blocks) in self.slots.iter_mut().enumerate() {
+            for (b, blk) in blocks.iter_mut().enumerate() {
+                for which in 0..2u64 {
+                    let m = if which == 0 { &mut blk.k } else { &mut blk.v };
+                    for r in 0..m.rows() {
+                        for c in 0..m.cols() {
+                            let coord = OpCoord {
+                                slot: slot as u64,
+                                i: (b * block + r) as u64,
+                                j: c as u64,
+                                k: 2 * step + which,
+                            };
+                            let old = m.get(r, c);
+                            let new = inj.corrupt_f16(FaultSite::KvCache, coord, old);
+                            if new != old {
+                                m.set(r, c, new);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// In-place integrity pass over the whole cache: verify every block and
+    /// write located corrections back to the FP16 payload (the maintenance
+    /// scrub a serving loop runs between requests).
+    pub fn scrub(&mut self) -> KvReadReport {
+        let mut total = KvReadReport::default();
+        for slot in 0..self.num_slots() {
+            for b in 0..self.slots[slot].len() {
+                let (kf, krep) = self.read_k_verified(slot, b);
+                if !krep.clean() {
+                    self.slots[slot][b].k = kf.to_f16();
+                }
+                let (vf, vrep) = self.read_v_verified(slot, b);
+                if !vrep.clean() {
+                    self.slots[slot][b].v = vf.to_f16();
+                }
+                total = total.merged(&krep).merged(&vrep);
+            }
+        }
+        total
+    }
+}
+
+/// Verify a K-style block against row-folded checksums; corrects `m` in
+/// place. A corrupted `m[r][c]` shows up in lane `(r mod s, c)` of `w1`
+/// with delta `Δ` and in `w2` with `(l+1)·Δ`, locating the group `l` and
+/// hence the row.
+fn verify_rows(m: &mut MatrixF32, cs: &StridedChecksums) -> KvReadReport {
+    let fresh = encode_rows_strided(m, cs.stride, false);
+    let mut report = KvReadReport::default();
+    let s = cs.stride;
+    for t in 0..fresh.w1.rows() {
+        for c in 0..fresh.w1.cols() {
+            let d1 = fresh.w1.get(t, c) - cs.w1.get(t, c);
+            if d1.abs() <= READ_CHECK_FLOOR && d1.is_finite() {
+                continue;
+            }
+            report.detected += 1;
+            let d2 = fresh.w2.get(t, c) - cs.w2.get(t, c);
+            match locate_group(d1, d2, cs.groups) {
+                Some(l) if t + s * l < m.rows() => {
+                    let row = t + s * l;
+                    m.set(row, c, m.get(row, c) - d1);
+                    report.corrected += 1;
+                }
+                _ => report.uncorrectable += 1,
+            }
+        }
+    }
+    report
+}
+
+/// Verify a V-style block against column-folded checksums; corrects `m` in
+/// place (same ratio location, along the row).
+fn verify_cols(m: &mut MatrixF32, cs: &StridedChecksums) -> KvReadReport {
+    let fresh = encode_cols_strided(m, cs.stride, false);
+    let mut report = KvReadReport::default();
+    let s = cs.stride;
+    for r in 0..fresh.w1.rows() {
+        for t in 0..fresh.w1.cols() {
+            let d1 = fresh.w1.get(r, t) - cs.w1.get(r, t);
+            if d1.abs() <= READ_CHECK_FLOOR && d1.is_finite() {
+                continue;
+            }
+            report.detected += 1;
+            let d2 = fresh.w2.get(r, t) - cs.w2.get(r, t);
+            match locate_group(d1, d2, cs.groups) {
+                Some(l) if t + s * l < m.cols() => {
+                    let col = t + s * l;
+                    m.set(r, col, m.get(r, col) - d1);
+                    report.corrected += 1;
+                }
+                _ => report.uncorrectable += 1,
+            }
+        }
+    }
+    report
+}
+
+/// Locate the folded group from the weighted/plain delta ratio
+/// (`Δ2/Δ1 = l + 1` for a single error in group `l`); `None` when the
+/// ratio is implausible (multi-error aliasing, non-finite).
+fn locate_group(d1: f32, d2: f32, groups: usize) -> Option<usize> {
+    let ratio = d2 / d1;
+    if !ratio.is_finite() || (ratio - ratio.round()).abs() >= 0.25 {
+        return None;
+    }
+    let l = ratio.round() as i64 - 1;
+    if l >= 0 && (l as usize) < groups {
+        Some(l as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_num::rng::normal_tensor_f16;
+    use ft_sim::{BerInjector, NoFaults, SeuInjector};
+
+    fn filled_cache(tokens: usize, block: usize) -> KvCache {
+        let mut cache = KvCache::new(1, 2, 16, block, 8, 0.25);
+        for t in 0..tokens {
+            let k = normal_tensor_f16(100 + t as u64, 1, 2, 1, 16, 0.6);
+            let v = normal_tensor_f16(500 + t as u64, 1, 2, 1, 16, 0.8);
+            cache.append(&k, &v);
+        }
+        cache
+    }
+
+    #[test]
+    fn append_grows_blocks_with_ragged_tail() {
+        let cache = filled_cache(21, 8);
+        assert_eq!(cache.len(), 21);
+        assert_eq!(cache.num_blocks(), 3);
+        assert_eq!(cache.block_rows(0), 8);
+        assert_eq!(cache.block_rows(2), 5);
+        assert_eq!(cache.read_k_raw(1, 2).rows(), 5);
+    }
+
+    #[test]
+    fn clean_reads_verify_silently_and_match_raw() {
+        let cache = filled_cache(13, 8);
+        for slot in 0..2 {
+            for b in 0..cache.num_blocks() {
+                let (k, rep) = cache.read_k_verified(slot, b);
+                assert!(rep.clean(), "{rep:?}");
+                assert_eq!(k, cache.read_k_raw(slot, b));
+                let (v, rep) = cache.read_v_verified(slot, b);
+                assert!(rep.clean(), "{rep:?}");
+                assert_eq!(v, cache.read_v_raw(slot, b));
+            }
+        }
+    }
+
+    #[test]
+    fn exposed_k_flip_is_located_and_corrected_on_read() {
+        let mut cache = filled_cache(16, 8);
+        let truth = cache.read_k_raw(1, 1);
+        // Exponent-range flip in stored K[12][5] of slot 1 (block 1, row 4).
+        let inj = SeuInjector::new(FaultSite::KvCache, OpCoord::new(1, 12, 5, 0), 13);
+        cache.expose(&inj, 0);
+        assert_eq!(inj.fired(), 1);
+        assert!(cache.read_k_raw(1, 1).max_abs_diff(&truth) > 1e-3);
+        let (k, rep) = cache.read_k_verified(1, 1);
+        assert_eq!(rep.detected, 1);
+        assert_eq!(rep.corrected, 1);
+        assert_eq!(rep.uncorrectable, 0);
+        assert!(k.max_abs_diff(&truth) < 1e-5, "{}", k.max_abs_diff(&truth));
+    }
+
+    #[test]
+    fn exposed_v_flip_is_located_and_corrected_on_read() {
+        let mut cache = filled_cache(10, 8);
+        let truth = cache.read_v_raw(0, 0);
+        let inj = SeuInjector::new(FaultSite::KvCache, OpCoord::new(0, 3, 9, 1), 14);
+        cache.expose(&inj, 0);
+        assert_eq!(inj.fired(), 1);
+        let (v, rep) = cache.read_v_verified(0, 0);
+        assert_eq!((rep.detected, rep.corrected), (1, 1));
+        assert!(v.max_abs_diff(&truth) < 1e-5);
+    }
+
+    #[test]
+    fn scrub_repairs_storage_in_place() {
+        let mut cache = filled_cache(16, 8);
+        let truth = cache.read_k_raw(0, 0);
+        let inj = SeuInjector::new(FaultSite::KvCache, OpCoord::new(0, 2, 3, 0), 12);
+        cache.expose(&inj, 5);
+        assert_eq!(inj.fired(), 0, "step 5 exposure needs k = 2*5");
+        let inj = SeuInjector::new(FaultSite::KvCache, OpCoord::new(0, 2, 3, 10), 12);
+        cache.expose(&inj, 5);
+        assert_eq!(inj.fired(), 1);
+        let rep = cache.scrub();
+        assert_eq!((rep.detected, rep.corrected), (1, 1));
+        assert_eq!(cache.read_k_raw(0, 0), truth, "scrub restores payload");
+        assert!(cache.scrub().clean(), "second scrub finds nothing");
+    }
+
+    #[test]
+    fn aliased_double_corruption_is_flagged_uncorrectable() {
+        let mut cache = filled_cache(16, 16);
+        // Two equal-delta corruptions in the same lane (rows 0 and 8 share
+        // residue 0 at stride 8, same column): ratio (1Δ+2Δ)/2Δ = 1.5.
+        let blk = cache.read_k_raw(0, 0);
+        let d = 2.0f32;
+        let mut k16 = blk.clone();
+        k16.set(0, 4, blk.get(0, 4) + d);
+        k16.set(8, 4, blk.get(8, 4) + d);
+        cache.slots[0][0].k = k16.to_f16();
+        let (_, rep) = cache.read_k_verified(0, 0);
+        assert!(rep.detected >= 1);
+        assert!(rep.uncorrectable >= 1, "{rep:?}");
+    }
+
+    #[test]
+    fn append_over_unrepairable_corruption_stays_poisoned() {
+        // Trailing ragged block of 12 rows (block 16, stride 8): rows 0 and
+        // 8 share a checksum lane. Equal-delta corruption in both aliases
+        // (ratio 1.5) is unlocatable; the next append re-encodes clean
+        // checksums over the damage — the sticky counter must survive.
+        let mut cache = filled_cache(12, 16);
+        let mut k16 = cache.read_k_raw(0, 0);
+        let d = 2.0f32;
+        k16.set(0, 4, k16.get(0, 4) + d);
+        k16.set(8, 4, k16.get(8, 4) + d);
+        cache.slots[0][0].k = k16.to_f16();
+        assert_eq!(cache.poisoned(), 0);
+        let k = normal_tensor_f16(800, 1, 2, 1, 16, 0.6);
+        let v = normal_tensor_f16(801, 1, 2, 1, 16, 0.8);
+        let rep = cache.append(&k, &v);
+        assert!(rep.uncorrectable >= 1, "{rep:?}");
+        assert!(cache.poisoned() >= 1);
+        // The re-encoded block now verifies clean (laundered)…
+        let (_, rep) = cache.read_k_verified(0, 0);
+        assert!(rep.clean(), "{rep:?}");
+        // …but the sticky signal persists, and the protected decode path
+        // re-surfaces it on every subsequent step's report.
+        assert!(cache.poisoned() >= 1);
+        let q = normal_tensor_f16(802, 1, 2, 1, 16, 0.6);
+        let req = crate::decode::DecodeRequest::new(&cache, &q);
+        let out = crate::decode::efta_decode(&req, &crate::efta::EftaOptions::optimized()).unwrap();
+        assert!(out.report.cache_uncorrectable >= 1, "{:?}", out.report);
+        assert!(
+            !out.report.clean(),
+            "poisoned cache must never report clean"
+        );
+    }
+
+    #[test]
+    fn expose_under_ber_corrupts_and_scrub_recovers_most() {
+        let mut cache = filled_cache(32, 8);
+        let inj = BerInjector::new(9, 2e-3).with_sites(&[FaultSite::KvCache]);
+        cache.expose(&inj, 1);
+        assert!(
+            inj.fired() > 0,
+            "BER exposure must fire on a 2k-element cache"
+        );
+        let rep = cache.scrub();
+        assert!(rep.detected >= inj.fired() / 2);
+        assert!(rep.corrected > 0);
+    }
+
+    #[test]
+    fn noop_exposure_is_free_and_checksum_overhead_is_small() {
+        let mut cache = filled_cache(64, 64);
+        cache.expose(&NoFaults, 0);
+        assert!(cache.scrub().clean());
+        // At the paper's head dim (64) the FP32 metadata of stride-8
+        // checksums stays a modest fraction of the FP16 payload.
+        let mut cache = KvCache::new(1, 2, 64, 64, 8, 0.125);
+        for t in 0..64 {
+            let k = normal_tensor_f16(900 + t, 1, 2, 1, 64, 0.6);
+            let v = normal_tensor_f16(990 + t, 1, 2, 1, 64, 0.8);
+            cache.append(&k, &v);
+        }
+        let ratio = cache.checksum_bytes() as f64 / cache.size_bytes() as f64;
+        assert!(ratio < 0.6, "checksum overhead ratio {ratio}");
+    }
+}

@@ -55,6 +55,15 @@
 //! * [`dmr`] / [`snvr`] — the softmax protection schemes compared in
 //!   Fig. 13, selectable through [`efta::EftaOptions`].
 //!
+//! ## Incremental decode
+//!
+//! Serving traffic decodes one token at a time over cached K/V. The
+//! checksum-protected store is [`kv::KvCache`]; a
+//! [`DecodeRequest`](decode::DecodeRequest) runs one step through
+//! [`try_decode`](backend::AttentionBackend::try_decode) on any backend —
+//! EFTA's variant re-verifies cache-resident state on read and carries its
+//! output checksums across the online-softmax rescales ([`decode`]).
+//!
 //! The pre-API free functions (`efta_attention` & friends) remain as
 //! hidden shims delegating to the trait.
 
@@ -62,10 +71,12 @@
 
 pub mod backend;
 pub mod config;
+pub mod decode;
 pub mod decoupled;
 pub mod dmr;
 pub mod efta;
 pub mod flash;
+pub mod kv;
 pub mod reference;
 pub mod snvr;
 pub mod types;
@@ -75,6 +86,7 @@ pub use backend::{
     FlashBackend, ReferenceBackend,
 };
 pub use config::AttentionConfig;
+pub use decode::DecodeRequest;
 pub use decoupled::{
     analytic_timeline as decoupled_analytic_timeline, hbm_demand as decoupled_hbm_demand,
     DecoupledOptions,
@@ -83,6 +95,7 @@ pub use efta::{
     analytic_stats as efta_analytic_stats, EftaOptions, GemmProtection, SoftmaxProtection,
     VerifyMode,
 };
+pub use kv::{KvCache, KvReadReport};
 pub use types::{AttentionOutput, FtReport, PhaseBreakdown};
 
 #[doc(hidden)]

@@ -32,6 +32,14 @@ pub struct FtCounters {
     pub gemm2_recomputed: AtomicU64,
     /// DMR disagreement events (decoupled / DMR-softmax paths).
     pub dmr_retries: AtomicU64,
+    /// Checksum mismatches detected on cache-resident K/V state at read.
+    pub cache_detected: AtomicU64,
+    /// Cache-resident errors located and corrected on read.
+    pub cache_corrected: AtomicU64,
+    /// Cache-resident mismatches that could not be located (the original
+    /// data is gone — unlike GEMM faults there is nothing to recompute
+    /// from, so these are surfaced for the serving layer to re-prefill).
+    pub cache_uncorrectable: AtomicU64,
 }
 
 impl FtCounters {
@@ -54,6 +62,9 @@ impl FtCounters {
             gemm2_corrected: self.gemm2_corrected.load(Ordering::Relaxed),
             gemm2_recomputed: self.gemm2_recomputed.load(Ordering::Relaxed),
             dmr_retries: self.dmr_retries.load(Ordering::Relaxed),
+            cache_detected: self.cache_detected.load(Ordering::Relaxed),
+            cache_corrected: self.cache_corrected.load(Ordering::Relaxed),
+            cache_uncorrectable: self.cache_uncorrectable.load(Ordering::Relaxed),
         }
     }
 
@@ -90,6 +101,12 @@ pub struct FtReport {
     pub gemm2_recomputed: u64,
     /// DMR disagreement events.
     pub dmr_retries: u64,
+    /// Checksum mismatches detected on cache-resident K/V state at read.
+    pub cache_detected: u64,
+    /// Cache-resident errors located and corrected on read.
+    pub cache_corrected: u64,
+    /// Cache-resident mismatches that could not be located.
+    pub cache_uncorrectable: u64,
 }
 
 impl FtReport {
@@ -101,6 +118,7 @@ impl FtReport {
             + self.sum_restricted
             + self.gemm2_detected
             + self.dmr_retries
+            + self.cache_detected
     }
 
     /// Total repair actions (corrections + recomputations + restrictions).
@@ -112,11 +130,14 @@ impl FtReport {
             + self.sum_restricted
             + self.gemm2_corrected
             + self.gemm2_recomputed
+            + self.cache_corrected
     }
 
-    /// True when nothing fired.
+    /// True when nothing fired *and* no unrepairable cache damage is on
+    /// record (sticky `cache_uncorrectable` alone must keep a report dirty:
+    /// laundered cache corruption raises no fresh detections afterwards).
     pub fn clean(&self) -> bool {
-        self.total_detected() == 0
+        self.total_detected() == 0 && self.cache_uncorrectable == 0
     }
 
     /// Field-wise sum with another report (batched/multi-run aggregation).
@@ -133,6 +154,9 @@ impl FtReport {
             gemm2_corrected: self.gemm2_corrected + other.gemm2_corrected,
             gemm2_recomputed: self.gemm2_recomputed + other.gemm2_recomputed,
             dmr_retries: self.dmr_retries + other.dmr_retries,
+            cache_detected: self.cache_detected + other.cache_detected,
+            cache_corrected: self.cache_corrected + other.cache_corrected,
+            cache_uncorrectable: self.cache_uncorrectable + other.cache_uncorrectable,
         }
     }
 }

@@ -1,0 +1,172 @@
+//! Property tests for the software binary16 via the proptest shim — the
+//! edge cases the inline unit tests don't sweep: full-bit-pattern round
+//! trips, round-to-nearest-even tie behaviour, subnormals, and NaN/Inf
+//! arithmetic. Every checksum threshold in the workspace is calibrated to
+//! this type's rounding noise, so its conversion semantics are contract.
+
+use ft_num::f16::{EXPONENT_BIAS, MANTISSA_BITS};
+use ft_num::{quantize_f32, F16};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn prop_round_trip_any_bit_pattern(bits in 0u32..0x1_0000) {
+        // u32 strategy so the inclusive top pattern 0xFFFF (all-ones NaN)
+        // is reachable — the shim only supports exclusive ranges.
+        let bits = bits as u16;
+        let h = F16::from_bits(bits);
+        let back = F16::from_f32(h.to_f32());
+        if h.is_nan() {
+            prop_assert!(back.is_nan(), "NaN-ness must survive {bits:#06x}");
+        } else {
+            // Every finite/Inf binary16 is exactly representable in f32, so
+            // the round trip is the identity on the bit pattern.
+            prop_assert_eq!(back.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn prop_conversion_is_nearest(v in -70000.0f32..70000.0) {
+        // The result of from_f32 must be at least as close to v as either
+        // of its representable neighbours (nearest rounding).
+        let h = F16::from_f32(v);
+        if !h.is_nan() && !h.is_infinite() {
+            let err = (h.to_f64() - v as f64).abs();
+            for neighbour in [
+                F16::from_bits(h.to_bits().wrapping_add(1)),
+                F16::from_bits(h.to_bits().wrapping_sub(1)),
+            ] {
+                if neighbour.is_nan() || neighbour.is_infinite() {
+                    continue;
+                }
+                let nerr = (neighbour.to_f64() - v as f64).abs();
+                prop_assert!(
+                    err <= nerr,
+                    "{v}: chose {h:?} (err {err:e}) over {neighbour:?} (err {nerr:e})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_ties_round_to_even_mantissa(bits in 0x0400u16..0x7BFF) {
+        // Exact midpoint between a finite normal h and its successor must
+        // round to whichever of the two has an even mantissa LSB.
+        let h = F16::from_bits(bits);
+        let next = F16::from_bits(bits + 1);
+        if !next.is_infinite() {
+            // Midpoint is exact in f32 (11 significant f16 bits + 1).
+            let mid = (h.to_f32() + next.to_f32()) * 0.5;
+            let rounded = F16::from_f32(mid);
+            prop_assert!(
+                rounded == h || rounded == next,
+                "midpoint of {h:?}/{next:?} rounded to {rounded:?}"
+            );
+            prop_assert_eq!(
+                rounded.to_bits() & 1,
+                0,
+                "tie must round to the even mantissa: {:?} -> {:?}", mid, rounded
+            );
+        }
+    }
+
+    #[test]
+    fn prop_subnormals_round_trip_and_classify(bits in 1u16..0x0400) {
+        let h = F16::from_bits(bits);
+        prop_assert!(h.is_subnormal());
+        prop_assert!(h.is_finite());
+        let f = h.to_f32();
+        // All positive subnormals lie strictly below the smallest normal.
+        prop_assert!(f > 0.0 && f < F16::MIN_POSITIVE.to_f32());
+        // Exact multiple of 2^-24.
+        let scaled = f / 2.0f32.powi(-24);
+        prop_assert_eq!(scaled, scaled.round());
+        prop_assert_eq!(F16::from_f32(f).to_bits(), bits);
+    }
+
+    #[test]
+    fn prop_halving_min_subnormal_ties_to_zero_even(mult in 1u16..0x0200) {
+        // (2k+1)·2^-25 is an exact tie between subnormal neighbours k and
+        // k+1 scaled by 2^-24; nearest-even keeps the even one.
+        let odd = 2 * mult - 1;
+        let v = odd as f32 * 2.0f32.powi(-25);
+        let h = F16::from_f32(v);
+        prop_assert_eq!(h.to_bits() & 1, 0, "{}*2^-25 -> {:#06x}", odd, h.to_bits());
+        let err = (h.to_f32() - v).abs();
+        prop_assert!(err <= 2.0f32.powi(-25) + f32::EPSILON);
+    }
+
+    #[test]
+    fn prop_nan_payload_and_sign_survive(mantissa in 1u32..0x0040_0000, neg in prop::bool::ANY) {
+        // f32 NaNs convert to f16 NaNs, quieted, keeping the sign.
+        let sign = if neg { 0x8000_0000u32 } else { 0 };
+        let nan = f32::from_bits(sign | 0x7F80_0000 | mantissa);
+        let h = F16::from_f32(nan);
+        prop_assert!(h.is_nan());
+        prop_assert_eq!(h.is_sign_negative(), neg);
+        // Quiet bit set (hardware converter behaviour).
+        prop_assert!(h.to_bits() & 0x0200 != 0);
+    }
+
+    #[test]
+    fn prop_infinity_arithmetic(v in -60000.0f32..60000.0) {
+        let x = F16::from_f32(v);
+        prop_assert_eq!(F16::INFINITY + x, F16::INFINITY);
+        prop_assert_eq!(F16::NEG_INFINITY + x, F16::NEG_INFINITY);
+        prop_assert!((F16::INFINITY - F16::INFINITY).is_nan());
+        prop_assert!((F16::INFINITY * F16::ZERO).is_nan());
+    }
+
+    #[test]
+    fn prop_overflow_boundary_is_exact(delta in 0u32..31) {
+        // 65520 is the RN tie to Inf; everything in (65488, 65520) rounds
+        // to MAX (65488 itself is a tie that rounds *down* to even 65472),
+        // everything at/above 65520 goes to Inf.
+        let below = 65520.0 - (delta + 1) as f32;
+        let above = 65520.0 + delta as f32;
+        prop_assert_eq!(F16::from_f32(below), F16::MAX);
+        prop_assert_eq!(F16::from_f32(above), F16::INFINITY);
+        prop_assert_eq!(F16::from_f32(-above), F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn prop_quantize_is_monotone_projection(a in -65000.0f32..65000.0, b in -65000.0f32..65000.0) {
+        let (qa, qb) = (quantize_f32(a), quantize_f32(b));
+        if a <= b {
+            prop_assert!(qa <= qb);
+        }
+        prop_assert_eq!(quantize_f32(qa).to_bits(), qa.to_bits());
+    }
+
+    #[test]
+    fn prop_ulp_distance_is_a_metric(
+        x in 0x0001u16..0x7C00,
+        y in 0x0001u16..0x7C00,
+        z in 0x0001u16..0x7C00,
+        sx in prop::bool::ANY,
+        sy in prop::bool::ANY,
+        sz in prop::bool::ANY,
+    ) {
+        let sign = |bits: u16, neg: bool| F16::from_bits(bits | if neg { 0x8000 } else { 0 });
+        let (a, b, c) = (sign(x, sx), sign(y, sy), sign(z, sz));
+        prop_assert_eq!(a.ulp_distance(b), b.ulp_distance(a), "symmetry");
+        prop_assert_eq!(a.ulp_distance(a), 0, "identity");
+        prop_assert!(
+            a.ulp_distance(b) <= a.ulp_distance(c) + c.ulp_distance(b),
+            "triangle inequality through {c:?}"
+        );
+    }
+}
+
+#[test]
+fn constants_are_consistent_with_field_widths() {
+    assert_eq!(MANTISSA_BITS, 10);
+    assert_eq!(EXPONENT_BIAS, 15);
+    // MAX = (2 − 2^-10) · 2^15.
+    assert_eq!(
+        F16::MAX.to_f32(),
+        (2.0 - 2.0f32.powi(-10)) * 2.0f32.powi(15)
+    );
+}

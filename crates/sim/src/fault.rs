@@ -50,6 +50,13 @@ pub enum FaultSite {
     LinearAccum,
     /// Activation function unit in the feed-forward module.
     Activation,
+    /// Cache-resident state: an FP16 K/V element sitting in a decode cache
+    /// between steps. The paper's prefill kernels assume ECC makes stored
+    /// tensors safe, but serving-scale KV caches are long-lived and large
+    /// enough that undetected upsets in cached state matter (the ALBERTA
+    /// argument); this site lets campaigns target exactly that residency
+    /// window via `KvCache::expose`.
+    KvCache,
 }
 
 impl FaultSite {
@@ -66,11 +73,12 @@ impl FaultSite {
             FaultSite::Normalize => 8,
             FaultSite::LinearAccum => 9,
             FaultSite::Activation => 10,
+            FaultSite::KvCache => 11,
         }
     }
 
     /// All sites, for exhaustive injection tests.
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::GemmIAccum,
         FaultSite::GemmIiAccum,
         FaultSite::Subtract,
@@ -81,6 +89,7 @@ impl FaultSite {
         FaultSite::Normalize,
         FaultSite::LinearAccum,
         FaultSite::Activation,
+        FaultSite::KvCache,
     ];
 }
 

@@ -1,7 +1,7 @@
 //! A pre-norm transformer block: `x + MHA(LN(x))`, then `x + FFN(LN(x))`.
 
 use crate::ffn::{FeedForward, FfnReport};
-use crate::mha::{BackendKind, MhaReport, MultiHeadAttention};
+use crate::mha::{BackendKind, KvCache, MhaReport, MultiHeadAttention};
 use crate::norm::LayerNorm;
 use ft_abft::thresholds::Thresholds;
 use ft_num::MatrixF32;
@@ -77,6 +77,41 @@ impl TransformerBlock {
             for (v, f) in h.row_mut(i).iter_mut().zip(ff.row(i)) {
                 *v += f;
             }
+        }
+        (h, report)
+    }
+
+    /// Incremental-decode forward over a single `1 × hidden` token row,
+    /// attending through `cache` instead of re-running the full sequence.
+    pub fn forward_decode<I: FaultInjector>(
+        &self,
+        x: &MatrixF32,
+        cache: &mut KvCache,
+        inj: &I,
+        layer_idx: usize,
+        thresholds: &Thresholds,
+    ) -> (MatrixF32, BlockReport) {
+        let mut report = BlockReport::default();
+
+        let mut normed = x.clone();
+        self.ln1.forward(&mut normed);
+        let (attn, mha_rep) =
+            self.mha
+                .forward_decode(&normed, cache, inj, layer_idx * 2, thresholds);
+        report.mha = mha_rep;
+        let mut h = x.clone();
+        for (v, a) in h.row_mut(0).iter_mut().zip(attn.row(0)) {
+            *v += a;
+        }
+
+        let mut normed2 = h.clone();
+        self.ln2.forward(&mut normed2);
+        let (ff, ffn_rep) = self
+            .ffn
+            .forward(&normed2, inj, layer_idx * 2 + 1, thresholds);
+        report.ffn = ffn_rep;
+        for (v, f) in h.row_mut(0).iter_mut().zip(ff.row(0)) {
+            *v += f;
         }
         (h, report)
     }

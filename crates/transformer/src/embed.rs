@@ -45,11 +45,21 @@ impl Embedding {
 
     /// Embed a token sequence: `seq × hidden` activations (token + position).
     pub fn forward(&self, tokens: &[u32]) -> MatrixF32 {
-        assert!(tokens.len() <= self.max_seq, "sequence exceeds max_seq");
+        self.forward_at(tokens, 0)
+    }
+
+    /// Embed tokens occupying absolute positions `start_pos..` — the decode
+    /// path embeds one token at a time at its true position so cached and
+    /// prefill activations agree.
+    pub fn forward_at(&self, tokens: &[u32], start_pos: usize) -> MatrixF32 {
+        assert!(
+            start_pos + tokens.len() <= self.max_seq,
+            "sequence exceeds max_seq"
+        );
         let hidden = self.hidden();
         Matrix::from_fn(tokens.len(), hidden, |i, j| {
             let tok = tokens[i] as usize % self.vocab();
-            self.table.get(tok, j).to_f32() + self.positional(i, j, hidden)
+            self.table.get(tok, j).to_f32() + self.positional(start_pos + i, j, hidden)
         })
     }
 }

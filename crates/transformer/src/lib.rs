@@ -9,6 +9,13 @@
 //! Weights are seeded-random: Fig. 15 measures *time overhead ratios* of
 //! fault tolerance inside whole-model inference, which depends on tensor
 //! shapes, not weight values.
+//!
+//! Generation runs over the checksum-protected KV-cache decode path
+//! ([`TransformerModel::generate`] / [`TransformerModel::decode_step`] with
+//! a [`ModelKvCache`]): O(cache) work per token instead of a full prefill,
+//! with cache-resident state re-verified every step. The pre-cache
+//! prefill-per-token baseline survives as
+//! [`TransformerModel::generate_prefill`].
 
 #![warn(missing_docs)]
 
@@ -30,6 +37,6 @@ pub use ffn::FeedForward;
 pub use linear::{Linear, LinearProtection};
 #[doc(hidden)]
 pub use mha::AttentionKernel;
-pub use mha::{BackendKind, MhaReport, MultiHeadAttention};
-pub use model::{ModelReport, TransformerModel};
+pub use mha::{BackendKind, KvCache, MhaReport, MultiHeadAttention};
+pub use model::{ModelKvCache, ModelReport, TransformerModel};
 pub use norm::LayerNorm;

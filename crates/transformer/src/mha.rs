@@ -5,11 +5,13 @@ use crate::linear::{Linear, LinearReport};
 use ft_abft::thresholds::Thresholds;
 use ft_core::backend::{AttentionBackend, AttentionRequest};
 use ft_core::config::AttentionConfig;
+use ft_core::decode::DecodeRequest;
 use ft_core::types::FtReport;
 use ft_num::{Matrix, MatrixF32, Tensor4F16};
 use ft_sim::FaultInjector;
 
 pub use ft_core::backend::BackendKind;
+pub use ft_core::kv::KvCache;
 
 /// Pre-`BackendKind` name of the kernel selector, kept for downstream code.
 #[doc(hidden)]
@@ -30,6 +32,11 @@ pub struct MultiHeadAttention {
     pub heads: usize,
     /// Attention backend selection.
     pub kernel: BackendKind,
+    /// Causal masking for the prefill path. The decode path is inherently
+    /// causal (the cache only holds the past), so prefill must be causal
+    /// too for the two to produce the same activations. Unmasked prefill
+    /// (the paper's benchmark setting) remains the default.
+    pub causal: bool,
 }
 
 /// FT events of one MHA forward.
@@ -52,6 +59,7 @@ impl MultiHeadAttention {
             wo: Linear::random(seed + 3, hidden, hidden),
             heads,
             kernel,
+            causal: false,
         }
     }
 
@@ -104,12 +112,70 @@ impl MultiHeadAttention {
         let qt = self.split_heads(&q);
         let kt = self.split_heads(&k);
         let vt = self.split_heads(&v);
-        let cfg = AttentionConfig::new(1, self.heads, seq, hd).with_auto_block();
+        let cfg = AttentionConfig::new(1, self.heads, seq, hd)
+            .with_auto_block()
+            .with_causal(self.causal);
 
         let out = self
             .kernel
             .run(&AttentionRequest::new(cfg, &qt, &kt, &vt).with_injector(inj));
         report.attention = out.report;
+
+        let merged = self.merge_heads(&out.o);
+        let (y, r4) = self
+            .wo
+            .forward(&merged, inj, layer_slot * 8 + 3, thresholds);
+        report.projections.detected += r4.detected;
+        report.projections.corrected += r4.corrected;
+        report.projections.recomputed += r4.recomputed;
+        (y, report)
+    }
+
+    /// Fresh per-layer KV cache matching this module's head geometry.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::for_geometry(1, self.heads, self.wq.out_features() / self.heads)
+    }
+
+    /// One incremental-decode step over a `1 × hidden` activation row:
+    /// project Q/K/V for the new token, append K/V to `cache`, and attend
+    /// the query over the whole cache through the backend's
+    /// [`try_decode`](AttentionBackend::try_decode) path — O(cache len)
+    /// work instead of the O(seq²) full prefill.
+    pub fn forward_decode<I: FaultInjector>(
+        &self,
+        x: &MatrixF32,
+        cache: &mut KvCache,
+        inj: &I,
+        layer_slot: usize,
+        thresholds: &Thresholds,
+    ) -> (MatrixF32, MhaReport) {
+        assert_eq!(x.rows(), 1, "decode processes one token row at a time");
+        let mut report = MhaReport::default();
+
+        let (q, r1) = self.wq.forward(x, inj, layer_slot * 8, thresholds);
+        let (k, r2) = self.wk.forward(x, inj, layer_slot * 8 + 1, thresholds);
+        let (v, r3) = self.wv.forward(x, inj, layer_slot * 8 + 2, thresholds);
+        for r in [r1, r2, r3] {
+            report.projections.detected += r.detected;
+            report.projections.corrected += r.corrected;
+            report.projections.recomputed += r.recomputed;
+        }
+
+        let qt = self.split_heads(&q);
+        let heal = cache.append(&self.split_heads(&k), &self.split_heads(&v));
+        let step = cache.len() - 1;
+        let req = DecodeRequest::new(cache, &qt)
+            .with_injector(inj)
+            .with_thresholds(*thresholds)
+            .at_step(step);
+        let out = self.kernel.decode(&req);
+        report.attention = out.report;
+        report.attention.cache_detected += heal.detected;
+        report.attention.cache_corrected += heal.corrected;
+        // heal.uncorrectable is deliberately NOT added: append already
+        // folded it into the cache's sticky `poisoned` counter, which the
+        // protected decode surfaces as cache_uncorrectable every step —
+        // adding it here would double-count the same physical event.
 
         let merged = self.merge_heads(&out.o);
         let (y, r4) = self

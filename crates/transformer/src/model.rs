@@ -4,7 +4,7 @@ use crate::block::{BlockReport, TransformerBlock};
 use crate::configs::ModelConfig;
 use crate::embed::Embedding;
 use crate::linear::{Linear, LinearProtection};
-use crate::mha::BackendKind;
+use crate::mha::{BackendKind, KvCache};
 use crate::norm::LayerNorm;
 use ft_abft::thresholds::Thresholds;
 use ft_num::MatrixF32;
@@ -34,6 +34,56 @@ pub struct ModelReport {
     pub total_detected: u64,
     /// Sum over blocks.
     pub total_repaired: u64,
+    /// Unrepairable cache-resident damage events seen by the decode path
+    /// (sticky: once a cache is poisoned every later step re-reports it).
+    /// Non-zero means the only true recovery is re-prefilling the stream —
+    /// serving layers must check this, not just detected/repaired.
+    pub cache_uncorrectable: u64,
+}
+
+impl ModelReport {
+    /// Field-wise accumulate (multi-step aggregation).
+    pub fn accumulate(&mut self, other: &ModelReport) {
+        self.total_detected += other.total_detected;
+        self.total_repaired += other.total_repaired;
+        self.cache_uncorrectable = self.cache_uncorrectable.max(other.cache_uncorrectable);
+    }
+}
+
+/// Per-layer KV caches plus the number of token positions fed so far — the
+/// whole mutable state of one decode stream.
+#[derive(Clone, Debug)]
+pub struct ModelKvCache {
+    /// One checksummed [`KvCache`] per transformer block.
+    pub layers: Vec<KvCache>,
+    /// Tokens decoded into the caches so far (the next token's position).
+    pub positions: usize,
+}
+
+impl ModelKvCache {
+    /// Tokens fed so far.
+    pub fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// Total FP16 payload bytes across layers.
+    pub fn size_bytes(&self) -> u64 {
+        self.layers.iter().map(KvCache::size_bytes).sum()
+    }
+
+    /// Total FP32 checksum-metadata bytes across layers.
+    pub fn checksum_bytes(&self) -> u64 {
+        self.layers.iter().map(KvCache::checksum_bytes).sum()
+    }
+
+    /// Sticky unrepairable-damage count across layers (see
+    /// [`KvCache::poisoned`]): non-zero means this stream's cached state is
+    /// permanently wrong and the only recovery is a fresh prefill. Works
+    /// for every backend, including the unprotected decode paths that
+    /// never report cache events.
+    pub fn poisoned(&self) -> u64 {
+        self.layers.iter().map(KvCache::poisoned).sum()
+    }
 }
 
 impl TransformerModel {
@@ -65,10 +115,12 @@ impl TransformerModel {
 
     /// Forward pass: token ids → logits (`seq × vocab`).
     pub fn forward<I: FaultInjector>(&self, tokens: &[u32], inj: &I) -> (MatrixF32, ModelReport) {
-        let (h, report) = self.forward_hidden(tokens, inj);
-        let (logits, _) = self
+        let (h, mut report) = self.forward_hidden(tokens, inj);
+        let (logits, head_rep) = self
             .lm_head
             .forward(&h, inj, usize::MAX / 2, &self.thresholds);
+        report.total_detected += head_rep.detected;
+        report.total_repaired += head_rep.corrected + head_rep.recomputed;
         (logits, report)
     }
 
@@ -91,8 +143,111 @@ impl TransformerModel {
         (h, report)
     }
 
-    /// Greedy generation: append `new_tokens` ids chosen by argmax.
+    /// Enable/disable causal masking on every block's attention (decode and
+    /// prefill then compute the same function; EFTA backends support the
+    /// causal setting only through the decode path).
+    pub fn with_causal(mut self, causal: bool) -> Self {
+        for b in &mut self.blocks {
+            b.mha.causal = causal;
+        }
+        self
+    }
+
+    /// Fresh decode state: one empty checksummed KV cache per block.
+    pub fn new_cache(&self) -> ModelKvCache {
+        ModelKvCache {
+            layers: self.blocks.iter().map(|b| b.mha.new_cache()).collect(),
+            positions: 0,
+        }
+    }
+
+    /// One incremental-decode step: embed `token` at the cache's next
+    /// position, run every block through its KV cache, and return the
+    /// `1 × vocab` logits row. O(cache len) attention and O(1) projection
+    /// work — versus a full prefill per token.
+    ///
+    /// Before computing, all cached state is exposed to the injector at
+    /// [`ft_sim::FaultSite::KvCache`]: cache-resident SEUs accumulate
+    /// *between* steps, which is exactly the residency window the
+    /// checksummed cache protects.
+    pub fn decode_step<I: FaultInjector>(
+        &self,
+        token: u32,
+        cache: &mut ModelKvCache,
+        inj: &I,
+    ) -> (MatrixF32, ModelReport) {
+        assert_eq!(
+            cache.layers.len(),
+            self.blocks.len(),
+            "cache does not belong to this model"
+        );
+        let pos = cache.positions;
+        let mut h = self.embed.forward_at(&[token], pos);
+        let mut report = ModelReport::default();
+        let layers = self.blocks.len();
+        for (l, (block, layer_cache)) in self.blocks.iter().zip(&mut cache.layers).enumerate() {
+            // Distinct exposure step per (position, layer): stateless-hash
+            // injectors would otherwise fire bit-identical fault patterns
+            // in every layer's cache.
+            layer_cache.expose(inj, (pos * layers + l) as u64);
+            let (next, rep) = block.forward_decode(&h, layer_cache, inj, l, &self.thresholds);
+            h = next;
+            report.absorb(&rep);
+        }
+        self.final_norm.forward(&mut h);
+        cache.positions += 1;
+        let (logits, head_rep) = self
+            .lm_head
+            .forward(&h, inj, usize::MAX / 2, &self.thresholds);
+        report.total_detected += head_rep.detected;
+        report.total_repaired += head_rep.corrected + head_rep.recomputed;
+        (logits, report)
+    }
+
+    /// Greedy generation over the checksummed KV-cache decode path: the
+    /// prompt is fed token by token (populating the caches), then each new
+    /// token costs one O(cache) decode step instead of an O(seq) prefill.
     pub fn generate<I: FaultInjector>(
+        &self,
+        prompt: &[u32],
+        new_tokens: usize,
+        inj: &I,
+    ) -> (Vec<u32>, ModelReport) {
+        assert!(!prompt.is_empty(), "generation needs at least one token");
+        let mut cache = self.new_cache();
+        let mut report = ModelReport::default();
+        let mut tokens = prompt.to_vec();
+        let mut logits = None;
+        for &t in prompt {
+            let (l, rep) = self.decode_step(t, &mut cache, inj);
+            report.accumulate(&rep);
+            logits = Some(l);
+        }
+        for i in 0..new_tokens {
+            if tokens.len() >= self.config.max_seq {
+                break;
+            }
+            let next = argmax(logits.as_ref().expect("prompt fed").row(0)) as u32;
+            tokens.push(next);
+            // The final selected token's logits are never consumed — skip
+            // its decode step (a full model forward) unless more tokens
+            // will be drawn.
+            if i + 1 < new_tokens && tokens.len() < self.config.max_seq {
+                let (l, rep) = self.decode_step(next, &mut cache, inj);
+                report.accumulate(&rep);
+                logits = Some(l);
+            }
+        }
+        (tokens, report)
+    }
+
+    /// Greedy generation by full re-prefill each step — the pre-KV-cache
+    /// path, kept as the baseline the `decode` bench measures speedup
+    /// against. Note its attention is *bidirectional* under the default
+    /// non-causal configuration, while the cached path is inherently
+    /// causal; build the model [`with_causal`](TransformerModel::with_causal)
+    /// to make the two paths compute the same function.
+    pub fn generate_prefill<I: FaultInjector>(
         &self,
         prompt: &[u32],
         new_tokens: usize,
@@ -101,25 +256,28 @@ impl TransformerModel {
         let mut tokens = prompt.to_vec();
         let mut report = ModelReport::default();
         for _ in 0..new_tokens {
-            let (logits, rep) = self.forward(&tokens, inj);
-            report.total_detected += rep.total_detected;
-            report.total_repaired += rep.total_repaired;
-            let last = logits.row(logits.rows() - 1);
-            let mut best = 0usize;
-            let mut best_v = f32::NEG_INFINITY;
-            for (i, &v) in last.iter().enumerate() {
-                if v > best_v {
-                    best_v = v;
-                    best = i;
-                }
-            }
-            tokens.push(best as u32);
             if tokens.len() >= self.config.max_seq {
                 break;
             }
+            let (logits, rep) = self.forward(&tokens, inj);
+            report.accumulate(&rep);
+            tokens.push(argmax(logits.row(logits.rows() - 1)) as u32);
         }
         (tokens, report)
     }
+}
+
+/// Index of the largest logit.
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
 }
 
 impl ModelReport {
@@ -134,6 +292,9 @@ impl ModelReport {
             + rep.ffn.projections.corrected
             + rep.ffn.projections.recomputed
             + rep.ffn.activation.restricted;
+        // Summed across the layers of one step; across steps the sticky
+        // re-reports are folded by `accumulate`'s max, not re-summed.
+        self.cache_uncorrectable += rep.mha.attention.cache_uncorrectable;
     }
 }
 
@@ -197,6 +358,100 @@ mod tests {
         assert_eq!(out.len(), 7);
         let (out2, _) = model.generate(&[5, 6, 7], 4, &NoFaults);
         assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn decode_steps_match_causal_prefill_logits() {
+        // The acceptance contract of the KV-cache path: feeding tokens one
+        // at a time through decode_step reproduces, at every position, the
+        // last-row logits of a causal prefill over the same prefix.
+        let model =
+            TransformerModel::random(6, tiny_config(), BackendKind::Flash).with_causal(true);
+        let tokens: Vec<u32> = (0..19).map(|i| (i * 13) % 101).collect();
+        let mut cache = model.new_cache();
+        for t in 1..=tokens.len() {
+            let (step_logits, _) = self::decode_prefix(&model, &tokens[..t], &mut cache);
+            let (prefill_logits, _) = model.forward(&tokens[..t], &NoFaults);
+            let diff: f32 = step_logits
+                .row(0)
+                .iter()
+                .zip(prefill_logits.row(t - 1))
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max);
+            assert!(diff < 2e-2, "prefix {t}: logits diff {diff}");
+        }
+    }
+
+    /// Feed exactly the *new* suffix of `prefix` into the cache.
+    fn decode_prefix(
+        model: &TransformerModel,
+        prefix: &[u32],
+        cache: &mut ModelKvCache,
+    ) -> (MatrixF32, ModelReport) {
+        let mut out = None;
+        for &t in &prefix[cache.positions()..] {
+            out = Some(model.decode_step(t, cache, &NoFaults));
+        }
+        out.expect("non-empty suffix")
+    }
+
+    #[test]
+    fn cached_generate_matches_causal_prefill_generate() {
+        let model =
+            TransformerModel::random(7, tiny_config(), BackendKind::Flash).with_causal(true);
+        let prompt = [5u32, 6, 7, 8];
+        let (cached, _) = model.generate(&prompt, 5, &NoFaults);
+        let (prefill, _) = model.generate_prefill(&prompt, 5, &NoFaults);
+        assert_eq!(cached, prefill, "the two generation paths must agree");
+    }
+
+    #[test]
+    fn efta_decode_matches_flash_decode_when_clean() {
+        use ft_core::efta::EftaOptions;
+        let flash =
+            TransformerModel::random(8, tiny_config(), BackendKind::Flash).with_causal(true);
+        let efta = TransformerModel {
+            blocks: flash
+                .blocks
+                .iter()
+                .map(|b| TransformerBlock {
+                    mha: crate::mha::MultiHeadAttention {
+                        kernel: BackendKind::Efta(EftaOptions::optimized()),
+                        ..b.mha.clone()
+                    },
+                    ..b.clone()
+                })
+                .collect(),
+            ..flash.clone()
+        };
+        let prompt = [3u32, 9, 27, 81, 40];
+        let (tf, _) = flash.generate(&prompt, 4, &NoFaults);
+        let (te, rep) = efta.generate(&prompt, 4, &NoFaults);
+        assert_eq!(rep.total_detected, 0, "clean decode must raise no alarms");
+        assert_eq!(tf, te, "EFTA decode tokens must match flash decode");
+    }
+
+    #[test]
+    fn cache_resident_fault_is_absorbed_by_efta_decode() {
+        use ft_core::efta::EftaOptions;
+        use ft_sim::BerInjector;
+        let model = TransformerModel::random(
+            9,
+            tiny_config(),
+            BackendKind::Efta(EftaOptions::optimized()),
+        )
+        .with_causal(true);
+        let prompt = [2u32, 4, 8, 16, 32, 64];
+        let (clean, _) = model.generate(&prompt, 4, &NoFaults);
+        // Bombard only cache-resident state.
+        let inj = BerInjector::new(1234, 2e-3).with_sites(&[FaultSite::KvCache]);
+        let (dirty, rep) = model.generate(&prompt, 4, &inj);
+        assert!(inj.fired() > 0, "exposure must hit the cache");
+        assert!(
+            rep.total_detected > 0,
+            "cache checksums must notice: {rep:?}"
+        );
+        assert_eq!(clean, dirty, "decode output must be fault-free");
     }
 
     #[test]
