@@ -1,8 +1,10 @@
 //! # ft-bench — experiment harness for the FT-Transformer reproduction
 //!
 //! One binary per table/figure of the paper's evaluation section (run with
-//! `cargo run -p ft-bench --release --bin figNN`), plus criterion
-//! micro-benches. Every binary accepts:
+//! `cargo run -p ft-bench --release --bin figNN`), repo-native benches for
+//! the serving path (`backend`, `decode`, `serve`, `ablations`), and
+//! criterion micro-benches — see `docs/benches.md` for what each one
+//! reproduces. Every binary accepts:
 //!
 //! * `--full` — run the paper's exact sizes (seq 512…16k, 16k total
 //!   tokens). Hours of CPU; the default is a geometry-preserving 1/8

@@ -270,6 +270,38 @@ pub trait AttentionBackend: Sync {
             Err(e) => panic!("{} backend failed to decode: {e}", self.name()),
         }
     }
+
+    /// One continuous-batching sweep: every stream slice's `(row, slot)`
+    /// work units — single decode rows and chunked-prefill rows alike —
+    /// run through one parallel fan-out, and fault events are attributed
+    /// to per-stream [`FtReport`]s (see [`crate::serve`]).
+    ///
+    /// The default is the unprotected sweep; backends with a protected
+    /// decode variant (EFTA) override it, exactly mirroring
+    /// [`try_decode`](AttentionBackend::try_decode).
+    fn try_decode_sweep(
+        &self,
+        slices: &[crate::serve::StreamSlice<'_>],
+        injector: &dyn FaultInjector,
+        thresholds: Option<Thresholds>,
+    ) -> Result<Vec<crate::serve::StreamSweepOutput>, BackendError> {
+        let _ = thresholds;
+        crate::serve::sweep_unprotected(slices, injector)
+    }
+
+    /// [`try_decode_sweep`](AttentionBackend::try_decode_sweep), panicking
+    /// on [`BackendError`].
+    fn decode_sweep(
+        &self,
+        slices: &[crate::serve::StreamSlice<'_>],
+        injector: &dyn FaultInjector,
+        thresholds: Option<Thresholds>,
+    ) -> Vec<crate::serve::StreamSweepOutput> {
+        match self.try_decode_sweep(slices, injector, thresholds) {
+            Ok(out) => out,
+            Err(e) => panic!("{} backend failed to sweep: {e}", self.name()),
+        }
+    }
 }
 
 /// Extract one `(batch, head)` slot as a standalone 1×1 tensor.
@@ -515,6 +547,15 @@ impl AttentionBackend for EftaBackend {
         // efta_decode resolves req.thresholds itself.
         crate::decode::efta_decode(req, &self.options)
     }
+
+    fn try_decode_sweep(
+        &self,
+        slices: &[crate::serve::StreamSlice<'_>],
+        injector: &dyn FaultInjector,
+        thresholds: Option<Thresholds>,
+    ) -> Result<Vec<crate::serve::StreamSweepOutput>, BackendError> {
+        crate::serve::sweep_efta(slices, injector, thresholds, &self.options)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -640,6 +681,22 @@ impl AttentionBackend for BackendKind {
                 crate::decode::reference_decode(req)
             }
             BackendKind::Efta(options) => EftaBackend { options: *options }.try_decode(req),
+        }
+    }
+
+    fn try_decode_sweep(
+        &self,
+        slices: &[crate::serve::StreamSlice<'_>],
+        injector: &dyn FaultInjector,
+        thresholds: Option<Thresholds>,
+    ) -> Result<Vec<crate::serve::StreamSweepOutput>, BackendError> {
+        match self {
+            BackendKind::Reference | BackendKind::Flash | BackendKind::Decoupled(_) => {
+                crate::serve::sweep_unprotected(slices, injector)
+            }
+            BackendKind::Efta(options) => {
+                EftaBackend { options: *options }.try_decode_sweep(slices, injector, thresholds)
+            }
         }
     }
 }

@@ -21,6 +21,34 @@
 //! so the encode cost is amortised over every decode step that reuses the
 //! block.
 //!
+//! Both kernels are built from per-slot bodies that accept a *visible
+//! length* — the causal prefix of the cache a query row may attend to. The
+//! single-query entry points use the full cache; the multi-stream serving
+//! sweep in [`crate::serve`] reuses the same bodies for chunked prefill,
+//! where a chunk's interior rows see only their own prefix of the trailing
+//! block (whose checksums are then re-encoded on the fly over the visible
+//! rows, exactly as the prefill kernel encodes per call).
+//!
+//! ```
+//! use ft_core::decode::{efta_decode, DecodeRequest};
+//! use ft_core::efta::EftaOptions;
+//! use ft_core::kv::KvCache;
+//! use ft_num::rng::normal_tensor_f16;
+//!
+//! // A (batch=1, heads=2) cache at head dim 16; append four token rows.
+//! let mut cache = KvCache::new(1, 2, 16, 8, 8, 0.25);
+//! for t in 0..4 {
+//!     let k = normal_tensor_f16(10 + t, 1, 2, 1, 16, 0.6);
+//!     let v = normal_tensor_f16(20 + t, 1, 2, 1, 16, 0.8);
+//!     assert!(cache.append(&k, &v).clean());
+//! }
+//! // Decode the newest token's query against the protected cache.
+//! let q = normal_tensor_f16(30, 1, 2, 1, 16, 0.6);
+//! let out = efta_decode(&DecodeRequest::new(&cache, &q), &EftaOptions::optimized()).unwrap();
+//! assert_eq!((out.o.seq(), out.o.dim()), (1, 16));
+//! assert!(out.report.clean());
+//! ```
+//!
 //! [`AttentionBackend::try_decode`]: crate::backend::AttentionBackend::try_decode
 
 use crate::backend::BackendError;
@@ -29,7 +57,10 @@ use crate::kv::KvCache;
 use crate::snvr::{restrict_row_max, restrict_rowsum, Restriction};
 use crate::types::{AttentionOutput, FtCounters, PhaseBreakdown};
 use ft_abft::propagate::{residue_counts, transport_subtract_max, verify_products};
-use ft_abft::strided::{correct_strided, strided_sums, strided_sums_weighted, StridedMismatch};
+use ft_abft::strided::{
+    correct_strided, encode_cols_strided, encode_rows_strided, strided_sums, strided_sums_weighted,
+    StridedChecksums, StridedMismatch,
+};
 use ft_abft::thresholds::Thresholds;
 use ft_num::{Matrix, MatrixF32, Tensor4F16, Tensor4F32};
 use ft_sim::cost::Timeline;
@@ -116,7 +147,7 @@ impl core::fmt::Debug for DecodeRequest<'_> {
 /// Analytic kernel statistics of one decode step (shape-derived, like
 /// [`crate::efta::analytic_stats`]): reads the whole cache once, writes one
 /// row, two rank-1 GEMMs per cached column.
-fn decode_stats(cache: &KvCache, protected: bool) -> KernelStats {
+pub(crate) fn decode_stats(cache: &KvCache, protected: bool) -> KernelStats {
     let slots = cache.num_slots() as u64;
     let len = cache.len() as u64;
     let d = cache.dim() as u64;
@@ -144,6 +175,374 @@ fn decode_stats(cache: &KvCache, protected: bool) -> KernelStats {
     stats
 }
 
+/// Number of cache blocks a `vis`-row causal prefix touches.
+pub(crate) fn vis_blocks(cache: &KvCache, vis: usize) -> usize {
+    vis.div_ceil(cache.block())
+}
+
+/// Rows of block `b` visible under a `vis`-row causal prefix.
+pub(crate) fn vis_block_rows(cache: &KvCache, b: usize, vis: usize) -> usize {
+    cache.block_rows(b).min(vis - b * cache.block())
+}
+
+/// Unprotected single-query decode of one `(batch, head)` slot against the
+/// first `vis` cached rows: raw cache reads, online softmax, no checks.
+///
+/// `q_raw` is the unscaled `1 × dim` query row; `step` namespaces fault
+/// coordinates. [`reference_decode`] calls this with `vis = cache.len()`;
+/// the serving sweep calls it per chunk row with that row's causal prefix.
+pub(crate) fn reference_decode_slot(
+    cache: &KvCache,
+    slot: usize,
+    vis: usize,
+    step: usize,
+    q_raw: &MatrixF32,
+    inj: &dyn FaultInjector,
+) -> MatrixF32 {
+    let d = cache.dim();
+    let q_blk = Matrix::from_fn(1, d, |_, j| q_raw.get(0, j) * cache.scale());
+    let mut state = crate::flash::OnlineState::new(1, d);
+    for (jb, c0) in (0..vis_blocks(cache, vis)).map(|b| (b, b * cache.block())) {
+        let rows = vis_block_rows(cache, jb, vis);
+        let mut k_blk = cache.read_k_raw(slot, jb);
+        let mut v_blk = cache.read_v_raw(slot, jb);
+        if rows < k_blk.rows() {
+            k_blk = k_blk.block(0, 0, rows, d);
+            v_blk = v_blk.block(0, 0, rows, d);
+        }
+        let s_blk = gemm_nt_inj(
+            &q_blk,
+            &k_blk,
+            &inj,
+            GemmCtx::new(FaultSite::GemmIAccum, slot)
+                .at(step, c0)
+                .iter(3 * jb),
+        );
+        crate::flash::online_update(&mut state, &s_blk, &v_blk);
+    }
+    crate::flash::finalize(&mut state);
+    state.o
+}
+
+/// EFTA-protected single-query decode of one slot against the first `vis`
+/// cached rows (the per-slot body of [`efta_decode`], shared with the
+/// multi-stream sweep in [`crate::serve`]).
+///
+/// Fully visible blocks reuse the cache's stored append-time checksums; a
+/// partially visible trailing block (a chunked-prefill row's causal
+/// frontier) is read through the full block's verification, truncated, and
+/// its checksum operands re-encoded over the visible rows — the same
+/// values the cache itself would have stored at length `vis`, so chunked
+/// prefill is bit-identical to feeding the chunk token by token.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn efta_decode_slot(
+    cache: &KvCache,
+    slot: usize,
+    vis: usize,
+    step: usize,
+    q_raw: &MatrixF32,
+    inj: &dyn FaultInjector,
+    thr: &Thresholds,
+    opts: &EftaOptions,
+    counters: &FtCounters,
+) -> MatrixF32 {
+    let d = cache.dim();
+    // Output-checksum width: the V column fold is over `dim`.
+    let so = cache.stride().min(d);
+    let q_blk = Matrix::from_fn(1, d, |_, j| q_raw.get(0, j) * cache.scale());
+    let q_norm = q_blk.row(0).iter().map(|x| x * x).sum::<f32>().sqrt();
+
+    let mut m = f32::NEG_INFINITY;
+    let mut ell = 0.0f32;
+    let mut o: MatrixF32 = Matrix::zeros(1, d);
+    let mut o_c1: MatrixF32 = Matrix::zeros(1, so);
+    let mut o_c2: MatrixF32 = Matrix::zeros(1, so);
+    let nb = vis_blocks(cache, vis);
+    let mut max_hist: Vec<f32> = Vec::with_capacity(nb);
+    let mut damaged = false;
+
+    for (jb, c0) in (0..nb).map(|b| (b, b * cache.block())) {
+        // ---- Verified cache reads: residency protection ---------
+        let rows = vis_block_rows(cache, jb, vis);
+        let (k_full, krep) = cache.read_k_verified(slot, jb);
+        let (v_full, vrep) = cache.read_v_verified(slot, jb);
+        for rep in [krep, vrep] {
+            FtCounters::add(&counters.cache_detected, rep.detected);
+            FtCounters::add(&counters.cache_corrected, rep.corrected);
+            FtCounters::add(&counters.cache_uncorrectable, rep.uncorrectable);
+        }
+        if krep.uncorrectable + vrep.uncorrectable > 0 {
+            damaged = true;
+        }
+        let full = rows == k_full.rows();
+        let (k_blk, v_blk) = if full {
+            (k_full, v_full)
+        } else {
+            (k_full.block(0, 0, rows, d), v_full.block(0, 0, rows, d))
+        };
+        // Stored operands for fully visible blocks; a partial causal
+        // frontier re-encodes over the visible rows (same loop, same
+        // data → the exact operands a `vis`-row cache would store).
+        let (kcs_owned, vcs_owned);
+        let (kcs, vcs): (&StridedChecksums, &StridedChecksums) = if full {
+            (cache.k_checksums(slot, jb), cache.v_checksums(slot, jb))
+        } else {
+            kcs_owned = encode_rows_strided(&k_blk, cache.stride().min(rows), false);
+            vcs_owned = encode_cols_strided(&v_blk, cache.stride().min(d), false);
+            (&kcs_owned, &vcs_owned)
+        };
+        let k_max_norm = if full {
+            cache.k_max_norm(slot, jb)
+        } else {
+            (0..rows)
+                .map(|r| k_blk.row(r).iter().map(|x| x * x).sum::<f32>().sqrt())
+                .fold(0.0f32, f32::max)
+        };
+        let bc = k_blk.rows();
+        let sb = kcs.stride;
+
+        // ---- GEMM I + stored-checksum GEMMs ---------------------
+        let ctx = |it: usize, col_off: usize| {
+            GemmCtx::new(FaultSite::GemmIAccum, slot)
+                .at(step, col_off)
+                .iter(3 * jb + it)
+        };
+        let mut s_blk = gemm_nt_inj(&q_blk, &k_blk, &inj, ctx(0, c0));
+        let s_c1 = gemm_nt_inj(&q_blk, &kcs.w1, &inj, ctx(1, vis + c0));
+        let s_c2 = gemm_nt_inj(&q_blk, &kcs.w2, &inj, ctx(2, vis + c0));
+
+        // ---- Reduce max + SNVR restriction ----------------------
+        let mut bm = s_blk
+            .row(0)
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
+        bm = inj.corrupt_f32(FaultSite::MaxReduce, OpCoord::new(slot, step, jb, 0), bm);
+        if let Restriction::Repaired { repaired } = restrict_row_max(s_blk.row(0), bm) {
+            bm = repaired;
+            FtCounters::add(&counters.max_restricted, 1);
+        }
+        // Cauchy–Schwarz plausibility bound unmasks a positive-huge
+        // hijack (same extension as the prefill kernel). The K row
+        // norm is snapshotted at append time, not rescanned here.
+        if bm > q_norm * k_max_norm * 1.05 + 1e-3 || !bm.is_finite() {
+            let (mut arg, mut best) = (0usize, f32::NEG_INFINITY);
+            for (j, &v) in s_blk.row(0).iter().enumerate() {
+                if v > best || !v.is_finite() {
+                    best = v;
+                    arg = j;
+                }
+            }
+            let mut acc = 0.0f32;
+            for (a, b) in q_blk.row(0).iter().zip(k_blk.row(arg)) {
+                acc += a * b;
+            }
+            if s_blk.get(0, arg) != acc {
+                s_blk.set(0, arg, acc);
+                FtCounters::add(&counters.gemm1_corrected, 1);
+            }
+            bm = s_blk
+                .row(0)
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max);
+            FtCounters::add(&counters.max_restricted, 1);
+        }
+        let m_new = m.max(bm);
+
+        // ---- Subtract + EXP -------------------------------------
+        let mut p: MatrixF32 = Matrix::zeros(1, bc);
+        for j in 0..bc {
+            let diff = inj.corrupt_f32(
+                FaultSite::Subtract,
+                OpCoord::new(slot, step, c0 + j, jb),
+                s_blk.get(0, j) - m_new,
+            );
+            let e = inj.corrupt_f32(
+                FaultSite::ExpUnit,
+                OpCoord::new(slot, step, c0 + j, jb),
+                diff.exp(),
+            );
+            p.set(0, j, e);
+        }
+
+        // ---- Product check: GEMM I ∪ subtract ∪ EXP -------------
+        if opts.softmax == SoftmaxProtection::Snvr {
+            let counts = residue_counts(bc, sb);
+            let mut tc1 = s_c1.clone();
+            transport_subtract_max(&mut tc1, &[m_new], &counts);
+            let p_c1 = ft_abft::propagate::transport_exp(&tc1);
+            let mismatches = verify_products(&p, &p_c1, sb, thr.exp_product);
+            if !mismatches.is_empty() {
+                FtCounters::add(&counters.exp_detected, mismatches.len() as u64);
+                let classify_floor = thr.gemm.abs_floor.max(1e-2);
+                let sums1 = strided_sums(&s_blk, sb);
+                let sums2 = strided_sums_weighted(&s_blk, sb);
+                let mut linear = Vec::new();
+                let mut exp_only = Vec::new();
+                for mm in &mismatches {
+                    let d1 = sums1.get(0, mm.t) - s_c1.get(0, mm.t);
+                    if d1.abs() > classify_floor || !d1.is_finite() {
+                        linear.push(StridedMismatch {
+                            i: 0,
+                            t: mm.t,
+                            delta1: d1,
+                            delta2: sums2.get(0, mm.t) - s_c2.get(0, mm.t),
+                        });
+                    } else {
+                        exp_only.push(mm.t);
+                    }
+                }
+                if !linear.is_empty() {
+                    let rep = correct_strided(&mut s_blk, &linear, sb);
+                    for loc in &rep.corrected {
+                        let mut acc = 0.0f32;
+                        for (a, b) in q_blk.row(0).iter().zip(k_blk.row(loc.col)) {
+                            acc += a * b;
+                        }
+                        s_blk.set(0, loc.col, acc);
+                    }
+                    FtCounters::add(&counters.gemm1_detected, rep.detections as u64);
+                    FtCounters::add(&counters.gemm1_corrected, rep.corrected.len() as u64);
+                    if rep.uncorrectable > 0 {
+                        s_blk = gemm_nt(&q_blk, &k_blk);
+                        FtCounters::add(&counters.gemm1_recomputed, rep.uncorrectable as u64);
+                    }
+                    for mm in &linear {
+                        let mut col = mm.t;
+                        while col < bc {
+                            p.set(0, col, (s_blk.get(0, col) - m_new).exp());
+                            col += sb;
+                        }
+                    }
+                }
+                for t in exp_only {
+                    let mut col = t;
+                    while col < bc {
+                        p.set(0, col, (s_blk.get(0, col) - m_new).exp());
+                        col += sb;
+                    }
+                    FtCounters::add(&counters.exp_recomputed, 1);
+                }
+            }
+        }
+
+        // ---- Rowsum + rescale state -----------------------------
+        let factor = if m.is_finite() {
+            (m - m_new).exp()
+        } else {
+            0.0
+        };
+        let factor = inj.corrupt_f32(FaultSite::Rescale, OpCoord::new(slot, step, jb, 2), factor);
+        let mut rs = 0.0f32;
+        for &e in p.row(0) {
+            rs += e;
+        }
+        let rs = inj.corrupt_f32(FaultSite::SumReduce, OpCoord::new(slot, step, jb, 1), rs);
+        ell = factor * ell + rs;
+        m = m_new;
+        max_hist.push(bm);
+
+        // ---- GEMM II: data + stored-checksum operands -----------
+        let p16 = p.to_f16().to_f32();
+        let ctx2 = |it: usize, col_off: usize| {
+            GemmCtx::new(FaultSite::GemmIiAccum, slot)
+                .at(step, col_off)
+                .iter(3 * jb + it)
+        };
+        let pv = gemm_nn_inj(&p16, &v_blk, &inj, ctx2(0, 0));
+        let pc1 = gemm_nn_inj(&p16, &vcs.w1, &inj, ctx2(1, d));
+        let pc2 = gemm_nn_inj(&p16, &vcs.w2, &inj, ctx2(2, d));
+        for (col, (ov, &dv)) in o.row_mut(0).iter_mut().zip(pv.row(0)).enumerate() {
+            let scaled = inj.corrupt_f32(
+                FaultSite::Rescale,
+                OpCoord::new(slot, step, col, 4000 + jb),
+                factor * *ov,
+            );
+            *ov = scaled + dv;
+        }
+        for (ov, &dv) in o_c1.row_mut(0).iter_mut().zip(pc1.row(0)) {
+            *ov = factor * *ov + dv;
+        }
+        for (ov, &dv) in o_c2.row_mut(0).iter_mut().zip(pc2.row(0)) {
+            *ov = factor * *ov + dv;
+        }
+    }
+
+    // ---- Post-loop SNVR rowsum restriction ----------------------
+    if opts.softmax == SoftmaxProtection::Snvr {
+        if let Restriction::Repaired { repaired } = restrict_rowsum(ell, &max_hist, m, vis) {
+            ell = repaired;
+            FtCounters::add(&counters.sum_restricted, 1);
+        }
+    }
+
+    // ---- Normalise (output + checksums) -------------------------
+    let inv = inj.corrupt_f32(
+        FaultSite::Normalize,
+        OpCoord::new(slot, step, 0, 999),
+        1.0 / ell,
+    );
+    for (col, v) in o.row_mut(0).iter_mut().enumerate() {
+        *v = inj.corrupt_f32(
+            FaultSite::Normalize,
+            OpCoord::new(slot, step, col, 1000),
+            *v * inv,
+        );
+    }
+    for v in o_c1.row_mut(0).iter_mut().chain(o_c2.row_mut(0)) {
+        *v *= inv;
+    }
+
+    // ---- Final unified output verification ----------------------
+    let sums1 = strided_sums(&o, so);
+    let sums2 = strided_sums_weighted(&o, so);
+    let mut mismatches = Vec::new();
+    for t in 0..so {
+        if thr.output.detects(sums1.get(0, t), o_c1.get(0, t)) {
+            mismatches.push(StridedMismatch {
+                i: 0,
+                t,
+                delta1: sums1.get(0, t) - o_c1.get(0, t),
+                delta2: sums2.get(0, t) - o_c2.get(0, t),
+            });
+        }
+    }
+    if !mismatches.is_empty() {
+        let rep = correct_strided(&mut o, &mismatches, so);
+        FtCounters::add(&counters.gemm2_detected, rep.detections as u64);
+        FtCounters::add(&counters.gemm2_corrected, rep.corrected.len() as u64);
+        let catastrophic = rep.corrected.iter().any(|l| {
+            !l.delta.is_finite() || l.delta.abs() > 1e3 * (o_c1.get(0, l.col % so).abs() + 1.0)
+        });
+        if rep.uncorrectable > 0 || catastrophic {
+            FtCounters::add(&counters.gemm2_recomputed, rep.uncorrectable.max(1) as u64);
+            damaged = true;
+        }
+    }
+
+    if damaged {
+        // Recomputation fallback over verified reads: clean online
+        // softmax of the visible prefix (cache-uncorrectable damage stays
+        // in the data, but the report carries that signal).
+        let mut state = crate::flash::OnlineState::new(1, d);
+        for jb in 0..nb {
+            let rows = vis_block_rows(cache, jb, vis);
+            let (mut k_blk, _) = cache.read_k_verified(slot, jb);
+            let (mut v_blk, _) = cache.read_v_verified(slot, jb);
+            if rows < k_blk.rows() {
+                k_blk = k_blk.block(0, 0, rows, d);
+                v_blk = v_blk.block(0, 0, rows, d);
+            }
+            let s_blk = gemm_nt(&q_blk, &k_blk);
+            crate::flash::online_update(&mut state, &s_blk, &v_blk);
+        }
+        crate::flash::finalize(&mut state);
+        o = state.o;
+    }
+    o
+}
+
 /// Unprotected single-query decode: raw cache reads, online softmax, no
 /// checks. The default [`try_decode`] path for backends without a protected
 /// decode variant — and the baseline that *visibly corrupts* when cached
@@ -152,32 +551,14 @@ fn decode_stats(cache: &KvCache, protected: bool) -> KernelStats {
 /// [`try_decode`]: crate::backend::AttentionBackend::try_decode
 pub fn reference_decode(req: &DecodeRequest<'_>) -> Result<AttentionOutput, BackendError> {
     let cache = req.cache;
-    let inj = req.injector;
-    let d = cache.dim();
     let rows: Vec<MatrixF32> = (0..cache.num_slots())
         .into_par_iter()
         .map(|slot| {
             let q_raw = req.q.slot_flat(slot).to_f32();
-            let q_blk = Matrix::from_fn(1, d, |_, j| q_raw.get(0, j) * cache.scale());
-            let mut state = crate::flash::OnlineState::new(1, d);
-            for (jb, c0) in (0..cache.num_blocks()).map(|b| (b, b * cache.block())) {
-                let k_blk = cache.read_k_raw(slot, jb);
-                let v_blk = cache.read_v_raw(slot, jb);
-                let s_blk = gemm_nt_inj(
-                    &q_blk,
-                    &k_blk,
-                    &inj,
-                    GemmCtx::new(FaultSite::GemmIAccum, slot)
-                        .at(req.step, c0)
-                        .iter(3 * jb),
-                );
-                crate::flash::online_update(&mut state, &s_blk, &v_blk);
-            }
-            crate::flash::finalize(&mut state);
-            state.o
+            reference_decode_slot(cache, slot, cache.len(), req.step, &q_raw, req.injector)
         })
         .collect();
-    let o = Tensor4F32::from_slots(cache.batch(), cache.heads(), 1, d, rows);
+    let o = Tensor4F32::from_slots(cache.batch(), cache.heads(), 1, cache.dim(), rows);
     let mut timeline = Timeline::new();
     timeline.push("decode", decode_stats(cache, false));
     Ok(AttentionOutput {
@@ -206,12 +587,7 @@ pub fn efta_decode(
         ));
     }
     let cache = req.cache;
-    let inj = req.injector;
     let thr = req.thresholds.unwrap_or(opts.thresholds);
-    let d = cache.dim();
-    let step = req.step;
-    // Output-checksum width: the V column fold is over `dim`.
-    let so = cache.stride().min(d);
     let counters = FtCounters::new();
     // Corruption permanently absorbed by an append-time re-encode leaves
     // every per-read report clean; surface the cache's sticky damage count
@@ -222,281 +598,21 @@ pub fn efta_decode(
         .into_par_iter()
         .map(|slot| {
             let q_raw = req.q.slot_flat(slot).to_f32();
-            let q_blk = Matrix::from_fn(1, d, |_, j| q_raw.get(0, j) * cache.scale());
-            let q_norm = q_blk.row(0).iter().map(|x| x * x).sum::<f32>().sqrt();
-
-            let mut m = f32::NEG_INFINITY;
-            let mut ell = 0.0f32;
-            let mut o: MatrixF32 = Matrix::zeros(1, d);
-            let mut o_c1: MatrixF32 = Matrix::zeros(1, so);
-            let mut o_c2: MatrixF32 = Matrix::zeros(1, so);
-            let mut max_hist: Vec<f32> = Vec::with_capacity(cache.num_blocks());
-            let mut damaged = false;
-
-            for (jb, c0) in (0..cache.num_blocks()).map(|b| (b, b * cache.block())) {
-                // ---- Verified cache reads: residency protection ---------
-                let (k_blk, krep) = cache.read_k_verified(slot, jb);
-                let (v_blk, vrep) = cache.read_v_verified(slot, jb);
-                for rep in [krep, vrep] {
-                    FtCounters::add(&counters.cache_detected, rep.detected);
-                    FtCounters::add(&counters.cache_corrected, rep.corrected);
-                    FtCounters::add(&counters.cache_uncorrectable, rep.uncorrectable);
-                }
-                if krep.uncorrectable + vrep.uncorrectable > 0 {
-                    damaged = true;
-                }
-                let kcs = cache.k_checksums(slot, jb);
-                let vcs = cache.v_checksums(slot, jb);
-                let bc = k_blk.rows();
-                let sb = kcs.stride;
-
-                // ---- GEMM I + stored-checksum GEMMs ---------------------
-                let ctx = |it: usize, col_off: usize| {
-                    GemmCtx::new(FaultSite::GemmIAccum, slot)
-                        .at(step, col_off)
-                        .iter(3 * jb + it)
-                };
-                let mut s_blk = gemm_nt_inj(&q_blk, &k_blk, &inj, ctx(0, c0));
-                let s_c1 = gemm_nt_inj(&q_blk, &kcs.w1, &inj, ctx(1, cache.len() + c0));
-                let s_c2 = gemm_nt_inj(&q_blk, &kcs.w2, &inj, ctx(2, cache.len() + c0));
-
-                // ---- Reduce max + SNVR restriction ----------------------
-                let mut bm = s_blk
-                    .row(0)
-                    .iter()
-                    .cloned()
-                    .fold(f32::NEG_INFINITY, f32::max);
-                bm = inj.corrupt_f32(FaultSite::MaxReduce, OpCoord::new(slot, step, jb, 0), bm);
-                if let Restriction::Repaired { repaired } = restrict_row_max(s_blk.row(0), bm) {
-                    bm = repaired;
-                    FtCounters::add(&counters.max_restricted, 1);
-                }
-                // Cauchy–Schwarz plausibility bound unmasks a positive-huge
-                // hijack (same extension as the prefill kernel). The K row
-                // norm is snapshotted at append time, not rescanned here.
-                let k_max_norm = cache.k_max_norm(slot, jb);
-                if bm > q_norm * k_max_norm * 1.05 + 1e-3 || !bm.is_finite() {
-                    let (mut arg, mut best) = (0usize, f32::NEG_INFINITY);
-                    for (j, &v) in s_blk.row(0).iter().enumerate() {
-                        if v > best || !v.is_finite() {
-                            best = v;
-                            arg = j;
-                        }
-                    }
-                    let mut acc = 0.0f32;
-                    for (a, b) in q_blk.row(0).iter().zip(k_blk.row(arg)) {
-                        acc += a * b;
-                    }
-                    if s_blk.get(0, arg) != acc {
-                        s_blk.set(0, arg, acc);
-                        FtCounters::add(&counters.gemm1_corrected, 1);
-                    }
-                    bm = s_blk
-                        .row(0)
-                        .iter()
-                        .cloned()
-                        .fold(f32::NEG_INFINITY, f32::max);
-                    FtCounters::add(&counters.max_restricted, 1);
-                }
-                let m_new = m.max(bm);
-
-                // ---- Subtract + EXP -------------------------------------
-                let mut p: MatrixF32 = Matrix::zeros(1, bc);
-                for j in 0..bc {
-                    let diff = inj.corrupt_f32(
-                        FaultSite::Subtract,
-                        OpCoord::new(slot, step, c0 + j, jb),
-                        s_blk.get(0, j) - m_new,
-                    );
-                    let e = inj.corrupt_f32(
-                        FaultSite::ExpUnit,
-                        OpCoord::new(slot, step, c0 + j, jb),
-                        diff.exp(),
-                    );
-                    p.set(0, j, e);
-                }
-
-                // ---- Product check: GEMM I ∪ subtract ∪ EXP -------------
-                if opts.softmax == SoftmaxProtection::Snvr {
-                    let counts = residue_counts(bc, sb);
-                    let mut tc1 = s_c1.clone();
-                    transport_subtract_max(&mut tc1, &[m_new], &counts);
-                    let p_c1 = ft_abft::propagate::transport_exp(&tc1);
-                    let mismatches = verify_products(&p, &p_c1, sb, thr.exp_product);
-                    if !mismatches.is_empty() {
-                        FtCounters::add(&counters.exp_detected, mismatches.len() as u64);
-                        let classify_floor = thr.gemm.abs_floor.max(1e-2);
-                        let sums1 = strided_sums(&s_blk, sb);
-                        let sums2 = strided_sums_weighted(&s_blk, sb);
-                        let mut linear = Vec::new();
-                        let mut exp_only = Vec::new();
-                        for mm in &mismatches {
-                            let d1 = sums1.get(0, mm.t) - s_c1.get(0, mm.t);
-                            if d1.abs() > classify_floor || !d1.is_finite() {
-                                linear.push(StridedMismatch {
-                                    i: 0,
-                                    t: mm.t,
-                                    delta1: d1,
-                                    delta2: sums2.get(0, mm.t) - s_c2.get(0, mm.t),
-                                });
-                            } else {
-                                exp_only.push(mm.t);
-                            }
-                        }
-                        if !linear.is_empty() {
-                            let rep = correct_strided(&mut s_blk, &linear, sb);
-                            for loc in &rep.corrected {
-                                let mut acc = 0.0f32;
-                                for (a, b) in q_blk.row(0).iter().zip(k_blk.row(loc.col)) {
-                                    acc += a * b;
-                                }
-                                s_blk.set(0, loc.col, acc);
-                            }
-                            FtCounters::add(&counters.gemm1_detected, rep.detections as u64);
-                            FtCounters::add(&counters.gemm1_corrected, rep.corrected.len() as u64);
-                            if rep.uncorrectable > 0 {
-                                s_blk = gemm_nt(&q_blk, &k_blk);
-                                FtCounters::add(
-                                    &counters.gemm1_recomputed,
-                                    rep.uncorrectable as u64,
-                                );
-                            }
-                            for mm in &linear {
-                                let mut col = mm.t;
-                                while col < bc {
-                                    p.set(0, col, (s_blk.get(0, col) - m_new).exp());
-                                    col += sb;
-                                }
-                            }
-                        }
-                        for t in exp_only {
-                            let mut col = t;
-                            while col < bc {
-                                p.set(0, col, (s_blk.get(0, col) - m_new).exp());
-                                col += sb;
-                            }
-                            FtCounters::add(&counters.exp_recomputed, 1);
-                        }
-                    }
-                }
-
-                // ---- Rowsum + rescale state -----------------------------
-                let factor = if m.is_finite() {
-                    (m - m_new).exp()
-                } else {
-                    0.0
-                };
-                let factor =
-                    inj.corrupt_f32(FaultSite::Rescale, OpCoord::new(slot, step, jb, 2), factor);
-                let mut rs = 0.0f32;
-                for &e in p.row(0) {
-                    rs += e;
-                }
-                let rs = inj.corrupt_f32(FaultSite::SumReduce, OpCoord::new(slot, step, jb, 1), rs);
-                ell = factor * ell + rs;
-                m = m_new;
-                max_hist.push(bm);
-
-                // ---- GEMM II: data + stored-checksum operands -----------
-                let p16 = p.to_f16().to_f32();
-                let ctx2 = |it: usize, col_off: usize| {
-                    GemmCtx::new(FaultSite::GemmIiAccum, slot)
-                        .at(step, col_off)
-                        .iter(3 * jb + it)
-                };
-                let pv = gemm_nn_inj(&p16, &v_blk, &inj, ctx2(0, 0));
-                let pc1 = gemm_nn_inj(&p16, &vcs.w1, &inj, ctx2(1, d));
-                let pc2 = gemm_nn_inj(&p16, &vcs.w2, &inj, ctx2(2, d));
-                for (col, (ov, &dv)) in o.row_mut(0).iter_mut().zip(pv.row(0)).enumerate() {
-                    let scaled = inj.corrupt_f32(
-                        FaultSite::Rescale,
-                        OpCoord::new(slot, step, col, 4000 + jb),
-                        factor * *ov,
-                    );
-                    *ov = scaled + dv;
-                }
-                for (ov, &dv) in o_c1.row_mut(0).iter_mut().zip(pc1.row(0)) {
-                    *ov = factor * *ov + dv;
-                }
-                for (ov, &dv) in o_c2.row_mut(0).iter_mut().zip(pc2.row(0)) {
-                    *ov = factor * *ov + dv;
-                }
-            }
-
-            // ---- Post-loop SNVR rowsum restriction ----------------------
-            if opts.softmax == SoftmaxProtection::Snvr {
-                if let Restriction::Repaired { repaired } =
-                    restrict_rowsum(ell, &max_hist, m, cache.len())
-                {
-                    ell = repaired;
-                    FtCounters::add(&counters.sum_restricted, 1);
-                }
-            }
-
-            // ---- Normalise (output + checksums) -------------------------
-            let inv = inj.corrupt_f32(
-                FaultSite::Normalize,
-                OpCoord::new(slot, step, 0, 999),
-                1.0 / ell,
-            );
-            for (col, v) in o.row_mut(0).iter_mut().enumerate() {
-                *v = inj.corrupt_f32(
-                    FaultSite::Normalize,
-                    OpCoord::new(slot, step, col, 1000),
-                    *v * inv,
-                );
-            }
-            for v in o_c1.row_mut(0).iter_mut().chain(o_c2.row_mut(0)) {
-                *v *= inv;
-            }
-
-            // ---- Final unified output verification ----------------------
-            let sums1 = strided_sums(&o, so);
-            let sums2 = strided_sums_weighted(&o, so);
-            let mut mismatches = Vec::new();
-            for t in 0..so {
-                if thr.output.detects(sums1.get(0, t), o_c1.get(0, t)) {
-                    mismatches.push(StridedMismatch {
-                        i: 0,
-                        t,
-                        delta1: sums1.get(0, t) - o_c1.get(0, t),
-                        delta2: sums2.get(0, t) - o_c2.get(0, t),
-                    });
-                }
-            }
-            if !mismatches.is_empty() {
-                let rep = correct_strided(&mut o, &mismatches, so);
-                FtCounters::add(&counters.gemm2_detected, rep.detections as u64);
-                FtCounters::add(&counters.gemm2_corrected, rep.corrected.len() as u64);
-                let catastrophic = rep.corrected.iter().any(|l| {
-                    !l.delta.is_finite()
-                        || l.delta.abs() > 1e3 * (o_c1.get(0, l.col % so).abs() + 1.0)
-                });
-                if rep.uncorrectable > 0 || catastrophic {
-                    FtCounters::add(&counters.gemm2_recomputed, rep.uncorrectable.max(1) as u64);
-                    damaged = true;
-                }
-            }
-
-            if damaged {
-                // Recomputation fallback over verified reads: clean online
-                // softmax of the whole row (cache-uncorrectable damage stays
-                // in the data, but the report carries that signal).
-                let mut state = crate::flash::OnlineState::new(1, d);
-                for jb in 0..cache.num_blocks() {
-                    let (k_blk, _) = cache.read_k_verified(slot, jb);
-                    let (v_blk, _) = cache.read_v_verified(slot, jb);
-                    let s_blk = gemm_nt(&q_blk, &k_blk);
-                    crate::flash::online_update(&mut state, &s_blk, &v_blk);
-                }
-                crate::flash::finalize(&mut state);
-                o = state.o;
-            }
-            o
+            efta_decode_slot(
+                cache,
+                slot,
+                cache.len(),
+                req.step,
+                &q_raw,
+                req.injector,
+                &thr,
+                opts,
+                &counters,
+            )
         })
         .collect();
 
-    let o = Tensor4F32::from_slots(cache.batch(), cache.heads(), 1, d, rows);
+    let o = Tensor4F32::from_slots(cache.batch(), cache.heads(), 1, cache.dim(), rows);
     let mut timeline = Timeline::new();
     timeline.push("decode", decode_stats(cache, true));
     Ok(AttentionOutput {
@@ -582,6 +698,52 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn limited_visibility_matches_shorter_cache() {
+        // The serving sweep's causal-prefix path: decoding with `vis = L`
+        // against a longer cache must be bit-identical to decoding against
+        // a cache that simply stops at L rows — including mid-block
+        // prefixes, whose checksum operands are re-encoded on the fly.
+        let (q, k, v) = workload(21, 16, 75);
+        let mut long = KvCache::new(1, 2, 16, 8, 8, 0.25);
+        fill(&mut long, &k, &v, 21);
+        for vis in [3usize, 8, 11, 16, 21] {
+            let mut short = KvCache::new(1, 2, 16, 8, 8, 0.25);
+            fill(&mut short, &k, &v, vis);
+            let qt = q_row(&q, vis - 1);
+            let req = DecodeRequest::new(&short, &qt).at_step(vis - 1);
+            let want_ref = reference_decode(&req).unwrap();
+            let want_efta = efta_decode(&req, &EftaOptions::optimized()).unwrap();
+            let counters = FtCounters::new();
+            for slot in 0..2 {
+                let q_raw = qt.slot_flat(slot).to_f32();
+                let got_ref = reference_decode_slot(&long, slot, vis, vis - 1, &q_raw, &NoFaults);
+                assert_eq!(
+                    got_ref.max_abs_diff(want_ref.o.slot_flat(slot)),
+                    0.0,
+                    "vis {vis} slot {slot}: limited reference decode drifted"
+                );
+                let got_efta = efta_decode_slot(
+                    &long,
+                    slot,
+                    vis,
+                    vis - 1,
+                    &q_raw,
+                    &NoFaults,
+                    &Thresholds::calibrated(),
+                    &EftaOptions::optimized(),
+                    &counters,
+                );
+                assert_eq!(
+                    got_efta.max_abs_diff(want_efta.o.slot_flat(slot)),
+                    0.0,
+                    "vis {vis} slot {slot}: limited EFTA decode drifted"
+                );
+            }
+            assert!(counters.snapshot().clean());
         }
     }
 

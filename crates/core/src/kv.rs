@@ -24,6 +24,27 @@
 //! real deployment would keep them in ECC-scrubbed memory); the fault
 //! surface is the FP16 payload, targeted through [`KvCache::expose`] with
 //! [`FaultSite::KvCache`].
+//!
+//! Append, corrupt, and read back — the residency round-trip:
+//!
+//! ```
+//! use ft_core::kv::KvCache;
+//! use ft_num::rng::normal_tensor_f16;
+//! use ft_sim::{FaultSite, OpCoord, SeuInjector};
+//!
+//! let mut cache = KvCache::new(1, 2, 16, 8, 8, 0.25);
+//! for t in 0..10 {
+//!     let k = normal_tensor_f16(100 + t, 1, 2, 1, 16, 0.6);
+//!     let v = normal_tensor_f16(200 + t, 1, 2, 1, 16, 0.8);
+//!     assert!(cache.append(&k, &v).clean());
+//! }
+//! // An SEU lands in stored K[7][3] of slot 0 between decode steps…
+//! let seu = SeuInjector::new(FaultSite::KvCache, OpCoord::new(0, 7, 3, 0), 14);
+//! cache.expose(&seu, 0);
+//! // …and the verified read locates and corrects it.
+//! let (_, report) = cache.read_k_verified(0, 0);
+//! assert_eq!((report.detected, report.corrected, report.uncorrectable), (1, 1, 0));
+//! ```
 
 use ft_abft::strided::{encode_cols_strided, encode_rows_strided, StridedChecksums};
 use ft_num::{MatrixF16, MatrixF32, Tensor4F16};

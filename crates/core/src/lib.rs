@@ -8,8 +8,8 @@
 //! ## The unified backend API
 //!
 //! Every kernel family is a strategy behind one trait: build an
-//! [`AttentionRequest`](backend::AttentionRequest), pick a
-//! [`BackendKind`](backend::BackendKind) — by variant or by name — and
+//! [`AttentionRequest`], pick a
+//! [`BackendKind`] — by variant or by name — and
 //! [`run`](backend::AttentionBackend::run) it:
 //!
 //! ```
@@ -41,7 +41,7 @@
 //! ## The kernel families
 //!
 //! * [`backend::ReferenceBackend`] (`"reference"`) — naive exact attention,
-//!   the correctness oracle ([`reference`]);
+//!   the correctness oracle ([`mod@reference`]);
 //! * [`backend::FlashBackend`] (`"flash"`) — tiled online-softmax flash
 //!   attention, the unprotected baseline ([`flash`]);
 //! * [`backend::DecoupledBackend`] (`"decoupled"`) — the traditional
@@ -55,14 +55,22 @@
 //! * [`dmr`] / [`snvr`] — the softmax protection schemes compared in
 //!   Fig. 13, selectable through [`efta::EftaOptions`].
 //!
-//! ## Incremental decode
+//! ## Incremental decode and serving
 //!
 //! Serving traffic decodes one token at a time over cached K/V. The
 //! checksum-protected store is [`kv::KvCache`]; a
-//! [`DecodeRequest`](decode::DecodeRequest) runs one step through
+//! [`DecodeRequest`] runs one step through
 //! [`try_decode`](backend::AttentionBackend::try_decode) on any backend —
 //! EFTA's variant re-verifies cache-resident state on read and carries its
 //! output checksums across the online-softmax rescales ([`decode`]).
+//!
+//! Under multi-user traffic, many streams share one kernel sweep:
+//! [`serve`] holds the continuous-batching machinery — the
+//! [`DecodeScheduler`] slot table, chunked-prefill
+//! admission, and the batched
+//! [`try_decode_sweep`](backend::AttentionBackend::try_decode_sweep) that
+//! multiplexes every stream's `(row, slot)` work units through one fan-out
+//! while attributing fault events to per-stream [`FtReport`]s.
 //!
 //! The pre-API free functions (`efta_attention` & friends) remain as
 //! hidden shims delegating to the trait.
@@ -78,6 +86,7 @@ pub mod efta;
 pub mod flash;
 pub mod kv;
 pub mod reference;
+pub mod serve;
 pub mod snvr;
 pub mod types;
 
@@ -96,6 +105,10 @@ pub use efta::{
     VerifyMode,
 };
 pub use kv::{KvCache, KvReadReport};
+pub use serve::{
+    DecodeScheduler, PlanItem, SchedulerConfig, StreamId, StreamSlice, StreamState,
+    StreamSweepOutput,
+};
 pub use types::{AttentionOutput, FtReport, PhaseBreakdown};
 
 #[doc(hidden)]

@@ -1,0 +1,688 @@
+//! Continuous-batching decode: many generation streams, one kernel sweep.
+//!
+//! A serving system rarely decodes one sequence at a time. This module is
+//! the kernel-level half of continuous batching (the model-level half —
+//! embedding, layer wiring, sampling — lives in the `ft-transformer`
+//! crate's `ServeSession`):
+//!
+//! * [`StreamSlice`] / [`StreamSweepOutput`] — one stream's slice of a
+//!   batched decode sweep and its per-stream result. A slice carries a
+//!   *chunk* of query rows (one row for a decoding stream, up to a prefill
+//!   chunk for a stream still consuming its prompt); row `r` attends the
+//!   causal prefix `0 .. cache.len() − c + r + 1` of that stream's own
+//!   [`KvCache`].
+//! * [`sweep_unprotected`] / [`sweep_efta`] — the batched multi-stream
+//!   extensions of [`reference_decode`] / [`efta_decode`]: every
+//!   `(stream, row, slot)` work unit of every slice is flattened into
+//!   **one** parallel sweep, and fault events are accumulated into
+//!   per-stream [`FtReport`]s — a cache hit on stream 3 lands in stream
+//!   3's report, not in a global blur. The numerics are the single-stream
+//!   kernels' own per-slot bodies, so a scheduled stream is bit-identical
+//!   to the same stream decoded alone.
+//! * [`DecodeScheduler`] — the continuous-batching slot table: streams are
+//!   admitted into free slots between sweeps (prompts consumed in
+//!   prefill-chunk bites so a long prompt never stalls the batch), each
+//!   sweep feeds every active stream its next chunk or its freshly sampled
+//!   token, and finished streams retire between sweeps with their token
+//!   history and accumulated fault report.
+//!
+//! The scheduler is deliberately model-agnostic — it plans *which tokens
+//! each stream feeds next* and records *what came back*; the driver owns
+//! the forward pass:
+//!
+//! ```
+//! use ft_core::serve::{DecodeScheduler, SchedulerConfig};
+//!
+//! let mut sched = DecodeScheduler::new(SchedulerConfig {
+//!     max_active: 8,
+//!     prefill_chunk: 4,
+//! });
+//! // Two streams join: a 6-token prompt wanting 2 new tokens, and a
+//! // 2-token prompt wanting 1.
+//! let a = sched.submit(vec![1, 2, 3, 4, 5, 6], 2);
+//! let b = sched.submit(vec![7, 8], 1);
+//!
+//! // Sweep 1: A feeds its first prefill chunk, B its whole prompt.
+//! let plan = sched.plan();
+//! assert_eq!(plan.len(), 2);
+//! assert_eq!(plan[0].feed, vec![1, 2, 3, 4]);
+//! assert!(!plan[0].sample, "A's prompt is not exhausted yet");
+//! assert_eq!(plan[1].feed, vec![7, 8]);
+//! assert!(plan[1].sample, "B samples from its last prompt logits");
+//!
+//! // The driver runs the batched sweep, then reports per-stream results.
+//! sched.record(a, None, &Default::default());
+//! sched.record(b, Some(9), &Default::default());
+//!
+//! // Sweep 2: A finishes prefill; B (done: 1 of 1 tokens) has retired.
+//! let plan = sched.plan();
+//! assert_eq!(plan.len(), 1);
+//! assert_eq!(plan[0].feed, vec![5, 6]);
+//! assert!(plan[0].sample);
+//! sched.record(a, Some(40), &Default::default());
+//! assert_eq!(sched.take_finished().len(), 1);
+//! assert!(!sched.idle(), "A is still generating");
+//! ```
+//!
+//! [`reference_decode`]: crate::decode::reference_decode
+//! [`efta_decode`]: crate::decode::efta_decode
+
+use crate::backend::BackendError;
+use crate::decode::{decode_stats, efta_decode_slot, reference_decode_slot};
+use crate::efta::{EftaOptions, GemmProtection, SoftmaxProtection};
+use crate::kv::KvCache;
+use crate::types::{FtCounters, FtReport};
+use ft_abft::thresholds::Thresholds;
+use ft_num::{Matrix, MatrixF32, Tensor4F16, Tensor4F32};
+use ft_sim::cost::Timeline;
+use ft_sim::FaultInjector;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// Stable identity of one generation stream within a scheduler or serving
+/// session. Also the namespace for per-stream fault-injection coordinates:
+/// stream 0 of a session reproduces exactly the coordinates a standalone
+/// single-stream decode would present.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+impl core::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+/// One stream's slice of a batched decode sweep.
+#[derive(Clone, Copy)]
+pub struct StreamSlice<'a> {
+    /// Which stream this slice belongs to (report attribution).
+    pub stream: StreamId,
+    /// The stream's own checksum-protected K/V store. Must already contain
+    /// the chunk's K/V rows (appended by the caller before the sweep).
+    pub cache: &'a KvCache,
+    /// `batch × heads × c × dim` query rows: one for a decoding stream,
+    /// `c > 1` for a prefill chunk. Row `r` attends the causal prefix
+    /// `0 .. cache.len() − c + r + 1`.
+    pub q: &'a Tensor4F16,
+}
+
+impl StreamSlice<'_> {
+    /// Cache length before this chunk's rows were appended.
+    fn base(&self) -> usize {
+        self.cache.len() - self.q.seq()
+    }
+}
+
+/// Per-stream result of one batched sweep.
+#[derive(Debug)]
+pub struct StreamSweepOutput {
+    /// The stream the result belongs to.
+    pub stream: StreamId,
+    /// `batch × heads × c × dim` attention rows (same row order as the
+    /// slice's query chunk).
+    pub o: Tensor4F32,
+    /// Fault events attributed to this stream alone.
+    pub report: FtReport,
+    /// Analytic kernel stats of this stream's share of the sweep.
+    pub timeline: Timeline,
+}
+
+fn validate(slices: &[StreamSlice<'_>]) {
+    for s in slices {
+        assert!(
+            !s.cache.is_empty(),
+            "{}: sweep over an empty cache",
+            s.stream
+        );
+        assert_eq!(
+            (s.q.batch(), s.q.heads(), s.q.dim()),
+            (s.cache.batch(), s.cache.heads(), s.cache.dim()),
+            "{}: query tensor does not match the cache geometry",
+            s.stream
+        );
+        assert!(
+            s.q.seq() >= 1 && s.q.seq() <= s.cache.len(),
+            "{}: chunk of {} rows against a {}-row cache",
+            s.stream,
+            s.q.seq(),
+            s.cache.len()
+        );
+    }
+}
+
+/// Flattened work units of a sweep: `(slice index, chunk row, slot)`.
+fn work_units(slices: &[StreamSlice<'_>]) -> Vec<(usize, usize, usize)> {
+    let mut units = Vec::new();
+    for (si, s) in slices.iter().enumerate() {
+        for row in 0..s.q.seq() {
+            for slot in 0..s.cache.num_slots() {
+                units.push((si, row, slot));
+            }
+        }
+    }
+    units
+}
+
+/// Reassemble flat per-unit rows (in `work_units` order) into per-stream
+/// output tensors.
+fn assemble(
+    slices: &[StreamSlice<'_>],
+    rows: Vec<MatrixF32>,
+    reports: Vec<FtReport>,
+    protected: bool,
+) -> Vec<StreamSweepOutput> {
+    let mut out = Vec::with_capacity(slices.len());
+    let mut off = 0;
+    for (s, report) in slices.iter().zip(reports) {
+        let (c, ns, d) = (s.q.seq(), s.cache.num_slots(), s.cache.dim());
+        let mats: Vec<MatrixF32> = (0..ns)
+            .map(|slot| Matrix::from_fn(c, d, |r, j| rows[off + r * ns + slot].get(0, j)))
+            .collect();
+        off += c * ns;
+        // One fused sweep launch; per-row traffic/FLOPs scale with the
+        // chunk width (a slight overcount for prefix rows, which see less
+        // of the cache — a conservative roofline, not an exact census).
+        let per_row = decode_stats(s.cache, protected);
+        let stats = ft_sim::device::KernelStats {
+            launches: per_row.launches,
+            hbm_read: per_row.hbm_read * c as u64,
+            hbm_written: per_row.hbm_written * c as u64,
+            tc_flops: per_row.tc_flops * c as u64,
+            fp32_flops: per_row.fp32_flops * c as u64,
+            sfu_ops: per_row.sfu_ops * c as u64,
+            serial_flops: per_row.serial_flops * c as u64,
+        };
+        let mut timeline = Timeline::new();
+        timeline.push("decode", stats);
+        out.push(StreamSweepOutput {
+            stream: s.stream,
+            o: Tensor4F32::from_slots(s.cache.batch(), s.cache.heads(), c, d, mats),
+            report,
+            timeline,
+        });
+    }
+    out
+}
+
+/// Unprotected batched sweep: every stream's work units run through
+/// [`reference_decode`](crate::decode::reference_decode)'s per-slot body in
+/// one parallel fan-out. The default
+/// [`try_decode_sweep`](crate::backend::AttentionBackend::try_decode_sweep)
+/// path for backends without a protected decode variant.
+pub fn sweep_unprotected(
+    slices: &[StreamSlice<'_>],
+    inj: &dyn FaultInjector,
+) -> Result<Vec<StreamSweepOutput>, BackendError> {
+    validate(slices);
+    let rows: Vec<MatrixF32> = work_units(slices)
+        .into_par_iter()
+        .map(|(si, row, slot)| {
+            let s = &slices[si];
+            let base = s.base();
+            let q_raw = chunk_row(s.q, slot, row);
+            reference_decode_slot(s.cache, slot, base + row + 1, base + row, &q_raw, inj)
+        })
+        .collect();
+    let reports = vec![FtReport::default(); slices.len()];
+    Ok(assemble(slices, rows, reports, false))
+}
+
+/// EFTA-protected batched sweep: the multi-stream extension of
+/// [`efta_decode`](crate::decode::efta_decode). Each work unit verifies its
+/// stream's cache blocks on read and runs the protected single-query
+/// pipeline; fault events land in that stream's [`FtReport`] only.
+pub fn sweep_efta(
+    slices: &[StreamSlice<'_>],
+    inj: &dyn FaultInjector,
+    thresholds: Option<Thresholds>,
+    opts: &EftaOptions,
+) -> Result<Vec<StreamSweepOutput>, BackendError> {
+    if opts.gemm == GemmProtection::Unprotected && opts.softmax == SoftmaxProtection::Unprotected {
+        return sweep_unprotected(slices, inj);
+    }
+    if opts.gemm == GemmProtection::Traditional {
+        return Err(BackendError::Unsupported(
+            "decode reuses the cache's strided append-time checksums; the traditional \
+             element scheme has no cached operands to reuse"
+                .into(),
+        ));
+    }
+    validate(slices);
+    let thr = thresholds.unwrap_or(opts.thresholds);
+    let counters: Vec<FtCounters> = slices.iter().map(|_| FtCounters::new()).collect();
+    for (s, c) in slices.iter().zip(&counters) {
+        // Sticky unrepairable damage is per stream: surface it in that
+        // stream's report every sweep (see `KvCache::poisoned`).
+        FtCounters::add(&c.cache_uncorrectable, s.cache.poisoned());
+    }
+    let rows: Vec<MatrixF32> = work_units(slices)
+        .into_par_iter()
+        .map(|(si, row, slot)| {
+            let s = &slices[si];
+            let base = s.base();
+            let q_raw = chunk_row(s.q, slot, row);
+            efta_decode_slot(
+                s.cache,
+                slot,
+                base + row + 1,
+                base + row,
+                &q_raw,
+                inj,
+                &thr,
+                opts,
+                &counters[si],
+            )
+        })
+        .collect();
+    let reports = counters.iter().map(FtCounters::snapshot).collect();
+    Ok(assemble(slices, rows, reports, true))
+}
+
+/// Extract chunk row `row` of slot `slot` as an unscaled `1 × dim` f32 row.
+fn chunk_row(q: &Tensor4F16, slot: usize, row: usize) -> MatrixF32 {
+    let m = q.slot_flat(slot);
+    Matrix::from_fn(1, q.dim(), |_, j| m.get(row, j).to_f32())
+}
+
+// ---------------------------------------------------------------------------
+// The continuous-batching scheduler.
+// ---------------------------------------------------------------------------
+
+/// Sizing knobs of a [`DecodeScheduler`].
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Slot-table width: streams decoded concurrently per sweep. Further
+    /// submissions queue and are admitted as slots free up.
+    pub max_active: usize,
+    /// Maximum prompt tokens a prefilling stream feeds per sweep. Bounds
+    /// how much one long prompt can delay every other stream's next token
+    /// (the continuous-batching latency/throughput dial).
+    pub prefill_chunk: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_active: 16,
+            prefill_chunk: 16,
+        }
+    }
+}
+
+/// One generation stream's scheduling state: its token history, prefill
+/// progress, and accumulated per-stream fault report.
+#[derive(Clone, Debug)]
+pub struct StreamState {
+    /// Stream identity.
+    pub id: StreamId,
+    /// The prompt as submitted.
+    pub prompt: Vec<u32>,
+    /// Prompt tokens fed into the model so far.
+    pub fed: usize,
+    /// Tokens sampled so far.
+    pub generated: Vec<u32>,
+    /// Total token budget (prompt + generated); the stream retires when it
+    /// is reached.
+    pub max_total: usize,
+    /// Fault events attributed to this stream across every sweep it took
+    /// part in (attention-kernel events, including cache residency).
+    pub report: FtReport,
+    /// A sweep for this stream has been planned but not yet recorded.
+    inflight: bool,
+}
+
+impl StreamState {
+    /// Tokens held so far: prompt followed by sampled continuations.
+    pub fn tokens(&self) -> Vec<u32> {
+        let mut t = self.prompt.clone();
+        t.extend_from_slice(&self.generated);
+        t
+    }
+
+    /// True while prompt tokens remain to be fed.
+    pub fn prefilling(&self) -> bool {
+        self.fed < self.prompt.len()
+    }
+
+    fn total(&self) -> usize {
+        self.prompt.len() + self.generated.len()
+    }
+
+    fn done(&self) -> bool {
+        self.total() >= self.max_total
+    }
+}
+
+/// One stream's share of the next sweep.
+#[derive(Clone, Debug)]
+pub struct PlanItem {
+    /// The stream to feed.
+    pub stream: StreamId,
+    /// Tokens to feed this sweep: a prefill chunk, or the single freshly
+    /// sampled token of a decoding stream.
+    pub feed: Vec<u32>,
+    /// Whether the driver should sample a new token from the last fed
+    /// row's logits and report it via [`DecodeScheduler::record`].
+    pub sample: bool,
+}
+
+/// Continuous-batching slot table: admits streams, plans one chunk per
+/// active stream per sweep, and retires finished streams between sweeps.
+///
+/// See the [module docs](self) for the driver loop contract and a worked
+/// example.
+#[derive(Debug, Default)]
+pub struct DecodeScheduler {
+    cfg: SchedulerConfig,
+    next_id: u64,
+    active: Vec<StreamState>,
+    pending: VecDeque<StreamState>,
+    finished: Vec<StreamState>,
+}
+
+impl DecodeScheduler {
+    /// Empty scheduler with the given sizing.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        assert!(cfg.max_active > 0 && cfg.prefill_chunk > 0);
+        DecodeScheduler {
+            cfg,
+            ..Default::default()
+        }
+    }
+
+    /// Queue a stream: `prompt` followed by up to `max_new_tokens` sampled
+    /// continuations. It joins the slot table at the next [`plan`] with a
+    /// free slot — mid-flight, without stalling streams already decoding.
+    ///
+    /// [`plan`]: DecodeScheduler::plan
+    pub fn submit(&mut self, prompt: Vec<u32>, max_new_tokens: usize) -> StreamId {
+        assert!(!prompt.is_empty(), "a stream needs at least one token");
+        let id = StreamId(self.next_id);
+        self.next_id += 1;
+        let max_total = prompt.len() + max_new_tokens;
+        self.pending.push_back(StreamState {
+            id,
+            prompt,
+            fed: 0,
+            generated: Vec::new(),
+            max_total,
+            report: FtReport::default(),
+            inflight: false,
+        });
+        id
+    }
+
+    /// Plan the next sweep: admit pending streams into free slots, retire
+    /// streams whose budget is already met, and hand every active stream
+    /// its next chunk (marking it in-flight until [`record`]ed).
+    ///
+    /// An empty plan means the scheduler is [`idle`](DecodeScheduler::idle)
+    /// or every active stream is awaiting its record.
+    ///
+    /// [`record`]: DecodeScheduler::record
+    pub fn plan(&mut self) -> Vec<PlanItem> {
+        while self.active.len() < self.cfg.max_active {
+            match self.pending.pop_front() {
+                Some(s) => self.active.push(s),
+                None => break,
+            }
+        }
+        // Retire zero-budget streams (max_new_tokens == 0) without feeding.
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].done() && !self.active[i].inflight {
+                self.finished.push(self.active.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        let chunk = self.cfg.prefill_chunk;
+        let mut items = Vec::new();
+        for s in &mut self.active {
+            if s.inflight {
+                continue;
+            }
+            let (feed, sample) = if s.prefilling() {
+                let n = (s.prompt.len() - s.fed).min(chunk);
+                let feed = s.prompt[s.fed..s.fed + n].to_vec();
+                s.fed += n;
+                (feed, s.fed == s.prompt.len())
+            } else {
+                let t = *s
+                    .generated
+                    .last()
+                    .expect("a decoding stream has sampled at least once");
+                (vec![t], true)
+            };
+            s.inflight = true;
+            items.push(PlanItem {
+                stream: s.id,
+                feed,
+                sample,
+            });
+        }
+        items
+    }
+
+    /// Record the result of a planned sweep for one stream: the sampled
+    /// token (if its plan item asked for one) and the sweep's per-stream
+    /// fault report. Retires the stream once its budget is met.
+    pub fn record(&mut self, stream: StreamId, sampled: Option<u32>, report: &FtReport) {
+        let idx = self
+            .active
+            .iter()
+            .position(|s| s.id == stream)
+            .unwrap_or_else(|| panic!("{stream} is not active"));
+        let s = &mut self.active[idx];
+        assert!(s.inflight, "{stream}: record without a planned sweep");
+        s.inflight = false;
+        s.report = s.report.merged(report);
+        if let Some(t) = sampled {
+            s.generated.push(t);
+        }
+        if s.done() {
+            self.finished.push(self.active.remove(idx));
+        }
+    }
+
+    /// True when no stream is active or queued (finished streams may still
+    /// await [`take_finished`](DecodeScheduler::take_finished)).
+    pub fn idle(&self) -> bool {
+        self.active.is_empty() && self.pending.is_empty()
+    }
+
+    /// Streams currently holding slots.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Streams queued for a free slot.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drain the retired streams (token history + per-stream fault report).
+    pub fn take_finished(&mut self) -> Vec<StreamState> {
+        std::mem::take(&mut self.finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_num::rng::normal_tensor_f16;
+
+    fn filled_cache(tokens: usize, seed: u64) -> KvCache {
+        let mut cache = KvCache::new(1, 2, 16, 8, 8, 0.25);
+        for t in 0..tokens {
+            let k = normal_tensor_f16(seed + t as u64, 1, 2, 1, 16, 0.6);
+            let v = normal_tensor_f16(seed + 500 + t as u64, 1, 2, 1, 16, 0.8);
+            cache.append(&k, &v);
+        }
+        cache
+    }
+
+    #[test]
+    fn sweep_matches_independent_decode_per_stream() {
+        use crate::decode::{efta_decode, DecodeRequest};
+        // Three streams at ragged, different lengths, single-row chunks.
+        let caches = [
+            filled_cache(5, 100),
+            filled_cache(12, 200),
+            filled_cache(21, 300),
+        ];
+        let qs: Vec<_> = (0..3)
+            .map(|i| normal_tensor_f16(900 + i, 1, 2, 1, 16, 0.6))
+            .collect();
+        let slices: Vec<StreamSlice> = caches
+            .iter()
+            .zip(&qs)
+            .enumerate()
+            .map(|(i, (cache, q))| StreamSlice {
+                stream: StreamId(i as u64),
+                cache,
+                q,
+            })
+            .collect();
+        let opts = EftaOptions::optimized();
+        let outs = sweep_efta(&slices, &ft_sim::NoFaults, None, &opts).unwrap();
+        for (i, out) in outs.iter().enumerate() {
+            let want = efta_decode(&DecodeRequest::new(&caches[i], &qs[i]), &opts).unwrap();
+            assert_eq!(
+                out.o.max_abs_diff(&want.o),
+                0.0,
+                "stream {i}: sweep output diverged from independent decode"
+            );
+            assert!(out.report.clean());
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_rows_match_incremental_steps() {
+        use crate::decode::{efta_decode, DecodeRequest};
+        // A 4-row chunk appended to a 9-row cache must reproduce the four
+        // single-row decode steps of an incrementally grown cache.
+        let mut incremental = filled_cache(9, 400);
+        let mut chunked = incremental.clone();
+        let mut k_rows = Vec::new();
+        let mut v_rows = Vec::new();
+        let mut q_rows = Vec::new();
+        for t in 0..4u64 {
+            k_rows.push(normal_tensor_f16(700 + t, 1, 2, 1, 16, 0.6));
+            v_rows.push(normal_tensor_f16(750 + t, 1, 2, 1, 16, 0.8));
+            q_rows.push(normal_tensor_f16(800 + t, 1, 2, 1, 16, 0.6));
+        }
+        let chunk_of = |ts: &[Tensor4F16]| {
+            Tensor4F16::from_fn(1, 2, ts.len(), 16, |b, h, r, c| ts[r].slot(b, h).get(0, c))
+        };
+        chunked.append(&chunk_of(&k_rows), &chunk_of(&v_rows));
+        let q_chunk = chunk_of(&q_rows);
+        let slices = [StreamSlice {
+            stream: StreamId(0),
+            cache: &chunked,
+            q: &q_chunk,
+        }];
+        let opts = EftaOptions::optimized();
+        let out = &sweep_efta(&slices, &ft_sim::NoFaults, None, &opts).unwrap()[0];
+        assert!(out.report.clean());
+        for (r, (kr, (vr, qr))) in k_rows.iter().zip(v_rows.iter().zip(&q_rows)).enumerate() {
+            incremental.append(kr, vr);
+            let want = efta_decode(&DecodeRequest::new(&incremental, qr), &opts).unwrap();
+            for slot in 0..2 {
+                for c in 0..16 {
+                    assert_eq!(
+                        out.o.slot_flat(slot).get(r, c),
+                        want.o.slot_flat(slot).get(0, c),
+                        "row {r} slot {slot} col {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_admits_feeds_and_retires() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 2,
+            prefill_chunk: 3,
+        });
+        let a = sched.submit(vec![1, 2, 3, 4], 2);
+        let b = sched.submit(vec![5], 1);
+        let c = sched.submit(vec![6, 7], 1); // queued: only 2 slots
+
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(sched.pending_len(), 1, "C must wait for a free slot");
+        assert_eq!((plan[0].stream, plan[0].feed.clone()), (a, vec![1, 2, 3]));
+        assert!(!plan[0].sample);
+        assert_eq!((plan[1].stream, plan[1].feed.clone()), (b, vec![5]));
+        assert!(plan[1].sample);
+        // Planning again while in-flight hands out nothing.
+        assert!(sched.plan().is_empty());
+
+        sched.record(a, None, &FtReport::default());
+        sched.record(b, Some(50), &FtReport::default());
+        // B is done (1 of 1); C is admitted into its slot.
+        assert_eq!(sched.take_finished().len(), 1);
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].feed, vec![4]);
+        assert!(plan[0].sample, "A's prompt is now exhausted");
+        assert_eq!((plan[1].stream, plan[1].feed.clone()), (c, vec![6, 7]));
+
+        sched.record(a, Some(90), &FtReport::default());
+        sched.record(c, Some(60), &FtReport::default());
+        // A needs one more token; C is done.
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].feed, vec![90], "A feeds its sampled token");
+        sched.record(a, Some(91), &FtReport::default());
+        assert!(sched.idle());
+        let done = sched.take_finished();
+        assert_eq!(done.len(), 2);
+        let a_state = done.iter().find(|s| s.id == a).unwrap();
+        assert_eq!(a_state.tokens(), vec![1, 2, 3, 4, 90, 91]);
+    }
+
+    #[test]
+    fn zero_budget_stream_retires_without_feeding() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig::default());
+        let id = sched.submit(vec![1, 2], 0);
+        assert!(sched.plan().is_empty());
+        assert!(sched.idle());
+        let done = sched.take_finished();
+        assert_eq!(done[0].id, id);
+        assert_eq!(done[0].tokens(), vec![1, 2]);
+    }
+
+    #[test]
+    fn per_stream_fault_reports_are_isolated() {
+        use ft_sim::{FaultSite, OpCoord, SeuInjector};
+        // Corrupt stream 1's cache only; the batched sweep must report the
+        // cache event on stream 1 and leave stream 0's report clean.
+        let cache_a = filled_cache(12, 100);
+        let mut cache_b = filled_cache(12, 200);
+        let inj = SeuInjector::new(FaultSite::KvCache, OpCoord::new(1, 7, 3, 0), 14);
+        cache_b.expose(&inj, 0);
+        assert_eq!(inj.fired(), 1);
+        let qa = normal_tensor_f16(901, 1, 2, 1, 16, 0.6);
+        let qb = normal_tensor_f16(902, 1, 2, 1, 16, 0.6);
+        let slices = [
+            StreamSlice {
+                stream: StreamId(0),
+                cache: &cache_a,
+                q: &qa,
+            },
+            StreamSlice {
+                stream: StreamId(7),
+                cache: &cache_b,
+                q: &qb,
+            },
+        ];
+        let outs = sweep_efta(&slices, &ft_sim::NoFaults, None, &EftaOptions::optimized()).unwrap();
+        assert!(outs[0].report.clean(), "{:?}", outs[0].report);
+        assert_eq!(outs[1].stream, StreamId(7));
+        assert!(outs[1].report.cache_detected > 0, "{:?}", outs[1].report);
+        assert!(outs[1].report.cache_corrected > 0);
+    }
+}

@@ -1,4 +1,4 @@
-//! Roofline cost model turning [`KernelStats`](crate::device::KernelStats)
+//! Roofline cost model turning [`KernelStats`]
 //! into simulated A100 execution time.
 //!
 //! Each kernel's time is `launch_overhead + max(memory_time, compute_time)`

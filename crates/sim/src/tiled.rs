@@ -54,7 +54,7 @@ pub fn b_thread_of(k: usize, n: usize) -> usize {
 /// every constituent MMA atom through the per-lane fragment machinery.
 ///
 /// This is the layout-faithful executor: slow, but numerically *identical*
-/// to [`crate::gemm::gemm`] (same FP16 operands, same f32 accumulation
+/// to [`crate::gemm::gemm_nn`] (same FP16 operands, same f32 accumulation
 /// order), used by tests to prove the fast path computes what the simulated
 /// hardware would.
 pub fn tiled_gemm_exec(a: &MatrixF16, b: &MatrixF16, c: &mut MatrixF32) {

@@ -4,6 +4,7 @@ use crate::ffn::{FeedForward, FfnReport};
 use crate::mha::{BackendKind, KvCache, MhaReport, MultiHeadAttention};
 use crate::norm::LayerNorm;
 use ft_abft::thresholds::Thresholds;
+use ft_core::serve::StreamId;
 use ft_num::MatrixF32;
 use ft_sim::FaultInjector;
 
@@ -114,6 +115,61 @@ impl TransformerBlock {
             *v += f;
         }
         (h, report)
+    }
+
+    /// Continuous-batching decode forward: each stream contributes a
+    /// `c × hidden` activation chunk attending through its own cache; the
+    /// attention fan-out is shared across streams (see
+    /// [`MultiHeadAttention::forward_decode_batch`]), everything row-wise
+    /// (norms, residuals, FFN) runs per stream.
+    pub fn forward_decode_batch<I: FaultInjector>(
+        &self,
+        xs: &[MatrixF32],
+        caches: &mut [&mut KvCache],
+        streams: &[StreamId],
+        inj: &I,
+        layer_idx: usize,
+        thresholds: &Thresholds,
+    ) -> Vec<(MatrixF32, BlockReport)> {
+        let normed: Vec<MatrixF32> = xs
+            .iter()
+            .map(|x| {
+                let mut n = x.clone();
+                self.ln1.forward(&mut n);
+                n
+            })
+            .collect();
+        let attn =
+            self.mha
+                .forward_decode_batch(&normed, caches, streams, inj, layer_idx * 2, thresholds);
+        xs.iter()
+            .zip(attn)
+            .map(|(x, (a, mha_rep))| {
+                let mut h = x.clone();
+                for i in 0..h.rows() {
+                    for (v, av) in h.row_mut(i).iter_mut().zip(a.row(i)) {
+                        *v += av;
+                    }
+                }
+                let mut normed2 = h.clone();
+                self.ln2.forward(&mut normed2);
+                let (ff, ffn_rep) = self
+                    .ffn
+                    .forward(&normed2, inj, layer_idx * 2 + 1, thresholds);
+                for i in 0..h.rows() {
+                    for (v, f) in h.row_mut(i).iter_mut().zip(ff.row(i)) {
+                        *v += f;
+                    }
+                }
+                (
+                    h,
+                    BlockReport {
+                        mha: mha_rep,
+                        ffn: ffn_rep,
+                    },
+                )
+            })
+            .collect()
     }
 }
 

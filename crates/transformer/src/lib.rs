@@ -10,12 +10,16 @@
 //! fault tolerance inside whole-model inference, which depends on tensor
 //! shapes, not weight values.
 //!
-//! Generation runs over the checksum-protected KV-cache decode path
-//! ([`TransformerModel::generate`] / [`TransformerModel::decode_step`] with
-//! a [`ModelKvCache`]): O(cache) work per token instead of a full prefill,
-//! with cache-resident state re-verified every step. The pre-cache
-//! prefill-per-token baseline survives as
-//! [`TransformerModel::generate_prefill`].
+//! Generation runs over the checksum-protected KV-cache decode path:
+//! O(cache) work per token instead of a full prefill, with cache-resident
+//! state re-verified every step. Serving traffic goes through
+//! [`ServeSession`] ([`TransformerModel::serve`]), which continuously
+//! batches many streams — each with its own [`ModelKvCache`], sampling
+//! state, and per-stream fault history — through shared decode sweeps with
+//! chunked prefill; [`TransformerModel::generate`] is its one-stream
+//! special case, and [`TransformerModel::decode_step`] remains the
+//! explicit token-at-a-time loop. The pre-cache prefill-per-token baseline
+//! survives as [`TransformerModel::generate_prefill`].
 
 #![warn(missing_docs)]
 
@@ -34,9 +38,10 @@ pub use block::TransformerBlock;
 pub use configs::ModelConfig;
 pub use embed::Embedding;
 pub use ffn::FeedForward;
+pub use ft_core::serve::{SchedulerConfig, StreamId};
 pub use linear::{Linear, LinearProtection};
-#[doc(hidden)]
-pub use mha::AttentionKernel;
 pub use mha::{BackendKind, KvCache, MhaReport, MultiHeadAttention};
-pub use model::{ModelKvCache, ModelReport, TransformerModel};
+pub use model::{
+    serve_expose_step, FinishedStream, ModelKvCache, ModelReport, ServeSession, TransformerModel,
+};
 pub use norm::LayerNorm;

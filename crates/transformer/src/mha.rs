@@ -6,16 +6,13 @@ use ft_abft::thresholds::Thresholds;
 use ft_core::backend::{AttentionBackend, AttentionRequest};
 use ft_core::config::AttentionConfig;
 use ft_core::decode::DecodeRequest;
+use ft_core::serve::{StreamId, StreamSlice};
 use ft_core::types::FtReport;
 use ft_num::{Matrix, MatrixF32, Tensor4F16};
 use ft_sim::FaultInjector;
 
 pub use ft_core::backend::BackendKind;
 pub use ft_core::kv::KvCache;
-
-/// Pre-`BackendKind` name of the kernel selector, kept for downstream code.
-#[doc(hidden)]
-pub type AttentionKernel = BackendKind;
 
 /// Multi-head attention module.
 #[derive(Clone, Debug)]
@@ -185,6 +182,74 @@ impl MultiHeadAttention {
         report.projections.corrected += r4.corrected;
         report.projections.recomputed += r4.recomputed;
         (y, report)
+    }
+
+    /// One continuous-batching sweep over many streams' activations: per
+    /// stream, project Q/K/V for its chunk (`c × hidden` rows — one row for
+    /// a decoding stream, a prefill chunk otherwise) and append K/V to that
+    /// stream's cache; then attend every stream's rows through the
+    /// backend's batched
+    /// [`try_decode_sweep`](AttentionBackend::try_decode_sweep) — one
+    /// kernel fan-out shared by all streams, with fault events attributed
+    /// per stream.
+    pub fn forward_decode_batch<I: FaultInjector>(
+        &self,
+        xs: &[MatrixF32],
+        caches: &mut [&mut KvCache],
+        streams: &[StreamId],
+        inj: &I,
+        layer_slot: usize,
+        thresholds: &Thresholds,
+    ) -> Vec<(MatrixF32, MhaReport)> {
+        assert_eq!(xs.len(), caches.len());
+        assert_eq!(xs.len(), streams.len());
+        let mut reports: Vec<MhaReport> = vec![MhaReport::default(); xs.len()];
+        let mut qts = Vec::with_capacity(xs.len());
+        let mut heals = Vec::with_capacity(xs.len());
+        for (i, x) in xs.iter().enumerate() {
+            let (q, r1) = self.wq.forward(x, inj, layer_slot * 8, thresholds);
+            let (k, r2) = self.wk.forward(x, inj, layer_slot * 8 + 1, thresholds);
+            let (v, r3) = self.wv.forward(x, inj, layer_slot * 8 + 2, thresholds);
+            for r in [r1, r2, r3] {
+                reports[i].projections.detected += r.detected;
+                reports[i].projections.corrected += r.corrected;
+                reports[i].projections.recomputed += r.recomputed;
+            }
+            qts.push(self.split_heads(&q));
+            heals.push(caches[i].append(&self.split_heads(&k), &self.split_heads(&v)));
+        }
+        let slices: Vec<StreamSlice<'_>> = qts
+            .iter()
+            .enumerate()
+            .map(|(i, q)| StreamSlice {
+                stream: streams[i],
+                cache: &*caches[i],
+                q,
+            })
+            .collect();
+        let outs = self.kernel.decode_sweep(&slices, inj, Some(*thresholds));
+        drop(slices);
+        outs.into_iter()
+            .enumerate()
+            .map(|(i, out)| {
+                let mut report = reports[i];
+                report.attention = out.report;
+                report.attention.cache_detected += heals[i].detected;
+                report.attention.cache_corrected += heals[i].corrected;
+                // heal.uncorrectable is deliberately NOT added: append
+                // already folded it into the cache's sticky `poisoned`
+                // counter, which the protected sweep re-surfaces as
+                // cache_uncorrectable — adding it here would double-count.
+                let merged = self.merge_heads(&out.o);
+                let (y, r4) = self
+                    .wo
+                    .forward(&merged, inj, layer_slot * 8 + 3, thresholds);
+                report.projections.detected += r4.detected;
+                report.projections.corrected += r4.corrected;
+                report.projections.recomputed += r4.recomputed;
+                (y, report)
+            })
+            .collect()
     }
 }
 

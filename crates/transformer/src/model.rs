@@ -7,7 +7,9 @@ use crate::linear::{Linear, LinearProtection};
 use crate::mha::{BackendKind, KvCache};
 use crate::norm::LayerNorm;
 use ft_abft::thresholds::Thresholds;
-use ft_num::MatrixF32;
+use ft_core::serve::{DecodeScheduler, SchedulerConfig, StreamId};
+use ft_core::types::FtReport;
+use ft_num::{Matrix, MatrixF32};
 use ft_sim::FaultInjector;
 
 /// A complete transformer for inference experiments.
@@ -204,9 +206,17 @@ impl TransformerModel {
         (logits, report)
     }
 
-    /// Greedy generation over the checksummed KV-cache decode path: the
-    /// prompt is fed token by token (populating the caches), then each new
-    /// token costs one O(cache) decode step instead of an O(seq) prefill.
+    /// Greedy generation over the checksummed KV-cache decode path — the
+    /// one-stream special case of [`TransformerModel::serve`]: the prompt
+    /// is consumed in prefill chunks (one batched sweep per chunk, the
+    /// vocab-wide LM head run only where a token is actually sampled),
+    /// then each new token costs one O(cache) decode sweep instead of an
+    /// O(seq) prefill.
+    ///
+    /// A request with no token budget (`new_tokens == 0`, or a prompt
+    /// already at `max_seq`) returns the prompt without running the model
+    /// at all — its report is empty. Use [`TransformerModel::decode_step`]
+    /// directly to push a prompt through the model without sampling.
     pub fn generate<I: FaultInjector>(
         &self,
         prompt: &[u32],
@@ -214,31 +224,14 @@ impl TransformerModel {
         inj: &I,
     ) -> (Vec<u32>, ModelReport) {
         assert!(!prompt.is_empty(), "generation needs at least one token");
-        let mut cache = self.new_cache();
-        let mut report = ModelReport::default();
-        let mut tokens = prompt.to_vec();
-        let mut logits = None;
-        for &t in prompt {
-            let (l, rep) = self.decode_step(t, &mut cache, inj);
-            report.accumulate(&rep);
-            logits = Some(l);
-        }
-        for i in 0..new_tokens {
-            if tokens.len() >= self.config.max_seq {
-                break;
-            }
-            let next = argmax(logits.as_ref().expect("prompt fed").row(0)) as u32;
-            tokens.push(next);
-            // The final selected token's logits are never consumed — skip
-            // its decode step (a full model forward) unless more tokens
-            // will be drawn.
-            if i + 1 < new_tokens && tokens.len() < self.config.max_seq {
-                let (l, rep) = self.decode_step(next, &mut cache, inj);
-                report.accumulate(&rep);
-                logits = Some(l);
-            }
-        }
-        (tokens, report)
+        let mut session = self.serve();
+        let id = session.submit(prompt, new_tokens);
+        let finished = session.run(inj);
+        let stream = finished
+            .into_iter()
+            .find(|f| f.id == id)
+            .expect("the submitted stream finishes");
+        (stream.tokens, stream.report)
     }
 
     /// Greedy generation by full re-prefill each step — the pre-KV-cache
@@ -264,6 +257,276 @@ impl TransformerModel {
             tokens.push(argmax(logits.row(logits.rows() - 1)) as u32);
         }
         (tokens, report)
+    }
+
+    /// Open a continuous-batching serving session with the default
+    /// [`SchedulerConfig`]. Submit streams with
+    /// [`ServeSession::submit`], drive them with [`ServeSession::sweep`]
+    /// or [`ServeSession::run`].
+    pub fn serve(&self) -> ServeSession<'_> {
+        self.serve_with(SchedulerConfig::default())
+    }
+
+    /// Open a serving session with explicit slot-table width and prefill
+    /// chunk size.
+    pub fn serve_with(&self, cfg: SchedulerConfig) -> ServeSession<'_> {
+        ServeSession {
+            model: self,
+            scheduler: DecodeScheduler::new(cfg),
+            caches: Vec::new(),
+            reports: Vec::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// One batched decode sweep over many streams: per stream, embed its
+    /// fed tokens at the cache's next positions; per layer, expose every
+    /// stream's cache to the injector (the between-sweep residency window)
+    /// and run the shared multi-stream attention fan-out; finally run the
+    /// LM head on the rows that sample a token.
+    ///
+    /// `feeds[i]` is `(stream, tokens to feed, sample?)` and must pair with
+    /// `caches[i]`. Returns, per stream, the sampled token (if requested),
+    /// the sweep's model-level report, and the attention-level [`FtReport`]
+    /// attributed to that stream alone.
+    fn run_sweep<I: FaultInjector>(
+        &self,
+        feeds: &[(StreamId, Vec<u32>, bool)],
+        caches: &mut [&mut ModelKvCache],
+        inj: &I,
+    ) -> Vec<(Option<u32>, ModelReport, FtReport)> {
+        let layers = self.blocks.len();
+        for (_, c) in feeds.iter().zip(&*caches) {
+            assert_eq!(
+                c.layers.len(),
+                layers,
+                "a sweep cache does not belong to this model"
+            );
+        }
+        let streams: Vec<StreamId> = feeds.iter().map(|f| f.0).collect();
+        let base_pos: Vec<usize> = caches.iter().map(|c| c.positions).collect();
+        let mut hs: Vec<MatrixF32> = feeds
+            .iter()
+            .zip(&base_pos)
+            .map(|((_, toks, _), &pos)| self.embed.forward_at(toks, pos))
+            .collect();
+        let mut reports = vec![ModelReport::default(); feeds.len()];
+        let mut attn_reports = vec![FtReport::default(); feeds.len()];
+        for (l, block) in self.blocks.iter().enumerate() {
+            let mut layer_caches: Vec<&mut KvCache> =
+                caches.iter_mut().map(|c| &mut c.layers[l]).collect();
+            for (i, lc) in layer_caches.iter_mut().enumerate() {
+                // Exposure models residency between sweeps; the step is
+                // namespaced per stream so a shared stateless injector does
+                // not fire identical patterns in every stream's cache.
+                lc.expose(inj, serve_expose_step(streams[i], base_pos[i], layers, l));
+            }
+            let outs = block.forward_decode_batch(
+                &hs,
+                &mut layer_caches,
+                &streams,
+                inj,
+                l,
+                &self.thresholds,
+            );
+            for (i, (h, rep)) in outs.into_iter().enumerate() {
+                hs[i] = h;
+                attn_reports[i] = attn_reports[i].merged(&rep.mha.attention);
+                reports[i].absorb(&rep);
+            }
+        }
+        for (c, (_, toks, _)) in caches.iter_mut().zip(feeds) {
+            c.positions += toks.len();
+        }
+        feeds
+            .iter()
+            .enumerate()
+            .map(|(i, (_, _, sample))| {
+                let sampled = if *sample {
+                    // Only the chunk's final row feeds the sampler; the
+                    // interior prefill rows never pay the vocab-wide head.
+                    let h = &hs[i];
+                    let last = h.rows() - 1;
+                    let mut row = Matrix::from_fn(1, h.cols(), |_, j| h.get(last, j));
+                    self.final_norm.forward(&mut row);
+                    let (logits, head_rep) =
+                        self.lm_head
+                            .forward(&row, inj, usize::MAX / 2, &self.thresholds);
+                    reports[i].total_detected += head_rep.detected;
+                    reports[i].total_repaired += head_rep.corrected + head_rep.recomputed;
+                    Some(argmax(logits.row(0)) as u32)
+                } else {
+                    None
+                };
+                (sampled, reports[i], attn_reports[i])
+            })
+            .collect()
+    }
+}
+
+/// Cache-exposure step namespace for serving. Exposure steps are drawn
+/// from the same `pos * layers + layer` lattice as
+/// [`TransformerModel::decode_step`], with stream 0 unshifted and streams
+/// ≥ 1 shifted into disjoint ranges, so a shared injector can target — and
+/// a report can attribute — one stream's cache in isolation.
+///
+/// A session exposes caches once per *sweep* (at the sweep's base
+/// position), not once per token: during chunked prefill only the chunk
+/// bases (`0, prefill_chunk, 2·prefill_chunk, …`) appear, and interior
+/// prompt positions are skipped — target those bases, or run with
+/// `prefill_chunk = 1` to reproduce the token-at-a-time exposure schedule
+/// exactly. Decode-phase sweeps (one token each) match `decode_step`'s
+/// schedule position for position.
+pub fn serve_expose_step(stream: StreamId, pos: usize, layers: usize, layer: usize) -> u64 {
+    let local = (pos * layers + layer) as u64;
+    debug_assert!(
+        local < (1 << 20),
+        "position × layers exceeds the per-stream exposure namespace"
+    );
+    (stream.0 << 20) + local
+}
+
+/// A retired serving stream: its full token history and fault accounting.
+#[derive(Clone, Debug)]
+pub struct FinishedStream {
+    /// Stream identity (as returned by [`ServeSession::submit`]).
+    pub id: StreamId,
+    /// Prompt followed by the sampled continuation.
+    pub tokens: Vec<u32>,
+    /// Model-level fault accounting accumulated over the stream's sweeps
+    /// (projections, attention, FFN, LM head).
+    pub report: ModelReport,
+    /// Attention-kernel fault history attributed to this stream alone —
+    /// per-stream cache detected/corrected/uncorrectable counts included.
+    pub attention: FtReport,
+}
+
+/// A continuous-batching serving session over one [`TransformerModel`]:
+/// many generation streams, each with its own per-layer [`ModelKvCache`],
+/// sampling state, and fault history, multiplexed through shared batched
+/// decode sweeps.
+///
+/// ```text
+/// submit ─▶ scheduler slot table ─▶ sweep: embed → layers (shared
+///   attention fan-out over every stream's chunk) → LM head on sampled
+///   rows ─▶ record tokens + per-stream reports ─▶ retire finished
+/// ```
+///
+/// [`TransformerModel::generate`] is the one-stream special case.
+pub struct ServeSession<'m> {
+    model: &'m TransformerModel,
+    scheduler: DecodeScheduler,
+    caches: Vec<(StreamId, ModelKvCache)>,
+    reports: Vec<(StreamId, ModelReport)>,
+    finished: Vec<FinishedStream>,
+}
+
+impl ServeSession<'_> {
+    /// Submit a stream: `prompt` plus up to `max_new_tokens` greedy
+    /// continuations (clamped to the model's `max_seq`). The stream joins
+    /// the next sweep with a free slot — mid-flight, without stalling
+    /// streams already decoding.
+    pub fn submit(&mut self, prompt: &[u32], max_new_tokens: usize) -> StreamId {
+        assert!(!prompt.is_empty(), "a stream needs at least one token");
+        assert!(
+            prompt.len() <= self.model.config.max_seq,
+            "prompt exceeds max_seq"
+        );
+        let capped = max_new_tokens.min(self.model.config.max_seq - prompt.len());
+        self.scheduler.submit(prompt.to_vec(), capped)
+    }
+
+    /// Run one batched sweep: plan (admitting pending streams), feed every
+    /// active stream its next chunk through the shared fan-out, sample
+    /// where due, record per-stream reports, and retire finished streams.
+    /// Returns the number of streams that took part.
+    pub fn sweep<I: FaultInjector>(&mut self, inj: &I) -> usize {
+        let plan = self.scheduler.plan();
+        if plan.is_empty() {
+            self.collect_finished();
+            return 0;
+        }
+        for item in &plan {
+            if !self.caches.iter().any(|(id, _)| *id == item.stream) {
+                self.caches.push((item.stream, self.model.new_cache()));
+                self.reports.push((item.stream, ModelReport::default()));
+            }
+        }
+        // Pair feeds with caches in storage order (plan order and storage
+        // order both follow admission, but matching by id keeps the sweep
+        // correct under any future scheduling policy).
+        let mut feeds: Vec<(StreamId, Vec<u32>, bool)> = Vec::with_capacity(plan.len());
+        let mut cache_refs: Vec<&mut ModelKvCache> = Vec::with_capacity(plan.len());
+        for (id, cache) in self.caches.iter_mut() {
+            if let Some(item) = plan.iter().find(|it| it.stream == *id) {
+                feeds.push((*id, item.feed.clone(), item.sample));
+                cache_refs.push(cache);
+            }
+        }
+        debug_assert_eq!(feeds.len(), plan.len());
+        let results = self.model.run_sweep(&feeds, &mut cache_refs, inj);
+        let n = feeds.len();
+        for ((id, _, _), (sampled, rep, attn)) in feeds.iter().zip(results) {
+            let entry = self
+                .reports
+                .iter_mut()
+                .find(|(rid, _)| rid == id)
+                .expect("report entry exists for every planned stream");
+            entry.1.accumulate(&rep);
+            self.scheduler.record(*id, sampled, &attn);
+        }
+        self.collect_finished();
+        n
+    }
+
+    /// Sweep until every submitted stream has retired, then drain them
+    /// (ordered by stream id).
+    pub fn run<I: FaultInjector>(&mut self, inj: &I) -> Vec<FinishedStream> {
+        while !self.scheduler.idle() {
+            self.sweep(inj);
+        }
+        self.take_finished()
+    }
+
+    /// True when no stream is active or queued.
+    pub fn idle(&self) -> bool {
+        self.scheduler.idle()
+    }
+
+    /// Streams currently holding decode slots.
+    pub fn active_streams(&self) -> usize {
+        self.scheduler.active_len()
+    }
+
+    /// Streams waiting for a free slot.
+    pub fn pending_streams(&self) -> usize {
+        self.scheduler.pending_len()
+    }
+
+    /// Drain retired streams, ordered by stream id.
+    pub fn take_finished(&mut self) -> Vec<FinishedStream> {
+        self.collect_finished();
+        let mut out = std::mem::take(&mut self.finished);
+        out.sort_by_key(|f| f.id);
+        out
+    }
+
+    fn collect_finished(&mut self) {
+        for s in self.scheduler.take_finished() {
+            let report = self
+                .reports
+                .iter()
+                .position(|(id, _)| *id == s.id)
+                .map(|i| self.reports.remove(i).1)
+                .unwrap_or_default();
+            self.caches.retain(|(id, _)| *id != s.id);
+            self.finished.push(FinishedStream {
+                id: s.id,
+                tokens: s.tokens(),
+                report,
+                attention: s.report,
+            });
+        }
     }
 }
 
