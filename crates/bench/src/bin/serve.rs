@@ -8,6 +8,8 @@
 //! ```sh
 //! cargo run --release -p ft-bench --bin serve            # 1/4/16/64 streams
 //! cargo run --release -p ft-bench --bin serve -- --smoke # CI smoke run
+//! cargo run --release -p ft-bench --bin serve -- --smoke --bounded-only
+//! #                       ^ just the bounded-memory (sliding-window) sweep
 //! ```
 //!
 //! Reported, per stream count, over a mixed-prompt-length workload:
@@ -22,8 +24,15 @@
 //! algorithmic (prefill chunks amortise per-token overhead and skip the
 //! LM head on interior prompt rows); with more cores the shared fan-out
 //! additionally widens the parallel section across streams.
+//!
+//! The bounded-memory sweep (also standalone via `--bounded-only`) runs
+//! the same mixed workload with longer generations through a sliding
+//! window (`TransformerModel::with_window`): peak cache bytes must
+//! flatten versus the unbounded run at ≤ 10% aggregate tokens/sec cost,
+//! and a byte-budget session (`SchedulerConfig::memory_budget`) must
+//! throttle concurrency while still completing every stream.
 
-use ft_bench::{banner, HarnessArgs, TextTable};
+use ft_bench::{banner, has_flag, HarnessArgs, TextTable};
 use ft_core::efta::EftaOptions;
 use ft_sim::{BerInjector, FaultInjector, FaultSite, NoFaults};
 use ft_transformer::{BackendKind, ModelConfig, SchedulerConfig, TransformerModel};
@@ -105,7 +114,13 @@ fn main() {
     let sched_cfg = SchedulerConfig {
         max_active: 16,
         prefill_chunk: 16,
+        ..Default::default()
     };
+
+    if has_flag("--bounded-only") {
+        bounded_memory_sweep(&model, &prompts_for, sched_cfg, smoke);
+        return;
+    }
 
     let mut table = TextTable::new(&[
         "streams",
@@ -209,5 +224,103 @@ fn main() {
             .iter()
             .map(|f| f.attention.cache_detected)
             .sum::<u64>()
+    );
+
+    // In smoke (CI) mode the bounded sweep runs as its own step via
+    // `--bounded-only`; skipping it here keeps the two CI smokes disjoint.
+    if !smoke {
+        bounded_memory_sweep(&model, &prompts_for, sched_cfg, smoke);
+    }
+}
+
+/// The bounded-memory serving sweep: the same mixed-length workload with
+/// longer generations, windowed vs unbounded, plus a byte-budget
+/// admission demonstration. Peak cache bytes must flatten under the
+/// window at ≤ 10% aggregate tokens/sec cost (printed as the acceptance
+/// line).
+fn bounded_memory_sweep(
+    model: &TransformerModel,
+    prompts_for: &dyn Fn(usize) -> Vec<Vec<u32>>,
+    sched_cfg: SchedulerConfig,
+    smoke: bool,
+) {
+    println!("\nbounded-memory serve (sliding window, block-granular eviction):");
+    let (n, cache_block, window, gen_tokens) = if smoke {
+        (4usize, 4usize, 8usize, 6usize)
+    } else {
+        (16, 16, 32, 24)
+    };
+    let base = model.clone().with_cache_block(cache_block);
+    let windowed = base.clone().with_window(window);
+    let prompts = prompts_for(n);
+    let generated = n * gen_tokens;
+
+    let run = |m: &TransformerModel, budget: Option<u64>| {
+        let mut session = m.serve_with(SchedulerConfig {
+            memory_budget: budget,
+            ..sched_cfg
+        });
+        for p in &prompts {
+            session.submit(p, gen_tokens);
+        }
+        let t0 = Instant::now();
+        let mut max_active = 0usize;
+        while !session.idle() {
+            session.sweep(&NoFaults);
+            max_active = max_active.max(session.active_streams());
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let finished = session.take_finished();
+        let evicted: u64 = finished
+            .iter()
+            .map(|f| f.attention.cache_evicted_blocks)
+            .sum();
+        assert_eq!(finished.len(), prompts.len(), "every stream completes");
+        (dt, session.peak_cache_bytes(), evicted, max_active)
+    };
+
+    let (t_unb, peak_unb, ev_unb, _) = run(&base, None);
+    let (t_win, peak_win, ev_win, _) = run(&windowed, None);
+    assert_eq!(ev_unb, 0, "unbounded serving never evicts");
+    assert!(ev_win > 0, "the windowed run must actually evict blocks");
+
+    let mut table = TextTable::new(&["policy", "peak cache bytes", "tok/s", "evicted blocks"]);
+    table.row(&[
+        "unbounded".to_string(),
+        format!("{peak_unb}"),
+        format!("{:.1}", generated as f64 / t_unb),
+        "0".to_string(),
+    ]);
+    table.row(&[
+        format!("window {window} (block {cache_block})"),
+        format!("{peak_win}"),
+        format!("{:.1}", generated as f64 / t_win),
+        format!("{ev_win}"),
+    ]);
+    print!("{}", table.render());
+    // The deterministic half of the acceptance is a hard assert (CI must
+    // fail if eviction stops bounding memory); the wall-clock ratio stays
+    // a printed PASS/FAIL because timing is machine-dependent.
+    assert!(
+        peak_win < peak_unb,
+        "window must bound peak cache bytes: {peak_win} vs {peak_unb}"
+    );
+    let ratio = t_unb / t_win;
+    println!(
+        "peak cache bytes {:.0}% of unbounded at {n} streams, tok/s ratio \
+         {ratio:.2} (acceptance: bounded peak and ratio >= 0.90) -> {}",
+        100.0 * peak_win as f64 / peak_unb as f64,
+        if ratio >= 0.9 { "PASS" } else { "FAIL" }
+    );
+
+    // Admission by cache bytes: cap the session well under the windowed
+    // peak — pending streams queue for reclaimed bytes instead of growing
+    // the footprint, and every stream still finishes.
+    let budget = peak_win / 8;
+    let (t_bud, peak_bud, _, max_active) = run(&windowed, Some(budget));
+    println!(
+        "byte-budget {budget}: peak {peak_bud}, max concurrent {max_active} \
+         of {n} streams, {:.1} tok/s",
+        generated as f64 / t_bud
     );
 }

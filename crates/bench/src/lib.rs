@@ -80,6 +80,10 @@ impl HarnessArgs {
                     i += 1;
                     out.seed = args[i].parse().expect("--seed <u64>");
                 }
+                // Binary-specific switches (parsed by the binaries via
+                // `has_flag`); listed here so the shared parser does not
+                // warn about them.
+                "--bounded-only" => {}
                 other => {
                     eprintln!("ignoring unknown argument {other}");
                 }
@@ -134,6 +138,12 @@ impl HarnessArgs {
         let paper_seq = [512usize, 1024, 2048, 4096, 8192, 16384][idx];
         AttentionConfig::new(1, cfg.heads, paper_seq, cfg.head_dim).with_total_tokens(16 * 1024)
     }
+}
+
+/// True when `name` (e.g. `"--bounded-only"`) appears on the command line
+/// — binary-specific switches beyond the shared [`HarnessArgs`] set.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 /// Generate a seeded attention workload for `cfg`.

@@ -257,6 +257,15 @@ pub trait AttentionBackend: Sync {
     /// variant (EFTA) override this to verify cache-resident state and the
     /// decode arithmetic itself.
     ///
+    /// Every implementation must honour the request's sliding-window knob
+    /// ([`DecodeRequest::window`]) and front-evicted caches
+    /// ([`KvCache::evict_front`](crate::kv::KvCache::evict_front)):
+    /// windowed or evicted decode is bit-identical to decoding against a
+    /// fresh cache holding only the attended blocks (pinned for every
+    /// [`BackendKind`] by `tests/eviction_equivalence.rs`). Both shared
+    /// decode bodies implement this; a backend with its own decode path
+    /// must preserve the invariant.
+    ///
     /// [`reference_decode`]: crate::decode::reference_decode
     fn try_decode(&self, req: &DecodeRequest<'_>) -> Result<AttentionOutput, BackendError> {
         crate::decode::reference_decode(req)
@@ -278,7 +287,10 @@ pub trait AttentionBackend: Sync {
     ///
     /// The default is the unprotected sweep; backends with a protected
     /// decode variant (EFTA) override it, exactly mirroring
-    /// [`try_decode`](AttentionBackend::try_decode).
+    /// [`try_decode`](AttentionBackend::try_decode) — including the
+    /// per-slice sliding-window knob
+    /// ([`StreamSlice::window`](crate::serve::StreamSlice::window)) and
+    /// front-evicted caches.
     fn try_decode_sweep(
         &self,
         slices: &[crate::serve::StreamSlice<'_>],

@@ -82,6 +82,8 @@ static NO_FAULTS: NoFaults = NoFaults;
 pub struct DecodeRequest<'a> {
     /// The checksum-protected K/V store (already containing the current
     /// token's K/V row — decode attends to itself like causal prefill).
+    /// May have been front-evicted ([`KvCache::evict_front`]): the kernels
+    /// iterate resident blocks only.
     pub cache: &'a KvCache,
     /// Query tensor, `batch × heads × 1 × dim`: one new row per slot.
     pub q: &'a Tensor4F16,
@@ -91,6 +93,11 @@ pub struct DecodeRequest<'a> {
     pub thresholds: Option<Thresholds>,
     /// Decode step index (namespaces fault coordinates across steps).
     pub step: usize,
+    /// Sliding-window attention: attend only the cache blocks holding the
+    /// most recent `window` rows (rounded down to a block boundary, so the
+    /// attended set is exactly what a fresh cache holding only the window
+    /// would contain). `None` attends every resident row.
+    pub window: Option<usize>,
 }
 
 impl<'a> DecodeRequest<'a> {
@@ -112,6 +119,7 @@ impl<'a> DecodeRequest<'a> {
             injector: &NO_FAULTS,
             thresholds: None,
             step: cache.len() - 1,
+            window: None,
         }
     }
 
@@ -132,6 +140,16 @@ impl<'a> DecodeRequest<'a> {
         self.step = step;
         self
     }
+
+    /// Restrict attention to the most recent `window` cached rows
+    /// (block-granular sliding window; `None` attends everything
+    /// resident). Panics on `Some(0)` — a zero-row window would attend
+    /// nothing and normalise by an empty softmax.
+    pub fn with_window(mut self, window: Option<usize>) -> Self {
+        assert!(window != Some(0), "a zero-row window cannot serve decode");
+        self.window = window;
+        self
+    }
 }
 
 impl core::fmt::Debug for DecodeRequest<'_> {
@@ -144,18 +162,21 @@ impl core::fmt::Debug for DecodeRequest<'_> {
     }
 }
 
-/// Analytic kernel statistics of one decode step (shape-derived, like
-/// [`crate::efta::analytic_stats`]): reads the whole cache once, writes one
-/// row, two rank-1 GEMMs per cached column.
-pub(crate) fn decode_stats(cache: &KvCache, protected: bool) -> KernelStats {
+/// Analytic kernel statistics of one decode step over `attended` cached
+/// rows (shape-derived, like [`crate::efta::analytic_stats`]): reads the
+/// attended blocks once, writes one row, two rank-1 GEMMs per attended
+/// column. `attended` is the resident length for full-cache decode, the
+/// window span for windowed decode.
+pub(crate) fn decode_stats(cache: &KvCache, attended: usize, protected: bool) -> KernelStats {
     let slots = cache.num_slots() as u64;
-    let len = cache.len() as u64;
+    let len = attended as u64;
+    let blocks = attended.div_ceil(cache.block()) as u64;
     let d = cache.dim() as u64;
     let mut stats = KernelStats {
         launches: 1,
         hbm_read: slots * 2 * len * d * 2,
         hbm_written: slots * d * 2,
-        tc_flops: slots * 2 * gemm_flops(1, cache.len(), cache.dim()),
+        tc_flops: slots * 2 * gemm_flops(1, attended, cache.dim()),
         fp32_flops: slots * 4 * len,
         sfu_ops: slots * len,
         serial_flops: 0,
@@ -169,8 +190,8 @@ pub(crate) fn decode_stats(cache: &KvCache, protected: bool) -> KernelStats {
         // Stored-checksum GEMMs (no encode: amortised at append) plus the
         // product check and final output verification.
         stats.tc_flops += slots * 2 * 2 * gemm_flops(1, s as usize, cache.dim());
-        stats.serial_flops += slots * (len + 2 * d + 4 * cache.num_blocks() as u64);
-        stats.hbm_read += slots * 4 * (cache.num_blocks() as u64 * s * d) / 2;
+        stats.serial_flops += slots * (len + 2 * d + 4 * blocks);
+        stats.hbm_read += slots * 4 * (blocks * s * d) / 2;
     }
     stats
 }
@@ -180,13 +201,36 @@ pub(crate) fn vis_blocks(cache: &KvCache, vis: usize) -> usize {
     vis.div_ceil(cache.block())
 }
 
+/// First block a `vis`-row causal prefix attends under an optional sliding
+/// window: the most recent `window` rows, rounded *down* to a block
+/// boundary, so the attended block set is exactly the blocks a fresh cache
+/// holding only the window would contain — this is what makes windowed
+/// decode bit-identical to decoding against such a cache. Clamped to the
+/// eviction frontier (evicted blocks cannot be read; storage policies must
+/// keep eviction at or behind the attention window — see
+/// [`KvCache::enforce_window`]).
+pub(crate) fn window_start_block(cache: &KvCache, vis: usize, window: Option<usize>) -> usize {
+    let ws = match window {
+        Some(w) if vis > w => (vis - w) / cache.block(),
+        _ => 0,
+    };
+    ws.max(cache.start_block())
+}
+
+/// Rows attended by a `vis`-row prefix under `window` (for SNVR bounds and
+/// the analytic cost model).
+pub(crate) fn attended_rows(cache: &KvCache, vis: usize, window: Option<usize>) -> usize {
+    vis - window_start_block(cache, vis, window) * cache.block()
+}
+
 /// Rows of block `b` visible under a `vis`-row causal prefix.
 pub(crate) fn vis_block_rows(cache: &KvCache, b: usize, vis: usize) -> usize {
     cache.block_rows(b).min(vis - b * cache.block())
 }
 
 /// Unprotected single-query decode of one `(batch, head)` slot against the
-/// first `vis` cached rows: raw cache reads, online softmax, no checks.
+/// first `vis` cached rows (optionally restricted to a sliding `window` of
+/// the most recent rows): raw cache reads, online softmax, no checks.
 ///
 /// `q_raw` is the unscaled `1 × dim` query row; `step` namespaces fault
 /// coordinates. [`reference_decode`] calls this with `vis = cache.len()`;
@@ -198,11 +242,13 @@ pub(crate) fn reference_decode_slot(
     step: usize,
     q_raw: &MatrixF32,
     inj: &dyn FaultInjector,
+    window: Option<usize>,
 ) -> MatrixF32 {
     let d = cache.dim();
     let q_blk = Matrix::from_fn(1, d, |_, j| q_raw.get(0, j) * cache.scale());
     let mut state = crate::flash::OnlineState::new(1, d);
-    for (jb, c0) in (0..vis_blocks(cache, vis)).map(|b| (b, b * cache.block())) {
+    let b0 = window_start_block(cache, vis, window);
+    for (jb, c0) in (b0..vis_blocks(cache, vis)).map(|b| (b, b * cache.block())) {
         let rows = vis_block_rows(cache, jb, vis);
         let mut k_blk = cache.read_k_raw(slot, jb);
         let mut v_blk = cache.read_v_raw(slot, jb);
@@ -225,15 +271,20 @@ pub(crate) fn reference_decode_slot(
 }
 
 /// EFTA-protected single-query decode of one slot against the first `vis`
-/// cached rows (the per-slot body of [`efta_decode`], shared with the
-/// multi-stream sweep in [`crate::serve`]).
+/// cached rows, optionally restricted to a sliding `window` (the per-slot
+/// body of [`efta_decode`], shared with the multi-stream sweep in
+/// [`crate::serve`]).
 ///
 /// Fully visible blocks reuse the cache's stored append-time checksums; a
 /// partially visible trailing block (a chunked-prefill row's causal
 /// frontier) is read through the full block's verification, truncated, and
 /// its checksum operands re-encoded over the visible rows — the same
 /// values the cache itself would have stored at length `vis`, so chunked
-/// prefill is bit-identical to feeding the chunk token by token.
+/// prefill is bit-identical to feeding the chunk token by token. Windowed
+/// and front-evicted caches start the block loop at the window's first
+/// block instead of 0 — the same iteration a fresh cache holding only
+/// those blocks would run, so the output is bit-identical to decoding
+/// against that fresh cache.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn efta_decode_slot(
     cache: &KvCache,
@@ -245,6 +296,7 @@ pub(crate) fn efta_decode_slot(
     thr: &Thresholds,
     opts: &EftaOptions,
     counters: &FtCounters,
+    window: Option<usize>,
 ) -> MatrixF32 {
     let d = cache.dim();
     // Output-checksum width: the V column fold is over `dim`.
@@ -258,10 +310,11 @@ pub(crate) fn efta_decode_slot(
     let mut o_c1: MatrixF32 = Matrix::zeros(1, so);
     let mut o_c2: MatrixF32 = Matrix::zeros(1, so);
     let nb = vis_blocks(cache, vis);
-    let mut max_hist: Vec<f32> = Vec::with_capacity(nb);
+    let b0 = window_start_block(cache, vis, window);
+    let mut max_hist: Vec<f32> = Vec::with_capacity(nb - b0);
     let mut damaged = false;
 
-    for (jb, c0) in (0..nb).map(|b| (b, b * cache.block())) {
+    for (jb, c0) in (b0..nb).map(|b| (b, b * cache.block())) {
         // ---- Verified cache reads: residency protection ---------
         let rows = vis_block_rows(cache, jb, vis);
         let (k_full, krep) = cache.read_k_verified(slot, jb);
@@ -471,7 +524,10 @@ pub(crate) fn efta_decode_slot(
 
     // ---- Post-loop SNVR rowsum restriction ----------------------
     if opts.softmax == SoftmaxProtection::Snvr {
-        if let Restriction::Repaired { repaired } = restrict_rowsum(ell, &max_hist, m, vis) {
+        // The rowsum upper bound is the number of rows actually attended —
+        // the window span under sliding-window decode, not the full prefix.
+        let n_rows = vis - b0 * cache.block();
+        if let Restriction::Repaired { repaired } = restrict_rowsum(ell, &max_hist, m, n_rows) {
             ell = repaired;
             FtCounters::add(&counters.sum_restricted, 1);
         }
@@ -526,7 +582,7 @@ pub(crate) fn efta_decode_slot(
         // softmax of the visible prefix (cache-uncorrectable damage stays
         // in the data, but the report carries that signal).
         let mut state = crate::flash::OnlineState::new(1, d);
-        for jb in 0..nb {
+        for jb in b0..nb {
             let rows = vis_block_rows(cache, jb, vis);
             let (mut k_blk, _) = cache.read_k_verified(slot, jb);
             let (mut v_blk, _) = cache.read_v_verified(slot, jb);
@@ -555,12 +611,21 @@ pub fn reference_decode(req: &DecodeRequest<'_>) -> Result<AttentionOutput, Back
         .into_par_iter()
         .map(|slot| {
             let q_raw = req.q.slot_flat(slot).to_f32();
-            reference_decode_slot(cache, slot, cache.len(), req.step, &q_raw, req.injector)
+            reference_decode_slot(
+                cache,
+                slot,
+                cache.len(),
+                req.step,
+                &q_raw,
+                req.injector,
+                req.window,
+            )
         })
         .collect();
     let o = Tensor4F32::from_slots(cache.batch(), cache.heads(), 1, cache.dim(), rows);
     let mut timeline = Timeline::new();
-    timeline.push("decode", decode_stats(cache, false));
+    let attended = attended_rows(cache, cache.len(), req.window);
+    timeline.push("decode", decode_stats(cache, attended, false));
     Ok(AttentionOutput {
         o,
         timeline,
@@ -608,13 +673,15 @@ pub fn efta_decode(
                 &thr,
                 opts,
                 &counters,
+                req.window,
             )
         })
         .collect();
 
     let o = Tensor4F32::from_slots(cache.batch(), cache.heads(), 1, cache.dim(), rows);
     let mut timeline = Timeline::new();
-    timeline.push("decode", decode_stats(cache, true));
+    let attended = attended_rows(cache, cache.len(), req.window);
+    timeline.push("decode", decode_stats(cache, attended, true));
     Ok(AttentionOutput {
         o,
         timeline,
@@ -720,7 +787,8 @@ mod tests {
             let counters = FtCounters::new();
             for slot in 0..2 {
                 let q_raw = qt.slot_flat(slot).to_f32();
-                let got_ref = reference_decode_slot(&long, slot, vis, vis - 1, &q_raw, &NoFaults);
+                let got_ref =
+                    reference_decode_slot(&long, slot, vis, vis - 1, &q_raw, &NoFaults, None);
                 assert_eq!(
                     got_ref.max_abs_diff(want_ref.o.slot_flat(slot)),
                     0.0,
@@ -736,6 +804,7 @@ mod tests {
                     &Thresholds::calibrated(),
                     &EftaOptions::optimized(),
                     &counters,
+                    None,
                 );
                 assert_eq!(
                     got_efta.max_abs_diff(want_efta.o.slot_flat(slot)),

@@ -25,6 +25,19 @@
 //! surface is the FP16 payload, targeted through [`KvCache::expose`] with
 //! [`FaultSite::KvCache`].
 //!
+//! # Eviction
+//!
+//! The per-block layout exists so bounded-memory serving is cheap:
+//! [`KvCache::evict_front`] drops whole blocks from the front of every
+//! slot — checksums, max-norm snapshot, and sticky poison marks travel
+//! with each block, so eviction is O(1) bookkeeping per block with **no
+//! re-encode**. Row and block coordinates stay *global* (position-stable):
+//! after evicting one 64-row block, block 1 is still block 1 and row 70 is
+//! still row 70; only blocks `< start_block()` are gone, and every
+//! accessor hard-asserts residency. [`KvCache::enforce_window`] is the
+//! sliding-window policy on top: keep the most recent `window` rows
+//! resident (rounded up to a block boundary).
+//!
 //! Append, corrupt, and read back — the residency round-trip:
 //!
 //! ```
@@ -75,6 +88,11 @@ struct KvBlock {
     /// max hijacks, amortised here like the checksum operands instead of
     /// rescanned every step.
     k_max_norm: f32,
+    /// Sticky unlocatable-damage count attributed to *this* block (see
+    /// [`KvCache::poisoned`]). Travels with the block through eviction, so
+    /// evicting a damaged block retires its damage signal along with its
+    /// payload.
+    poisoned: u64,
 }
 
 impl KvBlock {
@@ -94,6 +112,7 @@ impl KvBlock {
             k: k.clone(),
             v: v.clone(),
             k_max_norm,
+            poisoned: 0,
         }
     }
 }
@@ -140,13 +159,14 @@ pub struct KvCache {
     block: usize,
     stride: usize,
     scale: f32,
+    /// Logical tokens appended per slot — *including* evicted rows, so
+    /// token positions stay stable across eviction.
     len: usize,
-    /// Sticky count of unlocatable corruption events swallowed by
-    /// re-encoding (append heals) or scrubs. Once a heal re-stamps
-    /// checksums over unrepairable rows the per-read reports go clean
-    /// again, so this counter is the only surviving damage signal.
-    poisoned: u64,
-    /// `batch × heads` slots, each a list of blocks.
+    /// Rows evicted from the front of every slot (always a multiple of
+    /// `block`): the global row index of the first resident row.
+    start: usize,
+    /// `batch × heads` slots, each the list of *resident* blocks (global
+    /// blocks `start_block()..num_blocks()`).
     slots: Vec<Vec<KvBlock>>,
 }
 
@@ -171,7 +191,7 @@ impl KvCache {
             stride,
             scale,
             len: 0,
-            poisoned: 0,
+            start: 0,
             slots: vec![Vec::new(); batch * heads],
         }
     }
@@ -190,9 +210,32 @@ impl KvCache {
         )
     }
 
-    /// Tokens cached per slot.
+    /// Logical tokens appended per slot, *including* evicted rows — the
+    /// next token's position. The resident row count is
+    /// [`resident_len`](KvCache::resident_len).
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Rows evicted from the front of every slot (a multiple of the block
+    /// size; the global row index of the first resident row).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Global index of the first resident block.
+    pub fn start_block(&self) -> usize {
+        self.start / self.block
+    }
+
+    /// Rows currently resident per slot (`len − start`).
+    pub fn resident_len(&self) -> usize {
+        self.len - self.start
+    }
+
+    /// Blocks currently resident per slot.
+    pub fn resident_blocks(&self) -> usize {
+        self.num_blocks() - self.start_block()
     }
 
     /// True before the first append.
@@ -235,14 +278,31 @@ impl KvCache {
         self.slots.len()
     }
 
-    /// Number of blocks currently held per slot.
+    /// Total number of logical blocks per slot (evicted blocks included —
+    /// block indices are global and position-stable; only
+    /// `start_block()..num_blocks()` are resident).
     pub fn num_blocks(&self) -> usize {
         self.len.div_ceil(self.block)
     }
 
-    /// Rows held by block `b` (the last block may be ragged).
+    /// Storage index of global block `b`, hard-asserting residency. Every
+    /// read path funnels through here: with eviction shifting block
+    /// indexing, a silently-wrong block would corrupt decode output, so
+    /// the bound is a release-mode assert, not a `debug_assert`.
+    fn resident_index(&self, b: usize) -> usize {
+        assert!(
+            b >= self.start_block() && b < self.num_blocks(),
+            "block {b} is not resident (resident blocks: {}..{})",
+            self.start_block(),
+            self.num_blocks(),
+        );
+        b - self.start_block()
+    }
+
+    /// Rows held by global block `b` (the last block may be ragged).
+    /// Hard-asserts that `b` is resident.
     pub fn block_rows(&self, b: usize) -> usize {
-        debug_assert!(b < self.num_blocks());
+        self.resident_index(b); // residency assert
         if b + 1 == self.num_blocks() && !self.len.is_multiple_of(self.block) {
             self.len % self.block
         } else {
@@ -250,9 +310,9 @@ impl KvCache {
         }
     }
 
-    /// FP16 bytes of cached payload.
+    /// FP16 bytes of *resident* cached payload (evicted rows are freed).
     pub fn size_bytes(&self) -> u64 {
-        2 * (self.num_slots() * self.len * self.dim * 2) as u64
+        2 * (self.num_slots() * self.resident_len() * self.dim * 2) as u64
     }
 
     /// FP32 bytes of checksum metadata (the protection overhead).
@@ -299,56 +359,105 @@ impl KvCache {
                     let last = blocks.last_mut().expect("non-empty trailing block");
                     let mut kf = last.k.to_f32();
                     let mut vf = last.v.to_f32();
-                    report = report
-                        .merged(&verify_rows(&mut kf, &last.k_cs))
-                        .merged(&verify_cols(&mut vf, &last.v_cs));
+                    let heal =
+                        verify_rows(&mut kf, &last.k_cs).merged(&verify_cols(&mut vf, &last.v_cs));
+                    report = report.merged(&heal);
                     let k_new = MatrixF16::vstack(&[&kf.to_f16(), &km.block(r, 0, 1, self.dim)]);
                     let v_new = MatrixF16::vstack(&[&vf.to_f16(), &vm.block(r, 0, 1, self.dim)]);
+                    // Re-encoding stamps clean checksums over rows the
+                    // verification could not restore — fold that into the
+                    // block's sticky poison mark before the evidence is
+                    // destroyed (count once, at launder time).
+                    let poisoned = last.poisoned + heal.uncorrectable;
                     *last = KvBlock::encode(&k_new, &v_new, stride);
+                    last.poisoned = poisoned;
                 }
             }
         }
         self.len += n;
-        // Re-encoding stamped clean checksums over rows the verification
-        // could not restore — record that permanently.
-        self.poisoned += report.uncorrectable;
         report
     }
 
-    /// Sticky count of unlocatable corruption events absorbed by heals:
-    /// once non-zero, per-read reports can look clean while the payload is
-    /// wrong, and the only recovery is re-prefilling the sequence. The
-    /// EFTA decode path folds this into every step's `cache_uncorrectable`
-    /// so the damage signal cannot be missed.
+    /// Sticky count of unlocatable corruption events among *resident*
+    /// blocks, absorbed by checksum re-encodes (append heals over a ragged
+    /// block, scrubs over unrepairable damage): once a re-encode stamps
+    /// clean checksums over unrepairable rows, per-read reports look clean
+    /// while the payload is wrong, and this counter is the only surviving
+    /// damage signal — the EFTA decode path folds it into every step's
+    /// `cache_uncorrectable` so it cannot be missed. Each physical event
+    /// is counted exactly once, at the moment its checksum evidence is
+    /// destroyed. Poison marks travel with their block:
+    /// [`evict_front`](KvCache::evict_front) retires a damaged block's
+    /// count together with its payload (damage outside the attended window
+    /// no longer taints the stream).
     pub fn poisoned(&self) -> u64 {
-        self.poisoned
+        self.slots.iter().flatten().map(|b| b.poisoned).sum()
+    }
+
+    /// Drop the `n_blocks` oldest resident blocks from the front of every
+    /// slot — O(1) bookkeeping per block: checksums, the max-norm
+    /// snapshot, and sticky poison marks travel with each block, nothing
+    /// is re-encoded. The trailing block is never evicted (decode always
+    /// attends the newest row), so the request is clamped to
+    /// `resident_blocks() − 1`; returns the number of blocks actually
+    /// evicted. Global row/block coordinates are position-stable: block
+    /// `b` keeps its index, only `start()`/`start_block()` advance.
+    pub fn evict_front(&mut self, n_blocks: usize) -> usize {
+        let n = n_blocks.min(self.resident_blocks().saturating_sub(1));
+        if n == 0 {
+            return 0;
+        }
+        for blocks in &mut self.slots {
+            blocks.drain(..n);
+        }
+        self.start += n * self.block;
+        n
+    }
+
+    /// Sliding-window storage policy: evict whole blocks from the front
+    /// until at most `window` rows — rounded up to a block boundary —
+    /// remain resident. Returns the number of blocks evicted. Callers that
+    /// *attend* a window (the decode kernels take the window as a per-row
+    /// knob) must enforce storage **before** appending new rows, so a
+    /// chunk's interior rows still find every block their own causal
+    /// window reaches back to.
+    pub fn enforce_window(&mut self, window: usize) -> usize {
+        assert!(window > 0, "a zero-row window cannot serve decode");
+        let resident = self.resident_len();
+        if resident <= window {
+            return 0;
+        }
+        self.evict_front((resident - window) / self.block)
     }
 
     /// Unverified f32 copy of K block `b` in slot `slot` (the unprotected
-    /// read path: whatever sits in storage, corrupted or not).
+    /// read path: whatever sits in storage, corrupted or not). Like every
+    /// block accessor, `b` is a *global* block index and must be resident
+    /// (hard assert — an out-of-range or evicted index is a logic error,
+    /// not a recoverable condition).
     pub fn read_k_raw(&self, slot: usize, b: usize) -> MatrixF32 {
-        self.slots[slot][b].k.to_f32()
+        self.slots[slot][self.resident_index(b)].k.to_f32()
     }
 
     /// Unverified f32 copy of V block `b` in slot `slot`.
     pub fn read_v_raw(&self, slot: usize, b: usize) -> MatrixF32 {
-        self.slots[slot][b].v.to_f32()
+        self.slots[slot][self.resident_index(b)].v.to_f32()
     }
 
     /// Stored checksum operands of K block `b` (GEMM I operands).
     pub fn k_checksums(&self, slot: usize, b: usize) -> &StridedChecksums {
-        &self.slots[slot][b].k_cs
+        &self.slots[slot][self.resident_index(b)].k_cs
     }
 
     /// Stored checksum operands of V block `b` (GEMM II operands).
     pub fn v_checksums(&self, slot: usize, b: usize) -> &StridedChecksums {
-        &self.slots[slot][b].v_cs
+        &self.slots[slot][self.resident_index(b)].v_cs
     }
 
     /// Largest K row norm of block `b`, snapshotted at append time (the
     /// decode kernel's Cauchy–Schwarz max-plausibility bound).
     pub fn k_max_norm(&self, slot: usize, b: usize) -> f32 {
-        self.slots[slot][b].k_max_norm
+        self.slots[slot][self.resident_index(b)].k_max_norm
     }
 
     /// Verified read of K block `b`: re-fold the stored rows, compare
@@ -356,7 +465,7 @@ impl KvCache {
     /// elements in the returned copy (storage itself is left untouched —
     /// see [`scrub`](KvCache::scrub) for in-place repair).
     pub fn read_k_verified(&self, slot: usize, b: usize) -> (MatrixF32, KvReadReport) {
-        let blk = &self.slots[slot][b];
+        let blk = &self.slots[slot][self.resident_index(b)];
         let mut kf = blk.k.to_f32();
         let report = verify_rows(&mut kf, &blk.k_cs);
         (kf, report)
@@ -364,7 +473,7 @@ impl KvCache {
 
     /// Verified read of V block `b` (column-folded checksums).
     pub fn read_v_verified(&self, slot: usize, b: usize) -> (MatrixF32, KvReadReport) {
-        let blk = &self.slots[slot][b];
+        let blk = &self.slots[slot][self.resident_index(b)];
         let mut vf = blk.v.to_f32();
         let report = verify_cols(&mut vf, &blk.v_cs);
         (vf, report)
@@ -380,8 +489,13 @@ impl KvCache {
             return;
         }
         let block = self.block;
+        let start_block = self.start / self.block;
         for (slot, blocks) in self.slots.iter_mut().enumerate() {
-            for (b, blk) in blocks.iter_mut().enumerate() {
+            for (bi, blk) in blocks.iter_mut().enumerate() {
+                // Fault coordinates address *global* rows, so a campaign
+                // targeting row 70 keeps hitting the same physical row
+                // whether or not earlier blocks have been evicted.
+                let b = start_block + bi;
                 for which in 0..2u64 {
                     let m = if which == 0 { &mut blk.k } else { &mut blk.v };
                     for r in 0..m.rows() {
@@ -404,20 +518,42 @@ impl KvCache {
         }
     }
 
-    /// In-place integrity pass over the whole cache: verify every block and
-    /// write located corrections back to the FP16 payload (the maintenance
-    /// scrub a serving loop runs between requests).
+    /// In-place integrity pass over the whole cache: verify every resident
+    /// block and write located corrections back to the FP16 payload (the
+    /// maintenance scrub a serving loop runs between requests).
+    ///
+    /// Contract for unlocatable damage (count once, don't launder): when a
+    /// block verifies with `uncorrectable > 0`, the damage cannot be
+    /// repaired from checksums, so the scrub (1) folds the count into the
+    /// block's sticky [`poisoned`](KvCache::poisoned) mark and only *then*
+    /// (2) re-encodes that block's checksums over the partially-healed
+    /// payload. The re-encode silences further per-read alarms for an
+    /// event nothing can act on twice — each physical event lands in
+    /// `poisoned()` exactly once, at the moment its checksum evidence is
+    /// destroyed, and the protected decode path re-surfaces the sticky
+    /// count as `cache_uncorrectable` on every subsequent step, so the
+    /// damage is never silently forgotten.
     pub fn scrub(&mut self) -> KvReadReport {
         let mut total = KvReadReport::default();
+        let stride = self.stride;
         for slot in 0..self.num_slots() {
-            for b in 0..self.slots[slot].len() {
+            for b in self.start_block()..self.num_blocks() {
                 let (kf, krep) = self.read_k_verified(slot, b);
-                if !krep.clean() {
-                    self.slots[slot][b].k = kf.to_f16();
-                }
                 let (vf, vrep) = self.read_v_verified(slot, b);
+                let bi = self.resident_index(b);
+                if !krep.clean() {
+                    self.slots[slot][bi].k = kf.to_f16();
+                }
                 if !vrep.clean() {
-                    self.slots[slot][b].v = vf.to_f16();
+                    self.slots[slot][bi].v = vf.to_f16();
+                }
+                let uncorrectable = krep.uncorrectable + vrep.uncorrectable;
+                if uncorrectable > 0 {
+                    let blk = &mut self.slots[slot][bi];
+                    let poisoned = blk.poisoned + uncorrectable;
+                    let (k16, v16) = (blk.k.clone(), blk.v.clone());
+                    *blk = KvBlock::encode(&k16, &v16, stride);
+                    blk.poisoned = poisoned;
                 }
                 total = total.merged(&krep).merged(&vrep);
             }
@@ -436,8 +572,17 @@ fn verify_rows(m: &mut MatrixF32, cs: &StridedChecksums) -> KvReadReport {
     let s = cs.stride;
     for t in 0..fresh.w1.rows() {
         for c in 0..fresh.w1.cols() {
+            // Bit-equality first: a clean block re-folds to the exact same
+            // f32s (same loop over the same values), non-finite payloads
+            // included — an appended Inf/NaN row makes both sums NaN with
+            // identical bits, which must *not* read as permanent damage
+            // (the old `d1 = NaN` path flagged a false uncorrectable on
+            // every read and poisoned the cache at the next append).
+            if fresh.w1.get(t, c).to_bits() == cs.w1.get(t, c).to_bits() {
+                continue;
+            }
             let d1 = fresh.w1.get(t, c) - cs.w1.get(t, c);
-            if d1.abs() <= READ_CHECK_FLOOR && d1.is_finite() {
+            if d1.abs() <= READ_CHECK_FLOOR {
                 continue;
             }
             report.detected += 1;
@@ -463,8 +608,12 @@ fn verify_cols(m: &mut MatrixF32, cs: &StridedChecksums) -> KvReadReport {
     let s = cs.stride;
     for r in 0..fresh.w1.rows() {
         for t in 0..fresh.w1.cols() {
+            // Bit-equality covers non-finite payloads (see `verify_rows`).
+            if fresh.w1.get(r, t).to_bits() == cs.w1.get(r, t).to_bits() {
+                continue;
+            }
             let d1 = fresh.w1.get(r, t) - cs.w1.get(r, t);
-            if d1.abs() <= READ_CHECK_FLOOR && d1.is_finite() {
+            if d1.abs() <= READ_CHECK_FLOOR {
                 continue;
             }
             report.detected += 1;
@@ -645,6 +794,188 @@ mod tests {
         let rep = cache.scrub();
         assert!(rep.detected >= inj.fired() / 2);
         assert!(rep.corrected > 0);
+    }
+
+    #[test]
+    fn evict_front_drops_whole_blocks_and_keeps_global_coordinates() {
+        let mut cache = filled_cache(21, 8); // blocks of 8/8/5
+        let keep_k = cache.read_k_raw(1, 1);
+        let keep_cs = cache.k_checksums(1, 1).w1.clone();
+        let full_bytes = cache.size_bytes();
+        assert_eq!(cache.evict_front(1), 1);
+        assert_eq!((cache.start(), cache.start_block()), (8, 1));
+        assert_eq!((cache.len(), cache.resident_len()), (21, 13));
+        assert_eq!((cache.num_blocks(), cache.resident_blocks()), (3, 2));
+        assert_eq!(cache.block_rows(1), 8);
+        assert_eq!(cache.block_rows(2), 5);
+        // Block 1 is still block 1: payload and checksums untouched.
+        assert_eq!(cache.read_k_raw(1, 1), keep_k);
+        assert_eq!(cache.k_checksums(1, 1).w1, keep_cs);
+        assert!(cache.size_bytes() < full_bytes);
+        // The trailing block is never evicted, however large the request.
+        assert_eq!(cache.evict_front(10), 1);
+        assert_eq!(cache.resident_blocks(), 1);
+        assert_eq!(cache.evict_front(1), 0);
+        // Appends keep extending the logical sequence past eviction.
+        let k = normal_tensor_f16(700, 1, 2, 1, 16, 0.6);
+        let v = normal_tensor_f16(701, 1, 2, 1, 16, 0.8);
+        assert!(cache.append(&k, &v).clean());
+        assert_eq!((cache.len(), cache.resident_len()), (22, 6));
+    }
+
+    #[test]
+    fn enforce_window_is_block_granular_and_minimal() {
+        let mut cache = filled_cache(40, 8);
+        // 40 resident, window 18: evict floor((40-18)/8) = 2 blocks.
+        assert_eq!(cache.enforce_window(18), 2);
+        assert_eq!(cache.resident_len(), 24);
+        // Already within one block of the window: nothing more to do.
+        assert_eq!(cache.enforce_window(18), 0);
+        assert_eq!(cache.enforce_window(40), 0);
+        // Shrinking the window evicts further, still whole blocks.
+        assert_eq!(cache.enforce_window(8), 2);
+        assert_eq!(cache.resident_len(), 8);
+    }
+
+    #[test]
+    fn exposure_coordinates_are_stable_across_eviction() {
+        // The same global-row SEU coordinate hits the same physical row
+        // before and after eviction; the surviving block's checksums still
+        // locate and correct it.
+        let mut cache = filled_cache(24, 8);
+        cache.evict_front(1);
+        let truth = cache.read_k_raw(0, 1);
+        let inj = SeuInjector::new(FaultSite::KvCache, OpCoord::new(0, 12, 5, 0), 13);
+        cache.expose(&inj, 0);
+        assert_eq!(inj.fired(), 1, "global row 12 is resident in block 1");
+        let (k, rep) = cache.read_k_verified(0, 1);
+        assert_eq!((rep.detected, rep.corrected, rep.uncorrectable), (1, 1, 0));
+        assert!(k.max_abs_diff(&truth) < 1e-5);
+        // A coordinate inside the evicted range no longer fires.
+        let gone = SeuInjector::new(FaultSite::KvCache, OpCoord::new(0, 3, 5, 0), 13);
+        cache.expose(&gone, 0);
+        assert_eq!(gone.fired(), 0, "evicted rows expose no fault surface");
+    }
+
+    #[test]
+    fn evicting_a_poisoned_block_retires_its_damage() {
+        // Unrepairable damage laundered into block 0 by an append heal…
+        let mut cache = filled_cache(12, 16);
+        let mut k16 = cache.read_k_raw(0, 0);
+        let d = 2.0f32;
+        k16.set(0, 4, k16.get(0, 4) + d);
+        k16.set(8, 4, k16.get(8, 4) + d);
+        cache.slots[0][0].k = k16.to_f16();
+        for t in 0..8 {
+            cache.append(
+                &normal_tensor_f16(820 + t, 1, 2, 1, 16, 0.6),
+                &normal_tensor_f16(840 + t, 1, 2, 1, 16, 0.8),
+            );
+        }
+        assert!(cache.poisoned() >= 1);
+        // …is retired when the block leaves the resident window…
+        assert_eq!(cache.evict_front(1), 1);
+        assert_eq!(cache.poisoned(), 0, "poison travels with the block");
+        // …and decode over the remaining window reports clean.
+        let q = normal_tensor_f16(860, 1, 2, 1, 16, 0.6);
+        let req = crate::decode::DecodeRequest::new(&cache, &q);
+        let out = crate::decode::efta_decode(&req, &crate::efta::EftaOptions::optimized()).unwrap();
+        assert!(out.report.clean(), "{:?}", out.report);
+    }
+
+    #[test]
+    fn scrub_folds_unlocatable_damage_into_poisoned_exactly_once() {
+        // Regression for the scrub/poisoned contract: aliased equal-delta
+        // corruption (rows 0 and 8 share a stride-8 lane) is unlocatable;
+        // the scrub must feed the sticky counter once — not zero times (the
+        // old bug) and not once per scrub.
+        let mut cache = filled_cache(16, 16);
+        let blk = cache.read_k_raw(0, 0);
+        let d = 2.0f32;
+        let mut k16 = blk.clone();
+        k16.set(0, 4, blk.get(0, 4) + d);
+        k16.set(8, 4, blk.get(8, 4) + d);
+        cache.slots[0][0].k = k16.to_f16();
+        let rep = cache.scrub();
+        assert!(rep.uncorrectable >= 1, "{rep:?}");
+        let poisoned = cache.poisoned();
+        assert!(poisoned >= 1, "scrub must feed the sticky counter");
+        // Count once: the re-encode destroyed the checksum evidence, so a
+        // second scrub finds nothing and the counter does not grow.
+        assert!(cache.scrub().clean());
+        assert_eq!(cache.poisoned(), poisoned);
+        // Don't launder: scrub-then-decode still reports the damage.
+        let q = normal_tensor_f16(870, 1, 2, 1, 16, 0.6);
+        let req = crate::decode::DecodeRequest::new(&cache, &q);
+        let out = crate::decode::efta_decode(&req, &crate::efta::EftaOptions::optimized()).unwrap();
+        assert!(out.report.cache_uncorrectable >= 1, "{:?}", out.report);
+        assert!(!out.report.clean());
+    }
+
+    #[test]
+    fn non_finite_rows_verify_consistently_and_never_poison() {
+        // Regression: an appended row containing Inf/NaN makes stored and
+        // re-folded checksums both non-finite; the old finite-delta check
+        // flagged a permanent false `detected + uncorrectable` on every
+        // read, which the next append baked into `poisoned`.
+        let mut cache = KvCache::new(1, 2, 16, 8, 8, 0.25);
+        for t in 0..3 {
+            let k = normal_tensor_f16(100 + t, 1, 2, 1, 16, 0.6);
+            let v = normal_tensor_f16(200 + t, 1, 2, 1, 16, 0.8);
+            assert!(cache.append(&k, &v).clean());
+        }
+        let bad_k = Tensor4F16::from_fn(1, 2, 1, 16, |_, h, _, c| {
+            if h == 0 && c == 3 {
+                ft_num::F16::from_f32(f32::INFINITY)
+            } else if h == 1 && c == 7 {
+                ft_num::F16::from_f32(f32::NAN)
+            } else {
+                ft_num::F16::from_f32(0.25)
+            }
+        });
+        let v = normal_tensor_f16(300, 1, 2, 1, 16, 0.8);
+        assert!(cache.append(&bad_k, &v).clean(), "non-finite row appends");
+        let (_, rep) = cache.read_k_verified(0, 0);
+        assert!(
+            rep.clean(),
+            "re-fold reproduces the stored NaN bits: {rep:?}"
+        );
+        let (_, rep) = cache.read_v_verified(1, 0);
+        assert!(rep.clean(), "{rep:?}");
+        // Further appends to the same ragged block re-verify it — still no
+        // false alarms, and nothing lands in the sticky counter.
+        for t in 0..3 {
+            let k = normal_tensor_f16(400 + t, 1, 2, 1, 16, 0.6);
+            let v = normal_tensor_f16(500 + t, 1, 2, 1, 16, 0.8);
+            assert!(cache.append(&k, &v).clean());
+        }
+        assert_eq!(cache.poisoned(), 0);
+        assert!(cache.scrub().clean());
+        // A *real* corruption that flips the stored Inf to a finite value
+        // is detected but honestly unlocatable (the delta ratio is
+        // non-finite) — the consistent-verify fix must not hide true
+        // damage involving non-finite state.
+        let mut k16 = cache.slots[0][0].k.clone();
+        k16.set(3, 3, ft_num::F16::from_f32(9.0)); // the appended Inf element
+        cache.slots[0][0].k = k16;
+        let (_, rep) = cache.read_k_verified(0, 0);
+        assert!(rep.detected >= 1, "{rep:?}");
+        assert!(rep.uncorrectable >= 1, "{rep:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn out_of_range_block_index_panics_in_release_too() {
+        let cache = filled_cache(16, 8);
+        let _ = cache.block_rows(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn evicted_block_read_panics() {
+        let mut cache = filled_cache(24, 8);
+        cache.evict_front(2);
+        let _ = cache.read_k_raw(0, 0);
     }
 
     #[test]

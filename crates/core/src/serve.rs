@@ -36,6 +36,7 @@
 //! let mut sched = DecodeScheduler::new(SchedulerConfig {
 //!     max_active: 8,
 //!     prefill_chunk: 4,
+//!     ..Default::default()
 //! });
 //! // Two streams join: a 6-token prompt wanting 2 new tokens, and a
 //! // 2-token prompt wanting 1.
@@ -104,6 +105,13 @@ pub struct StreamSlice<'a> {
     /// `c > 1` for a prefill chunk. Row `r` attends the causal prefix
     /// `0 .. cache.len() − c + r + 1`.
     pub q: &'a Tensor4F16,
+    /// Sliding-window attention for this stream: each row attends only the
+    /// blocks holding the most recent `window` rows of its causal prefix
+    /// (see [`DecodeRequest::window`](crate::decode::DecodeRequest::window)).
+    /// Storage eviction must have been enforced *before* this chunk's rows
+    /// were appended, so interior rows still find every block their own
+    /// window reaches back to.
+    pub window: Option<usize>,
 }
 
 impl StreamSlice<'_> {
@@ -147,6 +155,11 @@ fn validate(slices: &[StreamSlice<'_>]) {
             s.q.seq(),
             s.cache.len()
         );
+        assert!(
+            s.window != Some(0),
+            "{}: a zero-row window cannot serve decode",
+            s.stream
+        );
     }
 }
 
@@ -182,7 +195,8 @@ fn assemble(
         // One fused sweep launch; per-row traffic/FLOPs scale with the
         // chunk width (a slight overcount for prefix rows, which see less
         // of the cache — a conservative roofline, not an exact census).
-        let per_row = decode_stats(s.cache, protected);
+        let attended = crate::decode::attended_rows(s.cache, s.cache.len(), s.window);
+        let per_row = decode_stats(s.cache, attended, protected);
         let stats = ft_sim::device::KernelStats {
             launches: per_row.launches,
             hbm_read: per_row.hbm_read * c as u64,
@@ -220,7 +234,15 @@ pub fn sweep_unprotected(
             let s = &slices[si];
             let base = s.base();
             let q_raw = chunk_row(s.q, slot, row);
-            reference_decode_slot(s.cache, slot, base + row + 1, base + row, &q_raw, inj)
+            reference_decode_slot(
+                s.cache,
+                slot,
+                base + row + 1,
+                base + row,
+                &q_raw,
+                inj,
+                s.window,
+            )
         })
         .collect();
     let reports = vec![FtReport::default(); slices.len()];
@@ -271,6 +293,7 @@ pub fn sweep_efta(
                 &thr,
                 opts,
                 &counters[si],
+                s.window,
             )
         })
         .collect();
@@ -298,6 +321,23 @@ pub struct SchedulerConfig {
     /// how much one long prompt can delay every other stream's next token
     /// (the continuous-batching latency/throughput dial).
     pub prefill_chunk: usize,
+    /// Admission by cache **bytes** instead of stream count: a pending
+    /// stream is only admitted while the session's *committed* footprint
+    /// projection fits the budget — the live bytes reported via
+    /// [`DecodeScheduler::note_bytes`] plus every active and candidate
+    /// stream's still-unmaterialized token budget (prompt +
+    /// `max_new_tokens`, capped by the sliding window's resident bound
+    /// when [`DecodeScheduler::set_projection_cap`] is set). This is an
+    /// admission *throttle* over driver-supplied estimates, not a hard
+    /// cap: the per-token estimate typically counts payload only (live
+    /// totals also carry checksum metadata) and chunked prefill
+    /// transiently overshoots the window bound, so the realised peak can
+    /// exceed the configured figure — size it accordingly. One stream is
+    /// always admitted when the slot table is empty, so the session can
+    /// make progress under any budget. Requires
+    /// [`set_bytes_per_token`](DecodeScheduler::set_bytes_per_token)
+    /// (planning asserts it); `None` admits by slot count alone.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -305,6 +345,7 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             max_active: 16,
             prefill_chunk: 16,
+            memory_budget: None,
         }
     }
 }
@@ -378,6 +419,14 @@ pub struct DecodeScheduler {
     active: Vec<StreamState>,
     pending: VecDeque<StreamState>,
     finished: Vec<StreamState>,
+    /// Latest total cache footprint the driver reported (bytes).
+    noted_bytes: u64,
+    /// Driver-supplied estimate of cache bytes one token occupies (for
+    /// projecting a pending stream's prompt cost at admission time).
+    bytes_per_token: u64,
+    /// Driver-supplied cap on the tokens a stream can keep resident (a
+    /// sliding window bounds the footprint regardless of prompt length).
+    projection_cap: Option<usize>,
 }
 
 impl DecodeScheduler {
@@ -412,20 +461,77 @@ impl DecodeScheduler {
         id
     }
 
-    /// Plan the next sweep: admit pending streams into free slots, retire
-    /// streams whose budget is already met, and hand every active stream
-    /// its next chunk (marking it in-flight until [`record`]ed).
+    /// Report the session's current total cache footprint in bytes (the
+    /// driver calls this before each [`plan`](DecodeScheduler::plan)); the
+    /// memory-budget admission policy compares it — plus per-prompt
+    /// estimates — against [`SchedulerConfig::memory_budget`].
+    pub fn note_bytes(&mut self, bytes: u64) {
+        self.noted_bytes = bytes;
+    }
+
+    /// Supply the per-token cache-byte estimate used to project a pending
+    /// stream's prompt cost at admission time (the driver knows the model
+    /// geometry; the scheduler deliberately does not).
+    pub fn set_bytes_per_token(&mut self, bytes: u64) {
+        self.bytes_per_token = bytes;
+    }
+
+    /// Cap the token count used in admission projections: under
+    /// sliding-window serving a stream's resident footprint is bounded by
+    /// roughly `window + cache_block` rows however long its prompt, so
+    /// projecting the full prompt length would over-throttle admission.
+    pub fn set_projection_cap(&mut self, tokens: usize) {
+        self.projection_cap = Some(tokens);
+    }
+
+    /// Plan the next sweep: admit pending streams into free slots (gated
+    /// by [`SchedulerConfig::memory_budget`] when set), retire streams
+    /// whose budget is already met, and hand every active stream its next
+    /// chunk (marking it in-flight until [`record`]ed).
     ///
     /// An empty plan means the scheduler is [`idle`](DecodeScheduler::idle)
     /// or every active stream is awaiting its record.
     ///
     /// [`record`]: DecodeScheduler::record
     pub fn plan(&mut self) -> Vec<PlanItem> {
+        // Project the footprint each stream is *committed* to, not just
+        // what is materialized: noted bytes cover rows already in cache,
+        // and every stream — active or candidate — will keep appending up
+        // to its total token budget (prompt + max_new_tokens, capped by
+        // the sliding window's resident bound when one is set). Without
+        // the active-remainder term, a stream mid-prefill would hide its
+        // outstanding prompt bytes from later plans and the session could
+        // overshoot the budget once prefill completes.
+        assert!(
+            self.cfg.memory_budget.is_none() || self.bytes_per_token > 0,
+            "memory_budget admission needs set_bytes_per_token (and note_bytes \
+             each sweep) — with a zero per-token estimate the budget is inert"
+        );
+        let cap = self.projection_cap.unwrap_or(usize::MAX);
+        let bpt = self.bytes_per_token;
+        let remainder = |s: &StreamState| {
+            let target = s.max_total.min(cap);
+            let materialized = (s.fed + s.generated.len()).min(cap);
+            target.saturating_sub(materialized) as u64 * bpt
+        };
+        let mut projected = self.noted_bytes + self.active.iter().map(remainder).sum::<u64>();
         while self.active.len() < self.cfg.max_active {
-            match self.pending.pop_front() {
-                Some(s) => self.active.push(s),
-                None => break,
+            let Some(next) = self.pending.front() else {
+                break;
+            };
+            let cost = remainder(next);
+            let fits = match self.cfg.memory_budget {
+                None => true,
+                // Always admit into an empty slot table: a budget smaller
+                // than one stream must throttle, not deadlock.
+                Some(b) => self.active.is_empty() || projected + cost <= b,
+            };
+            if !fits {
+                break;
             }
+            projected += cost;
+            let s = self.pending.pop_front().expect("front checked above");
+            self.active.push(s);
         }
         // Retire zero-budget streams (max_new_tokens == 0) without feeding.
         let mut i = 0;
@@ -542,6 +648,7 @@ mod tests {
                 stream: StreamId(i as u64),
                 cache,
                 q,
+                window: None,
             })
             .collect();
         let opts = EftaOptions::optimized();
@@ -581,6 +688,7 @@ mod tests {
             stream: StreamId(0),
             cache: &chunked,
             q: &q_chunk,
+            window: None,
         }];
         let opts = EftaOptions::optimized();
         let out = &sweep_efta(&slices, &ft_sim::NoFaults, None, &opts).unwrap()[0];
@@ -605,6 +713,7 @@ mod tests {
         let mut sched = DecodeScheduler::new(SchedulerConfig {
             max_active: 2,
             prefill_chunk: 3,
+            ..Default::default()
         });
         let a = sched.submit(vec![1, 2, 3, 4], 2);
         let b = sched.submit(vec![5], 1);
@@ -645,6 +754,89 @@ mod tests {
     }
 
     #[test]
+    fn memory_budget_gates_admission_by_bytes_not_stream_count() {
+        // Each stream commits to 6 tokens total (4 prompt + 2 new) at 10
+        // bytes/token: a 130-byte budget holds two streams, not three —
+        // even though the slot table has room for all of them.
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 8,
+            prefill_chunk: 4,
+            memory_budget: Some(130),
+        });
+        sched.set_bytes_per_token(10);
+        let a = sched.submit(vec![1, 2, 3, 4], 2);
+        let b = sched.submit(vec![5, 6, 7, 8], 2);
+        let c = sched.submit(vec![9, 10, 11, 12], 2);
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 2, "slots are free but the budget is not");
+        assert_eq!(plan[0].stream, a);
+        assert_eq!(plan[1].stream, b);
+        assert_eq!(sched.pending_len(), 1);
+        sched.record(a, Some(40), &FtReport::default());
+        sched.record(b, Some(50), &FtReport::default());
+        // Ten tokens now sit in cache, and A/B are each still committed
+        // to one more: 100 noted + 20 remainder + 60 for C > 130.
+        sched.note_bytes(100);
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(sched.pending_len(), 1, "C still waits");
+        // A and B retire this sweep; the driver reports the reclaimed
+        // bytes and C is finally admitted.
+        sched.record(a, Some(41), &FtReport::default());
+        sched.record(b, Some(51), &FtReport::default());
+        assert_eq!(sched.take_finished().len(), 2);
+        sched.note_bytes(0);
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].stream, c);
+    }
+
+    #[test]
+    fn projection_cap_bounds_windowed_admission_estimates() {
+        // A sliding window bounds each stream's resident footprint, so
+        // long prompts must not be projected at full length.
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 4,
+            prefill_chunk: 4,
+            memory_budget: Some(100),
+        });
+        sched.set_bytes_per_token(10);
+        sched.set_projection_cap(3); // window: ≤ 3 resident tokens/stream
+        for _ in 0..3 {
+            sched.submit(vec![0; 40], 1); // 40-token prompt, capped cost 30
+        }
+        let plan = sched.plan();
+        assert_eq!(
+            plan.len(),
+            3,
+            "capped projections (3 × 30 bytes) all fit the 100-byte budget"
+        );
+    }
+
+    #[test]
+    fn tiny_budget_still_admits_one_stream() {
+        // A budget below any single stream's footprint throttles to one
+        // stream at a time instead of deadlocking.
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 4,
+            prefill_chunk: 8,
+            memory_budget: Some(1),
+        });
+        sched.set_bytes_per_token(1000);
+        sched.submit(vec![1, 2], 0);
+        sched.submit(vec![3, 4], 0);
+        // Zero-budget streams retire at plan time; both must drain even
+        // though neither "fits".
+        while !sched.idle() {
+            let plan = sched.plan();
+            for item in plan {
+                sched.record(item.stream, None, &FtReport::default());
+            }
+        }
+        assert_eq!(sched.take_finished().len(), 2);
+    }
+
+    #[test]
     fn zero_budget_stream_retires_without_feeding() {
         let mut sched = DecodeScheduler::new(SchedulerConfig::default());
         let id = sched.submit(vec![1, 2], 0);
@@ -672,11 +864,13 @@ mod tests {
                 stream: StreamId(0),
                 cache: &cache_a,
                 q: &qa,
+                window: None,
             },
             StreamSlice {
                 stream: StreamId(7),
                 cache: &cache_b,
                 q: &qb,
+                window: None,
             },
         ];
         let outs = sweep_efta(&slices, &ft_sim::NoFaults, None, &EftaOptions::optimized()).unwrap();

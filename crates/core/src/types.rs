@@ -65,6 +65,10 @@ impl FtCounters {
             cache_detected: self.cache_detected.load(Ordering::Relaxed),
             cache_corrected: self.cache_corrected.load(Ordering::Relaxed),
             cache_uncorrectable: self.cache_uncorrectable.load(Ordering::Relaxed),
+            // Eviction is a storage policy executed by the cache owner
+            // (the attention module), not by the kernels these counters
+            // instrument; it lands in reports via field updates upstream.
+            cache_evicted_blocks: 0,
         }
     }
 
@@ -107,6 +111,13 @@ pub struct FtReport {
     pub cache_corrected: u64,
     /// Cache-resident mismatches that could not be located.
     pub cache_uncorrectable: u64,
+    /// KV-cache blocks evicted by the sliding-window storage policy.
+    /// An *event* count, not a fault count: eviction is deliberate
+    /// bounded-memory bookkeeping, so it does not dirty
+    /// [`clean`](FtReport::clean) — it is surfaced here so per-stream
+    /// serving reports show when (and how often) a stream's history was
+    /// trimmed.
+    pub cache_evicted_blocks: u64,
 }
 
 impl FtReport {
@@ -157,6 +168,7 @@ impl FtReport {
             cache_detected: self.cache_detected + other.cache_detected,
             cache_corrected: self.cache_corrected + other.cache_corrected,
             cache_uncorrectable: self.cache_uncorrectable + other.cache_uncorrectable,
+            cache_evicted_blocks: self.cache_evicted_blocks + other.cache_evicted_blocks,
         }
     }
 }

@@ -83,7 +83,8 @@ impl TransformerBlock {
     }
 
     /// Incremental-decode forward over a single `1 × hidden` token row,
-    /// attending through `cache` instead of re-running the full sequence.
+    /// attending through `cache` instead of re-running the full sequence
+    /// (restricted to the attention module's sliding window, when set).
     pub fn forward_decode<I: FaultInjector>(
         &self,
         x: &MatrixF32,
@@ -121,7 +122,11 @@ impl TransformerBlock {
     /// `c × hidden` activation chunk attending through its own cache; the
     /// attention fan-out is shared across streams (see
     /// [`MultiHeadAttention::forward_decode_batch`]), everything row-wise
-    /// (norms, residuals, FFN) runs per stream.
+    /// (norms, residuals, FFN) runs per stream. When the attention module
+    /// is configured with a sliding window, each stream's cache is
+    /// front-evicted before its chunk is appended and each row attends
+    /// only its window — eviction counts land in that stream's
+    /// [`BlockReport`] (`mha.attention.cache_evicted_blocks`).
     pub fn forward_decode_batch<I: FaultInjector>(
         &self,
         xs: &[MatrixF32],

@@ -34,7 +34,22 @@ pub struct MultiHeadAttention {
     /// too for the two to produce the same activations. Unmasked prefill
     /// (the paper's benchmark setting) remains the default.
     pub causal: bool,
+    /// Sliding-window attention for the decode path: each step attends
+    /// only the cache blocks holding the most recent `window` rows
+    /// (block-granular), and storage behind the window is front-evicted
+    /// *before* each append — bounded cache memory per stream. `None`
+    /// (the default) attends and retains the full history. Decode-only:
+    /// the prefill path ignores it.
+    pub window: Option<usize>,
+    /// Rows per KV-cache block ([`KvCache::block`]); also the granularity
+    /// of sliding-window eviction. Defaults to the paper's 64-row CTA
+    /// tile; benches and tests shrink it to exercise eviction at small
+    /// sequence lengths.
+    pub cache_block: usize,
 }
+
+/// The paper's CTA tile: default rows per KV-cache block.
+pub const DEFAULT_CACHE_BLOCK: usize = 64;
 
 /// FT events of one MHA forward.
 #[derive(Clone, Copy, Debug, Default)]
@@ -57,6 +72,8 @@ impl MultiHeadAttention {
             heads,
             kernel,
             causal: false,
+            window: None,
+            cache_block: DEFAULT_CACHE_BLOCK,
         }
     }
 
@@ -128,9 +145,18 @@ impl MultiHeadAttention {
         (y, report)
     }
 
-    /// Fresh per-layer KV cache matching this module's head geometry.
+    /// Fresh per-layer KV cache matching this module's head geometry and
+    /// configured [`cache_block`](MultiHeadAttention::cache_block) size.
     pub fn new_cache(&self) -> KvCache {
-        KvCache::for_geometry(1, self.heads, self.wq.out_features() / self.heads)
+        let hd = self.wq.out_features() / self.heads;
+        KvCache::new(
+            1,
+            self.heads,
+            hd,
+            self.cache_block,
+            ft_abft::strided::DEFAULT_STRIDE,
+            1.0 / (hd as f32).sqrt(),
+        )
     }
 
     /// One incremental-decode step over a `1 × hidden` activation row:
@@ -159,16 +185,25 @@ impl MultiHeadAttention {
         }
 
         let qt = self.split_heads(&q);
+        // Storage eviction happens *before* the append (on the pre-chunk
+        // length), so the new row's attention window never reaches behind
+        // the eviction frontier.
+        let evicted = match self.window {
+            Some(w) => cache.enforce_window(w) as u64,
+            None => 0,
+        };
         let heal = cache.append(&self.split_heads(&k), &self.split_heads(&v));
         let step = cache.len() - 1;
         let req = DecodeRequest::new(cache, &qt)
             .with_injector(inj)
             .with_thresholds(*thresholds)
-            .at_step(step);
+            .at_step(step)
+            .with_window(self.window);
         let out = self.kernel.decode(&req);
         report.attention = out.report;
         report.attention.cache_detected += heal.detected;
         report.attention.cache_corrected += heal.corrected;
+        report.attention.cache_evicted_blocks += evicted;
         // heal.uncorrectable is deliberately NOT added: append already
         // folded it into the cache's sticky `poisoned` counter, which the
         // protected decode surfaces as cache_uncorrectable every step —
@@ -206,6 +241,7 @@ impl MultiHeadAttention {
         let mut reports: Vec<MhaReport> = vec![MhaReport::default(); xs.len()];
         let mut qts = Vec::with_capacity(xs.len());
         let mut heals = Vec::with_capacity(xs.len());
+        let mut evictions = Vec::with_capacity(xs.len());
         for (i, x) in xs.iter().enumerate() {
             let (q, r1) = self.wq.forward(x, inj, layer_slot * 8, thresholds);
             let (k, r2) = self.wk.forward(x, inj, layer_slot * 8 + 1, thresholds);
@@ -216,6 +252,13 @@ impl MultiHeadAttention {
                 reports[i].projections.recomputed += r.recomputed;
             }
             qts.push(self.split_heads(&q));
+            // Evict on the pre-chunk length: every chunk row's causal
+            // window still finds its blocks resident (see
+            // `KvCache::enforce_window`).
+            evictions.push(match self.window {
+                Some(w) => caches[i].enforce_window(w) as u64,
+                None => 0,
+            });
             heals.push(caches[i].append(&self.split_heads(&k), &self.split_heads(&v)));
         }
         let slices: Vec<StreamSlice<'_>> = qts
@@ -225,6 +268,7 @@ impl MultiHeadAttention {
                 stream: streams[i],
                 cache: &*caches[i],
                 q,
+                window: self.window,
             })
             .collect();
         let outs = self.kernel.decode_sweep(&slices, inj, Some(*thresholds));
@@ -236,6 +280,7 @@ impl MultiHeadAttention {
                 report.attention = out.report;
                 report.attention.cache_detected += heals[i].detected;
                 report.attention.cache_corrected += heals[i].corrected;
+                report.attention.cache_evicted_blocks += evictions[i];
                 // heal.uncorrectable is deliberately NOT added: append
                 // already folded it into the cache's sticky `poisoned`
                 // counter, which the protected sweep re-surfaces as

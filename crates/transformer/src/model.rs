@@ -155,6 +155,42 @@ impl TransformerModel {
         self
     }
 
+    /// Sliding-window attention on every block's decode path: each step
+    /// attends only the cache blocks holding the most recent `window`
+    /// rows, and storage behind the window is front-evicted before each
+    /// append — per-stream cache memory is bounded by roughly
+    /// `window + cache_block` rows per layer instead of growing with the
+    /// sequence. Token-at-a-time decode, chunked prefill, and scheduled
+    /// serving all compute the same windowed function (pinned by
+    /// `tests/eviction_equivalence.rs`). Decode-only: the prefill path is
+    /// unaffected.
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "a zero-row window cannot serve decode");
+        for b in &mut self.blocks {
+            b.mha.window = Some(window);
+        }
+        self
+    }
+
+    /// Rows per KV-cache block on every block's attention (the granularity
+    /// of sliding-window eviction; default 64, the paper's CTA tile).
+    /// Affects caches created *after* the call ([`new_cache`]).
+    ///
+    /// [`new_cache`]: TransformerModel::new_cache
+    pub fn with_cache_block(mut self, cache_block: usize) -> Self {
+        assert!(cache_block > 0);
+        for b in &mut self.blocks {
+            b.mha.cache_block = cache_block;
+        }
+        self
+    }
+
+    /// The decode sliding window configured via
+    /// [`with_window`](TransformerModel::with_window), if any.
+    pub fn window(&self) -> Option<usize> {
+        self.blocks.first().and_then(|b| b.mha.window)
+    }
+
     /// Fresh decode state: one empty checksummed KV cache per block.
     pub fn new_cache(&self) -> ModelKvCache {
         ModelKvCache {
@@ -267,15 +303,39 @@ impl TransformerModel {
         self.serve_with(SchedulerConfig::default())
     }
 
-    /// Open a serving session with explicit slot-table width and prefill
-    /// chunk size.
+    /// Open a serving session with explicit slot-table width, prefill
+    /// chunk size, and optional cache-byte admission budget
+    /// ([`SchedulerConfig::memory_budget`]): when set, pending streams are
+    /// admitted while the session's total cache footprint (payload +
+    /// checksum metadata, reported to the scheduler before every sweep)
+    /// plus per-stream token-budget projections fits the budget —
+    /// admission by bytes, not stream count. The projections count FP16
+    /// payload only, so the budget throttles admission rather than hard-
+    /// capping the realised peak (checksum metadata rides on top; see
+    /// [`SchedulerConfig::memory_budget`]) — check
+    /// [`ServeSession::peak_cache_bytes`] for what a workload actually
+    /// occupied.
     pub fn serve_with(&self, cfg: SchedulerConfig) -> ServeSession<'_> {
+        let mut scheduler = DecodeScheduler::new(cfg);
+        // Projection for admission: FP16 K+V payload per token per layer
+        // (2 tensors × hidden × 2 bytes); checksum metadata rides along in
+        // the noted totals once streams are resident.
+        scheduler.set_bytes_per_token((4 * self.config.hidden * self.config.layers) as u64);
+        // Under a sliding window a stream keeps at most ~window +
+        // cache_block rows resident however long its prompt — project
+        // that bound, not the raw prompt length, or long-prompt windowed
+        // streams would be throttled to near-serial admission.
+        if let Some(w) = self.window() {
+            let block = self.blocks.first().map_or(0, |b| b.mha.cache_block);
+            scheduler.set_projection_cap(w + block);
+        }
         ServeSession {
             model: self,
-            scheduler: DecodeScheduler::new(cfg),
+            scheduler,
             caches: Vec::new(),
             reports: Vec::new(),
             finished: Vec::new(),
+            peak_cache_bytes: 0,
         }
     }
 
@@ -419,6 +479,7 @@ pub struct ServeSession<'m> {
     caches: Vec<(StreamId, ModelKvCache)>,
     reports: Vec<(StreamId, ModelReport)>,
     finished: Vec<FinishedStream>,
+    peak_cache_bytes: u64,
 }
 
 impl ServeSession<'_> {
@@ -441,6 +502,9 @@ impl ServeSession<'_> {
     /// where due, record per-stream reports, and retire finished streams.
     /// Returns the number of streams that took part.
     pub fn sweep<I: FaultInjector>(&mut self, inj: &I) -> usize {
+        // Report the live footprint so memory-budget admission sees what
+        // the resident streams actually occupy.
+        self.scheduler.note_bytes(self.cache_bytes());
         let plan = self.scheduler.plan();
         if plan.is_empty() {
             self.collect_finished();
@@ -466,6 +530,7 @@ impl ServeSession<'_> {
         debug_assert_eq!(feeds.len(), plan.len());
         let results = self.model.run_sweep(&feeds, &mut cache_refs, inj);
         let n = feeds.len();
+        self.peak_cache_bytes = self.peak_cache_bytes.max(self.cache_bytes());
         for ((id, _, _), (sampled, rep, attn)) in feeds.iter().zip(results) {
             let entry = self
                 .reports
@@ -501,6 +566,22 @@ impl ServeSession<'_> {
     /// Streams waiting for a free slot.
     pub fn pending_streams(&self) -> usize {
         self.scheduler.pending_len()
+    }
+
+    /// Current total cache footprint across resident streams: FP16 K/V
+    /// payload plus FP32 checksum metadata, all layers.
+    pub fn cache_bytes(&self) -> u64 {
+        self.caches
+            .iter()
+            .map(|(_, c)| c.size_bytes() + c.checksum_bytes())
+            .sum()
+    }
+
+    /// Largest [`cache_bytes`](ServeSession::cache_bytes) observed after
+    /// any sweep — the bounded-memory serving metric: under a sliding
+    /// window this flattens instead of growing with generated length.
+    pub fn peak_cache_bytes(&self) -> u64 {
+        self.peak_cache_bytes
     }
 
     /// Drain retired streams, ordered by stream id.
@@ -715,6 +796,91 @@ mod tests {
             "cache checksums must notice: {rep:?}"
         );
         assert_eq!(clean, dirty, "decode output must be fault-free");
+    }
+
+    #[test]
+    fn windowed_serving_bounds_cache_bytes_and_reports_evictions() {
+        let base = TransformerModel::random(
+            12,
+            tiny_config(),
+            BackendKind::Efta(EftaOptions::optimized()),
+        )
+        .with_causal(true)
+        .with_cache_block(4);
+        let windowed = base.clone().with_window(8);
+        assert_eq!(windowed.window(), Some(8));
+        let prompt: Vec<u32> = (0..12).map(|i| (i * 7) % 101).collect();
+
+        let run = |model: &TransformerModel| {
+            let mut session = model.serve_with(SchedulerConfig {
+                max_active: 4,
+                prefill_chunk: 6,
+                ..Default::default()
+            });
+            let ids: Vec<_> = (0..3).map(|_| session.submit(&prompt, 12)).collect();
+            let finished = session.run(&NoFaults);
+            (ids, finished, session.peak_cache_bytes())
+        };
+        let (_, unbounded, peak_unbounded) = run(&base);
+        let (_, bounded, peak_bounded) = run(&windowed);
+        assert!(
+            peak_bounded < peak_unbounded,
+            "window must bound the footprint: {peak_bounded} vs {peak_unbounded}"
+        );
+        let evicted: u64 = bounded
+            .iter()
+            .map(|f| f.attention.cache_evicted_blocks)
+            .sum();
+        assert!(evicted > 0, "eviction events surface in per-stream reports");
+        for f in &unbounded {
+            assert_eq!(f.attention.cache_evicted_blocks, 0);
+        }
+        // Windowed serving is deterministic run to run.
+        let (_, bounded2, _) = run(&windowed);
+        for (a, b) in bounded.iter().zip(&bounded2) {
+            assert_eq!(a.tokens, b.tokens);
+        }
+    }
+
+    #[test]
+    fn memory_budget_throttles_concurrency_but_completes_all_streams() {
+        let model = TransformerModel::random(
+            13,
+            tiny_config(),
+            BackendKind::Efta(EftaOptions::optimized()),
+        )
+        .with_causal(true);
+        let prompt: Vec<u32> = (0..8).map(|i| (i * 11) % 101).collect();
+        // Budget roughly one stream's prompt footprint: streams must run
+        // (mostly) one at a time, and all of them must still finish.
+        let budget = (4 * model.config.hidden * model.config.layers * 10) as u64;
+        let mut session = model.serve_with(SchedulerConfig {
+            max_active: 4,
+            prefill_chunk: 8,
+            memory_budget: Some(budget),
+        });
+        let ids: Vec<_> = (0..3).map(|_| session.submit(&prompt, 4)).collect();
+        let mut max_active = 0;
+        while !session.idle() {
+            session.sweep(&NoFaults);
+            max_active = max_active.max(session.active_streams());
+        }
+        let finished = session.take_finished();
+        assert_eq!(finished.len(), ids.len());
+        assert!(
+            max_active < 3,
+            "the byte budget must throttle concurrency (saw {max_active})"
+        );
+        // Same tokens as an unthrottled session: admission policy must not
+        // change what any stream computes.
+        let mut free = model.serve();
+        for _ in 0..3 {
+            free.submit(&prompt, 4);
+        }
+        let unthrottled = free.run(&NoFaults);
+        for (a, b) in finished.iter().zip(&unthrottled) {
+            assert_eq!(a.tokens, b.tokens);
+        }
     }
 
     #[test]

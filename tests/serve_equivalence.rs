@@ -5,6 +5,9 @@
 //! blocks mid-way, and streams joining mid-flight; and a cache-resident
 //! fault on one stream must land in *that* stream's report only.
 
+mod common;
+
+use common::{prompt, stepwise_generate};
 use ft_transformer_suite::attention::efta::EftaOptions;
 use ft_transformer_suite::attention::serve::SchedulerConfig;
 use ft_transformer_suite::sim::{FaultInjector, FaultSite, NoFaults, OpCoord, SeuInjector};
@@ -13,53 +16,7 @@ use ft_transformer_suite::transformer::{
 };
 
 fn tiny(max_seq: usize) -> ModelConfig {
-    ModelConfig {
-        name: "serve-tiny",
-        layers: 2,
-        heads: 4,
-        hidden: 32,
-        ffn_dim: 64,
-        vocab: 101,
-        max_seq,
-    }
-}
-
-fn prompt(len: usize, salt: usize) -> Vec<u32> {
-    (0..len)
-        .map(|t| ((t * 13 + salt * 29) % 101) as u32)
-        .collect()
-}
-
-/// Token-at-a-time oracle: the explicit `decode_step` loop (every token,
-/// prompt included, one step; greedy sampling) — the pre-scheduler serving
-/// strategy whose per-step logits the batched path must reproduce.
-fn stepwise_generate(model: &TransformerModel, prompt: &[u32], new_tokens: usize) -> Vec<u32> {
-    let mut cache = model.new_cache();
-    let mut tokens = prompt.to_vec();
-    let mut logits = None;
-    for &t in prompt {
-        let (l, _) = model.decode_step(t, &mut cache, &NoFaults);
-        logits = Some(l);
-    }
-    for i in 0..new_tokens {
-        if tokens.len() >= model.config.max_seq {
-            break;
-        }
-        let row = logits.as_ref().expect("prompt fed");
-        let next = row
-            .row(0)
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i as u32)
-            .unwrap();
-        tokens.push(next);
-        if i + 1 < new_tokens && tokens.len() < model.config.max_seq {
-            let (l, _) = model.decode_step(next, &mut cache, &NoFaults);
-            logits = Some(l);
-        }
-    }
-    tokens
+    common::tiny_config("serve-tiny", max_seq)
 }
 
 /// Mixed-length streams (even block boundary, ragged multi-block, short)
@@ -80,6 +37,7 @@ fn scheduled_streams_match_independent_decode() {
         let mut session = model.serve_with(SchedulerConfig {
             max_active: 4,
             prefill_chunk: 16,
+            ..Default::default()
         });
         let ids: Vec<_> = lens
             .iter()
@@ -116,6 +74,7 @@ fn streams_joining_mid_flight_do_not_disturb_the_batch() {
     let mut session = model.serve_with(SchedulerConfig {
         max_active: 2,
         prefill_chunk: 8,
+        ..Default::default()
     });
     let a = session.submit(&prompt(20, 0), 5);
     // A is mid-prefill after one sweep; B and C join late, C must queue.
@@ -144,6 +103,7 @@ fn cache_fault_is_attributed_to_the_hit_stream_only() {
     let cfg = SchedulerConfig {
         max_active: 4,
         prefill_chunk: 16,
+        ..Default::default()
     };
     fn run<I: FaultInjector>(
         model: &TransformerModel,
