@@ -10,6 +10,8 @@
 //! cargo run --release -p ft-bench --bin serve -- --smoke # CI smoke run
 //! cargo run --release -p ft-bench --bin serve -- --smoke --bounded-only
 //! #                       ^ just the bounded-memory (sliding-window) sweep
+//! cargo run --release -p ft-bench --bin serve -- --smoke --recovery-only
+//! #                       ^ just the fault-recovery (auto re-prefill) sweep
 //! ```
 //!
 //! Reported, per stream count, over a mixed-prompt-length workload:
@@ -35,7 +37,10 @@
 use ft_bench::{banner, has_flag, HarnessArgs, TextTable};
 use ft_core::efta::EftaOptions;
 use ft_sim::{BerInjector, FaultInjector, FaultSite, NoFaults};
-use ft_transformer::{BackendKind, ModelConfig, SchedulerConfig, TransformerModel};
+use ft_transformer::{
+    BackendKind, EngineEvent, FinishReason, GenerationRequest, ModelConfig, RecoveryPolicy,
+    SchedulerConfig, TransformerModel,
+};
 use std::time::Instant;
 
 /// Index of the largest logit.
@@ -121,6 +126,10 @@ fn main() {
         bounded_memory_sweep(&model, &prompts_for, sched_cfg, smoke);
         return;
     }
+    if has_flag("--recovery-only") {
+        recovery_sweep(&model, &prompts_for, sched_cfg, smoke);
+        return;
+    }
 
     let mut table = TextTable::new(&[
         "streams",
@@ -204,15 +213,22 @@ fn main() {
     let inj = BerInjector::new(4242, ber).with_sites(&[FaultSite::KvCache]);
     let mut session = model.serve_with(sched_cfg);
     for p in &prompts {
-        session.submit(p, new_tokens);
+        session.submit_request(GenerationRequest::new(p.clone(), new_tokens));
     }
     let finished = session.run(&inj);
-    let mut table = TextTable::new(&["stream", "cache detected", "corrected", "tokens ok"]);
+    let mut table = TextTable::new(&[
+        "stream",
+        "cache detected",
+        "corrected",
+        "finish",
+        "tokens ok",
+    ]);
     for (f, c) in finished.iter().zip(&clean) {
         table.row(&[
             format!("{}", f.id),
             format!("{}", f.attention.cache_detected),
             format!("{}", f.attention.cache_corrected),
+            format!("{:?}", f.finish),
             format!("{}", f.tokens == c.tokens),
         ]);
     }
@@ -226,11 +242,124 @@ fn main() {
             .sum::<u64>()
     );
 
-    // In smoke (CI) mode the bounded sweep runs as its own step via
-    // `--bounded-only`; skipping it here keeps the two CI smokes disjoint.
+    // In smoke (CI) mode the bounded and recovery sweeps run as their own
+    // steps via `--bounded-only` / `--recovery-only`; skipping them here
+    // keeps the CI smokes disjoint.
     if !smoke {
         bounded_memory_sweep(&model, &prompts_for, sched_cfg, smoke);
+        recovery_sweep(&model, &prompts_for, sched_cfg, smoke);
     }
+}
+
+/// The fault-recovery serving sweep: cache-resident BER high enough to
+/// poison caches (aliased multi-bit hits that checksum location cannot
+/// untangle), with every stream requesting
+/// `RecoveryPolicy::ReprefillBounded` — the engine drops poisoned caches,
+/// replays prompt + emitted tokens through chunked prefill, and aborts
+/// streams whose damage keeps coming back. Hard asserts: every stream
+/// finishes (recovered, clean, or aborted — never hung), and the BER
+/// ladder's top rung actually exercises recovery.
+fn recovery_sweep(
+    model: &TransformerModel,
+    prompts_for: &dyn Fn(usize) -> Vec<Vec<u32>>,
+    sched_cfg: SchedulerConfig,
+    smoke: bool,
+) {
+    println!("\nfault-recovery serve (auto re-prefill, bounded retries):");
+    let (n, gen_tokens, max_attempts, bers): (usize, usize, u32, Vec<f64>) = if smoke {
+        (4, 6, 2, vec![2e-3, 8e-3])
+    } else {
+        (8, 12, 3, vec![5e-4, 2e-3, 8e-3])
+    };
+    // Small blocks keep ragged (launder-on-append) windows open; the
+    // recovery trigger also fires off the EFTA read path's live
+    // uncorrectable detections in full blocks.
+    let model = model.clone().with_cache_block(16);
+    let prompts = prompts_for(n);
+
+    // Undamaged oracle tokens per stream (greedy decode is deterministic).
+    let mut clean_session = model.serve_with(sched_cfg);
+    for p in &prompts {
+        clean_session.submit_request(GenerationRequest::new(p.clone(), gen_tokens));
+    }
+    let clean = clean_session.run(&NoFaults);
+
+    let mut table = TextTable::new(&[
+        "cache BER",
+        "faults",
+        "poison events",
+        "recoveries",
+        "recovered",
+        "aborted",
+        "finished",
+        "tokens ok",
+    ]);
+    let mut total_recoveries = 0u64;
+    for (bi, &ber) in bers.iter().enumerate() {
+        let inj = BerInjector::new(7000 + bi as u64, ber).with_sites(&[FaultSite::KvCache]);
+        let mut session = model.serve_with(sched_cfg);
+        for p in &prompts {
+            session.submit_request(
+                GenerationRequest::new(p.clone(), gen_tokens)
+                    .with_recovery(RecoveryPolicy::ReprefillBounded { max_attempts }),
+            );
+        }
+        let mut poison_events = 0u64;
+        while !session.idle() {
+            for ev in session.sweep_events(&inj) {
+                if let EngineEvent::CachePoisoned { events, .. } = ev {
+                    poison_events += events;
+                }
+            }
+        }
+        let finished = session.take_finished();
+        // Hard assert: bounded recovery must never wedge the session —
+        // every stream retires with a reason.
+        assert_eq!(
+            finished.len(),
+            prompts.len(),
+            "every stream must finish under BER {ber}"
+        );
+        let recovered = finished
+            .iter()
+            .filter(|f| f.finish == FinishReason::Recovered)
+            .count();
+        let aborted = finished
+            .iter()
+            .filter(|f| matches!(f.finish, FinishReason::AbortedPoisoned { .. }))
+            .count();
+        // Tokens of non-aborted streams vs the undamaged oracle
+        // (informational: corrected reads carry ~1e-7 checksum-fold noise
+        // that can flip an FP16 ulp, so this is not a hard gate).
+        let tokens_ok = finished
+            .iter()
+            .zip(&clean)
+            .filter(|(f, c)| {
+                !matches!(f.finish, FinishReason::AbortedPoisoned { .. }) && f.tokens == c.tokens
+            })
+            .count();
+        total_recoveries += session.recoveries();
+        table.row(&[
+            format!("{ber:.0e}"),
+            format!("{}", inj.fired()),
+            format!("{poison_events}"),
+            format!("{}", session.recoveries()),
+            format!("{recovered}"),
+            format!("{aborted}"),
+            format!("{}/{}", finished.len(), n),
+            format!("{tokens_ok}/{}", n - aborted),
+        ]);
+    }
+    print!("{}", table.render());
+    // Hard assert: the sweep must actually exercise the recovery path.
+    assert!(
+        total_recoveries > 0,
+        "the BER ladder must trigger at least one re-prefill recovery"
+    );
+    println!(
+        "{total_recoveries} re-prefill recoveries across the ladder; every \
+         stream finished with a typed reason (hard-asserted)"
+    );
 }
 
 /// The bounded-memory serving sweep: the same mixed-length workload with

@@ -210,11 +210,7 @@ pub(crate) fn vis_blocks(cache: &KvCache, vis: usize) -> usize {
 /// keep eviction at or behind the attention window — see
 /// [`KvCache::enforce_window`]).
 pub(crate) fn window_start_block(cache: &KvCache, vis: usize, window: Option<usize>) -> usize {
-    let ws = match window {
-        Some(w) if vis > w => (vis - w) / cache.block(),
-        _ => 0,
-    };
-    ws.max(cache.start_block())
+    cache.attended_start_block_at(vis, window)
 }
 
 /// Rows attended by a `vis`-row prefix under `window` (for SNVR bounds and
@@ -656,8 +652,14 @@ pub fn efta_decode(
     let counters = FtCounters::new();
     // Corruption permanently absorbed by an append-time re-encode leaves
     // every per-read report clean; surface the cache's sticky damage count
-    // on every step so the re-prefill signal cannot be missed.
-    FtCounters::add(&counters.cache_uncorrectable, cache.poisoned());
+    // on every step so the re-prefill signal cannot be missed. The count
+    // is scoped to the attended window: a mark on a block the query can no
+    // longer reach cannot influence this or any future output, so it must
+    // not keep tainting the stream (recovery policies key off this field).
+    FtCounters::add(
+        &counters.cache_uncorrectable,
+        cache.poisoned_attended(req.window),
+    );
 
     let rows: Vec<MatrixF32> = (0..cache.num_slots())
         .into_par_iter()

@@ -394,6 +394,45 @@ impl KvCache {
         self.slots.iter().flatten().map(|b| b.poisoned).sum()
     }
 
+    /// First block a `vis`-row causal prefix attends under an optional
+    /// sliding window: the most recent `window` rows, rounded *down* to a
+    /// block boundary (the attended block set is exactly what a fresh
+    /// cache holding only the window would contain), clamped to the
+    /// eviction frontier. This is the iteration origin of every windowed
+    /// decode kernel — exposed so storage policies and recovery policies
+    /// reason about the *same* attended set the numerics use.
+    pub fn attended_start_block_at(&self, vis: usize, window: Option<usize>) -> usize {
+        let ws = match window {
+            Some(w) if vis > w => (vis - w) / self.block,
+            _ => 0,
+        };
+        ws.max(self.start_block())
+    }
+
+    /// Sticky unrepairable-damage count restricted to the blocks the
+    /// *next* decode step would attend under `window` — the window-scoped
+    /// variant of [`poisoned`](KvCache::poisoned) (`poisoned_attended(None)`
+    /// is `poisoned()` exactly). This is the re-prefill trigger of the
+    /// serving engine's recovery policy: damage in a resident block that
+    /// has already slid behind the attention window can never influence a
+    /// future token, so it must not trigger (and will be retired outright
+    /// once [`enforce_window`](KvCache::enforce_window) evicts the block,
+    /// marks travelling with it).
+    pub fn poisoned_attended(&self, window: Option<usize>) -> u64 {
+        let b0 = self.attended_start_block_at(self.len, window);
+        let start = self.start_block();
+        self.slots
+            .iter()
+            .flat_map(|blocks| {
+                blocks
+                    .iter()
+                    .enumerate()
+                    .filter(move |(bi, _)| start + bi >= b0)
+                    .map(|(_, b)| b.poisoned)
+            })
+            .sum()
+    }
+
     /// Drop the `n_blocks` oldest resident blocks from the front of every
     /// slot — O(1) bookkeeping per block: checksums, the max-norm
     /// snapshot, and sticky poison marks travel with each block, nothing
@@ -881,6 +920,45 @@ mod tests {
         let req = crate::decode::DecodeRequest::new(&cache, &q);
         let out = crate::decode::efta_decode(&req, &crate::efta::EftaOptions::optimized()).unwrap();
         assert!(out.report.clean(), "{:?}", out.report);
+    }
+
+    #[test]
+    fn poisoned_attended_scopes_sticky_marks_to_the_window() {
+        // Launder aliased damage into block 0 (16-row block, stride 8:
+        // rows 0 and 8 share a lane), then grow the cache: the sticky mark
+        // is visible to a full-history query, invisible once the sliding
+        // window has moved past block 0, and retired by eviction.
+        let mut cache = filled_cache(12, 16);
+        let mut k16 = cache.read_k_raw(0, 0);
+        let d = 2.0f32;
+        k16.set(0, 4, k16.get(0, 4) + d);
+        k16.set(8, 4, k16.get(8, 4) + d);
+        cache.slots[0][0].k = k16.to_f16();
+        for t in 0..24 {
+            cache.append(
+                &normal_tensor_f16(880 + t, 1, 2, 1, 16, 0.6),
+                &normal_tensor_f16(910 + t, 1, 2, 1, 16, 0.8),
+            );
+        }
+        assert!(cache.poisoned() >= 1, "append laundering must mark block 0");
+        assert_eq!(cache.poisoned_attended(None), cache.poisoned());
+        // len = 36; a 36-row window still reaches block 0…
+        assert_eq!(cache.poisoned_attended(Some(36)), cache.poisoned());
+        // …a 16-row window starts at block (36-16)/16 = 1: mark unseen.
+        assert_eq!(cache.attended_start_block_at(36, Some(16)), 1);
+        assert_eq!(cache.poisoned_attended(Some(16)), 0);
+        // The EFTA decode report follows the same scoping.
+        let q = normal_tensor_f16(950, 1, 2, 1, 16, 0.6);
+        let opts = crate::efta::EftaOptions::optimized();
+        let req = crate::decode::DecodeRequest::new(&cache, &q);
+        let full = crate::decode::efta_decode(&req, &opts).unwrap();
+        assert!(full.report.cache_uncorrectable >= 1, "{:?}", full.report);
+        let windowed = crate::decode::efta_decode(&req.with_window(Some(16)), &opts).unwrap();
+        assert!(windowed.report.clean(), "{:?}", windowed.report);
+        // Eviction retires the mark entirely.
+        assert_eq!(cache.evict_front(1), 1);
+        assert_eq!(cache.poisoned(), 0);
+        assert_eq!(cache.poisoned_attended(None), 0);
     }
 
     #[test]

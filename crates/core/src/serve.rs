@@ -24,7 +24,13 @@
 //!   prefill-chunk bites so a long prompt never stalls the batch), each
 //!   sweep feeds every active stream its next chunk or its freshly sampled
 //!   token, and finished streams retire between sweeps with their token
-//!   history and accumulated fault report.
+//!   history, accumulated fault report, and [`FinishReason`].
+//! * The typed request/response lifecycle: streams are submitted as
+//!   [`GenerationRequest`]s (per-stream `window`, [`SamplingMode`],
+//!   [`RecoveryPolicy`]), the serving engine emits [`EngineEvent`]s per
+//!   sweep, and [`DecodeScheduler::requeue`] is the recovery primitive —
+//!   it turns a poisoned stream's emitted history into a fresh prefill
+//!   source so the engine can rebuild the cache and resume.
 //!
 //! The scheduler is deliberately model-agnostic — it plans *which tokens
 //! each stream feeds next* and records *what came back*; the driver owns
@@ -274,8 +280,11 @@ pub fn sweep_efta(
     let counters: Vec<FtCounters> = slices.iter().map(|_| FtCounters::new()).collect();
     for (s, c) in slices.iter().zip(&counters) {
         // Sticky unrepairable damage is per stream: surface it in that
-        // stream's report every sweep (see `KvCache::poisoned`).
-        FtCounters::add(&c.cache_uncorrectable, s.cache.poisoned());
+        // stream's report every sweep, scoped to the blocks the stream's
+        // window can still attend (see `KvCache::poisoned_attended` — a
+        // mark behind the window cannot reach any future token, so it must
+        // not trip the engine's re-prefill trigger).
+        FtCounters::add(&c.cache_uncorrectable, s.cache.poisoned_attended(s.window));
     }
     let rows: Vec<MatrixF32> = work_units(slices)
         .into_par_iter()
@@ -305,6 +314,216 @@ pub fn sweep_efta(
 fn chunk_row(q: &Tensor4F16, slot: usize, row: usize) -> MatrixF32 {
     let m = q.slot_flat(slot);
     Matrix::from_fn(1, q.dim(), |_, j| m.get(row, j).to_f32())
+}
+
+// ---------------------------------------------------------------------------
+// The typed request/response lifecycle.
+// ---------------------------------------------------------------------------
+
+/// How a finished stream picks each new token from its logits row.
+///
+/// Sampling is *deterministic* in every mode (serving equivalence and
+/// recovery both depend on it): re-running a request — including the
+/// engine's auto re-prefill after cache poisoning — reproduces the same
+/// token sequence bit for bit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Argmax over the logits row (ties to the lower index).
+    #[default]
+    Greedy,
+    /// Pick uniformly (by a stateless hash of `seed`, the stream id, and
+    /// the absolute token position) among the `k` largest logits. Position
+    /// keying makes the choice reproducible across re-prefill recovery:
+    /// the resumed stream re-draws exactly the tokens it already emitted.
+    TopK {
+        /// How many of the largest logits are eligible (clamped to ≥ 1).
+        k: usize,
+        /// Stateless draw seed.
+        seed: u64,
+    },
+}
+
+/// What the serving engine does when a stream's attended cache window
+/// carries unrepairable damage (`cache_uncorrectable` /
+/// [`KvCache::poisoned_attended`]).
+///
+/// Recovery is a *per-request* policy, not an engine-wide switch (the
+/// ApproxABFT observation: workloads price a wrong token very differently),
+/// and the bounded re-execution variant is the ALBERTA recipe applied to
+/// serving: re-run the damaged unit — here the stream's whole cache, by
+/// chunked re-prefill of everything already emitted — at most `max_attempts`
+/// times before giving up.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Report the damage in the stream's fault history and keep decoding
+    /// (the pre-lifecycle behavior; tokens may be wrong).
+    #[default]
+    None,
+    /// Drop the stream's cache and re-prefill its prompt *plus every token
+    /// already emitted*, then resume decoding — at most `max_attempts`
+    /// times, after which the stream finishes with
+    /// [`FinishReason::AbortedPoisoned`]. Deterministic sampling makes a
+    /// successful recovery bit-identical to an undamaged run.
+    ReprefillBounded {
+        /// Re-prefill attempts before the stream is aborted.
+        max_attempts: u32,
+    },
+}
+
+/// Why a stream retired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FinishReason {
+    /// The token budget (`max_new_tokens`, possibly clamped by the model's
+    /// `max_seq`) was met without any recovery.
+    MaxTokens,
+    /// The token budget was met after one or more
+    /// [`RecoveryPolicy::ReprefillBounded`] re-prefills.
+    Recovered,
+    /// Unrepairable cache damage persisted through `attempts` re-prefills
+    /// and the bounded policy gave up; the token history may be wrong from
+    /// the last poisoned position onward.
+    AbortedPoisoned {
+        /// Re-prefill attempts consumed before aborting.
+        attempts: u32,
+    },
+}
+
+/// One generation stream, fully specified: the typed replacement for the
+/// positional `submit(prompt, max_new_tokens)` call. Everything that used
+/// to be a model- or scheduler-wide knob that really belongs to a request —
+/// the sliding window, the sampling rule, the recovery policy — rides here,
+/// per stream.
+///
+/// ```
+/// use ft_core::serve::{GenerationRequest, RecoveryPolicy, SamplingMode};
+///
+/// let req = GenerationRequest::new(vec![1, 2, 3], 16)
+///     .with_window(64)
+///     .with_sampling(SamplingMode::Greedy)
+///     .with_recovery(RecoveryPolicy::ReprefillBounded { max_attempts: 2 });
+/// assert_eq!(req.max_new_tokens, 16);
+/// assert_eq!(req.window, Some(64));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GenerationRequest {
+    /// Prompt token ids (must be non-empty).
+    pub prompt: Vec<u32>,
+    /// Sampled continuation budget.
+    pub max_new_tokens: usize,
+    /// Per-stream sliding attention window (`None` = attend everything, or
+    /// inherit the model default when submitted through a serving engine).
+    pub window: Option<usize>,
+    /// Token selection rule.
+    pub sampling: SamplingMode,
+    /// What to do when this stream's attended cache is poisoned.
+    pub recovery: RecoveryPolicy,
+}
+
+impl GenerationRequest {
+    /// Request `prompt` followed by up to `max_new_tokens` continuations
+    /// with default knobs: full attention, greedy sampling, no recovery.
+    pub fn new(prompt: Vec<u32>, max_new_tokens: usize) -> Self {
+        GenerationRequest {
+            prompt,
+            max_new_tokens,
+            window: None,
+            sampling: SamplingMode::default(),
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Sliding-window attention for this stream only. Panics on 0 — a
+    /// zero-row window cannot serve decode.
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "a zero-row window cannot serve decode");
+        self.window = Some(window);
+        self
+    }
+
+    /// Token selection rule for this stream.
+    pub fn with_sampling(mut self, sampling: SamplingMode) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Poisoned-cache recovery policy for this stream.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+}
+
+/// One typed lifecycle event of a serving sweep. The engine emits these
+/// per sweep (see `ServeSession::sweep_events` in the `ft-transformer`
+/// crate); everything a driver used to infer from raw counters — tokens,
+/// corrections, poisoning, recovery progress, eviction, retirement — is a
+/// variant here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A stream sampled a new token this sweep.
+    TokenEmitted {
+        /// The emitting stream.
+        stream: StreamId,
+        /// The sampled token id.
+        token: u32,
+    },
+    /// Fault-tolerance machinery fired for this stream this sweep and the
+    /// sweep's output is repaired (detections with matching repairs).
+    FaultCorrected {
+        /// The affected stream.
+        stream: StreamId,
+        /// Detections across every check family this sweep.
+        detected: u64,
+        /// Repair actions (corrections + recomputations + restrictions).
+        repaired: u64,
+    },
+    /// Unrepairable damage sits in the blocks this stream's window still
+    /// attends — the stream's future tokens are suspect until it recovers
+    /// (or forever, under [`RecoveryPolicy::None`]).
+    CachePoisoned {
+        /// The poisoned stream.
+        stream: StreamId,
+        /// Sticky damage events visible to the attended window.
+        events: u64,
+    },
+    /// The engine dropped the stream's cache and is re-prefilling its
+    /// prompt plus already-emitted tokens (attempt `attempt` of the
+    /// bounded budget).
+    Recovering {
+        /// The recovering stream.
+        stream: StreamId,
+        /// 1-based re-prefill attempt number.
+        attempt: u32,
+    },
+    /// The sliding-window storage policy evicted blocks from this stream's
+    /// cache this sweep (bounded-memory bookkeeping, not a fault).
+    EvictedBlocks {
+        /// The trimmed stream.
+        stream: StreamId,
+        /// Blocks dropped this sweep (summed over layers).
+        blocks: u64,
+    },
+    /// The stream retired.
+    Finished {
+        /// The retired stream.
+        stream: StreamId,
+        /// Why it retired.
+        reason: FinishReason,
+    },
+}
+
+impl EngineEvent {
+    /// The stream the event belongs to.
+    pub fn stream(&self) -> StreamId {
+        match *self {
+            EngineEvent::TokenEmitted { stream, .. }
+            | EngineEvent::FaultCorrected { stream, .. }
+            | EngineEvent::CachePoisoned { stream, .. }
+            | EngineEvent::Recovering { stream, .. }
+            | EngineEvent::EvictedBlocks { stream, .. }
+            | EngineEvent::Finished { stream, .. } => stream,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -350,24 +569,45 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// One generation stream's scheduling state: its token history, prefill
-/// progress, and accumulated per-stream fault report.
+/// One generation stream's scheduling state: its request configuration,
+/// token history, prefill progress, recovery accounting, and accumulated
+/// per-stream fault report.
 #[derive(Clone, Debug)]
 pub struct StreamState {
     /// Stream identity.
     pub id: StreamId,
     /// The prompt as submitted.
     pub prompt: Vec<u32>,
-    /// Prompt tokens fed into the model so far.
+    /// Tokens of the current prefill source (the leading prefill-length
+    /// tokens of [`tokens`](StreamState::tokens) — the prompt on a fresh
+    /// stream, the whole emitted history after a recovery) fed into the
+    /// *current* cache so far. Reset to 0 by [`DecodeScheduler::requeue`].
     pub fed: usize,
     /// Tokens sampled so far.
     pub generated: Vec<u32>,
     /// Total token budget (prompt + generated); the stream retires when it
     /// is reached.
     pub max_total: usize,
+    /// Per-stream sliding attention window, as resolved at submission.
+    pub window: Option<usize>,
+    /// Token selection rule.
+    pub sampling: SamplingMode,
+    /// Poisoned-cache recovery policy.
+    pub recovery: RecoveryPolicy,
+    /// Re-prefill recovery *attempts* so far (every requeue counts — a
+    /// stream that later aborts still carries the attempts it consumed;
+    /// whether they ultimately succeeded is what
+    /// [`finish`](StreamState::finish) reports).
+    pub recoveries: u32,
+    /// Why the stream retired (set at retirement; `None` while live).
+    pub finish: Option<FinishReason>,
     /// Fault events attributed to this stream across every sweep it took
     /// part in (attention-kernel events, including cache residency).
     pub report: FtReport,
+    /// Leading tokens of [`tokens`](StreamState::tokens) treated as prefill
+    /// for the current cache: the prompt length on a fresh submission, the
+    /// whole emitted history after a recovery requeue.
+    prefill_len: usize,
     /// A sweep for this stream has been planned but not yet recorded.
     inflight: bool,
 }
@@ -380,17 +620,35 @@ impl StreamState {
         t
     }
 
-    /// True while prompt tokens remain to be fed.
+    /// True while prefill-source tokens remain to be fed into the current
+    /// cache (covers both the initial prompt and a recovery re-prefill).
     pub fn prefilling(&self) -> bool {
-        self.fed < self.prompt.len()
+        self.fed < self.prefill_len
     }
 
-    fn total(&self) -> usize {
+    /// Prompt + generated token count.
+    pub fn total(&self) -> usize {
         self.prompt.len() + self.generated.len()
+    }
+
+    /// Tokens materialized in the stream's *current* cache (or committed
+    /// to appear there imminently): what admission projections subtract
+    /// from the stream's total budget. A recovery requeue resets this —
+    /// the re-prefill really does re-materialize the history.
+    fn materialized(&self) -> usize {
+        self.fed + (self.total() - self.prefill_len)
     }
 
     fn done(&self) -> bool {
         self.total() >= self.max_total
+    }
+
+    fn finish_reason(&self) -> FinishReason {
+        if self.recoveries > 0 {
+            FinishReason::Recovered
+        } else {
+            FinishReason::MaxTokens
+        }
     }
 }
 
@@ -405,6 +663,10 @@ pub struct PlanItem {
     /// Whether the driver should sample a new token from the last fed
     /// row's logits and report it via [`DecodeScheduler::record`].
     pub sample: bool,
+    /// The stream's sliding attention window (from its
+    /// [`GenerationRequest`]): the driver applies it to storage eviction
+    /// and to the sweep's [`StreamSlice::window`].
+    pub window: Option<usize>,
 }
 
 /// Continuous-batching slot table: admits streams, plans one chunk per
@@ -426,7 +688,14 @@ pub struct DecodeScheduler {
     bytes_per_token: u64,
     /// Driver-supplied cap on the tokens a stream can keep resident (a
     /// sliding window bounds the footprint regardless of prompt length).
+    /// Global fallback for streams without their own window; windowed
+    /// streams derive a per-stream cap of `window + window_slack`.
     projection_cap: Option<usize>,
+    /// Driver-supplied slack (in rows) added to a stream's window when
+    /// deriving its per-stream projection cap — block-granular eviction
+    /// keeps up to one extra block resident, so the driver passes the
+    /// cache block size here.
+    window_slack: usize,
 }
 
 impl DecodeScheduler {
@@ -439,26 +708,49 @@ impl DecodeScheduler {
         }
     }
 
-    /// Queue a stream: `prompt` followed by up to `max_new_tokens` sampled
-    /// continuations. It joins the slot table at the next [`plan`] with a
-    /// free slot — mid-flight, without stalling streams already decoding.
+    /// Queue a typed [`GenerationRequest`]. The stream joins the slot
+    /// table at the next [`plan`] with a free slot — mid-flight, without
+    /// stalling streams already decoding.
     ///
     /// [`plan`]: DecodeScheduler::plan
-    pub fn submit(&mut self, prompt: Vec<u32>, max_new_tokens: usize) -> StreamId {
-        assert!(!prompt.is_empty(), "a stream needs at least one token");
+    pub fn submit_request(&mut self, req: GenerationRequest) -> StreamId {
+        assert!(!req.prompt.is_empty(), "a stream needs at least one token");
+        assert!(
+            req.window != Some(0),
+            "a zero-row window cannot serve decode"
+        );
         let id = StreamId(self.next_id);
         self.next_id += 1;
-        let max_total = prompt.len() + max_new_tokens;
+        let prefill_len = req.prompt.len();
+        let max_total = prefill_len + req.max_new_tokens;
         self.pending.push_back(StreamState {
             id,
-            prompt,
+            prompt: req.prompt,
             fed: 0,
             generated: Vec::new(),
             max_total,
+            window: req.window,
+            sampling: req.sampling,
+            recovery: req.recovery,
+            recoveries: 0,
+            finish: None,
             report: FtReport::default(),
+            prefill_len,
             inflight: false,
         });
         id
+    }
+
+    /// Positional-shim submission: `prompt` followed by up to
+    /// `max_new_tokens` greedy continuations with default request knobs.
+    /// Delegates to [`submit_request`](DecodeScheduler::submit_request).
+    pub fn submit(&mut self, prompt: Vec<u32>, max_new_tokens: usize) -> StreamId {
+        self.submit_request(GenerationRequest::new(prompt, max_new_tokens))
+    }
+
+    /// The live (slot-holding) state of `stream`, if it is active.
+    pub fn active_stream(&self, stream: StreamId) -> Option<&StreamState> {
+        self.active.iter().find(|s| s.id == stream)
     }
 
     /// Report the session's current total cache footprint in bytes (the
@@ -480,8 +772,18 @@ impl DecodeScheduler {
     /// sliding-window serving a stream's resident footprint is bounded by
     /// roughly `window + cache_block` rows however long its prompt, so
     /// projecting the full prompt length would over-throttle admission.
+    /// Global fallback — streams whose [`GenerationRequest::window`] is set
+    /// derive their own cap (`window +`
+    /// [`set_window_slack`](DecodeScheduler::set_window_slack)).
     pub fn set_projection_cap(&mut self, tokens: usize) {
         self.projection_cap = Some(tokens);
+    }
+
+    /// Rows added to a windowed stream's per-stream projection cap
+    /// (block-granular eviction keeps up to one extra block resident; the
+    /// driver passes the cache block size).
+    pub fn set_window_slack(&mut self, rows: usize) {
+        self.window_slack = rows;
     }
 
     /// Plan the next sweep: admit pending streams into free slots (gated
@@ -507,11 +809,15 @@ impl DecodeScheduler {
             "memory_budget admission needs set_bytes_per_token (and note_bytes \
              each sweep) — with a zero per-token estimate the budget is inert"
         );
-        let cap = self.projection_cap.unwrap_or(usize::MAX);
+        let global_cap = self.projection_cap.unwrap_or(usize::MAX);
+        let slack = self.window_slack;
         let bpt = self.bytes_per_token;
         let remainder = |s: &StreamState| {
+            // Per-stream cap from the request's own window; global
+            // fallback for full-attention streams.
+            let cap = s.window.map_or(global_cap, |w| w + slack);
             let target = s.max_total.min(cap);
-            let materialized = (s.fed + s.generated.len()).min(cap);
+            let materialized = s.materialized().min(cap);
             target.saturating_sub(materialized) as u64 * bpt
         };
         let mut projected = self.noted_bytes + self.active.iter().map(remainder).sum::<u64>();
@@ -537,7 +843,9 @@ impl DecodeScheduler {
         let mut i = 0;
         while i < self.active.len() {
             if self.active[i].done() && !self.active[i].inflight {
-                self.finished.push(self.active.remove(i));
+                let mut s = self.active.remove(i);
+                s.finish = Some(s.finish_reason());
+                self.finished.push(s);
             } else {
                 i += 1;
             }
@@ -549,10 +857,14 @@ impl DecodeScheduler {
                 continue;
             }
             let (feed, sample) = if s.prefilling() {
-                let n = (s.prompt.len() - s.fed).min(chunk);
-                let feed = s.prompt[s.fed..s.fed + n].to_vec();
+                // Prefill source: the leading `prefill_len` tokens of the
+                // history — the prompt on a fresh stream, prompt + emitted
+                // tokens after a recovery requeue.
+                let src = s.tokens();
+                let n = (s.prefill_len - s.fed).min(chunk);
+                let feed = src[s.fed..s.fed + n].to_vec();
                 s.fed += n;
-                (feed, s.fed == s.prompt.len())
+                (feed, s.fed == s.prefill_len)
             } else {
                 let t = *s
                     .generated
@@ -565,6 +877,7 @@ impl DecodeScheduler {
                 stream: s.id,
                 feed,
                 sample,
+                window: s.window,
             });
         }
         items
@@ -572,13 +885,11 @@ impl DecodeScheduler {
 
     /// Record the result of a planned sweep for one stream: the sampled
     /// token (if its plan item asked for one) and the sweep's per-stream
-    /// fault report. Retires the stream once its budget is met.
+    /// fault report. Retires the stream once its budget is met
+    /// ([`FinishReason::MaxTokens`], or [`FinishReason::Recovered`] when it
+    /// came back from a re-prefill).
     pub fn record(&mut self, stream: StreamId, sampled: Option<u32>, report: &FtReport) {
-        let idx = self
-            .active
-            .iter()
-            .position(|s| s.id == stream)
-            .unwrap_or_else(|| panic!("{stream} is not active"));
+        let idx = self.active_index(stream);
         let s = &mut self.active[idx];
         assert!(s.inflight, "{stream}: record without a planned sweep");
         s.inflight = false;
@@ -587,8 +898,50 @@ impl DecodeScheduler {
             s.generated.push(t);
         }
         if s.done() {
+            s.finish = Some(s.finish_reason());
             self.finished.push(self.active.remove(idx));
         }
+    }
+
+    /// Recovery requeue (instead of [`record`](DecodeScheduler::record)):
+    /// the engine found the stream's attended cache poisoned this sweep,
+    /// discarded whatever the sweep produced (a token sampled over damaged
+    /// state must not enter the history), and dropped the stream's cache.
+    /// The stream keeps its slot; its whole emitted history — prompt plus
+    /// every *previously* recorded token — becomes the new prefill source,
+    /// so the next plans feed it back through chunked prefill and decode
+    /// resumes where it left off. Returns the 1-based attempt number.
+    ///
+    /// The sweep's fault report is still merged: the detection that
+    /// triggered the recovery is part of the stream's history.
+    pub fn requeue(&mut self, stream: StreamId, report: &FtReport) -> u32 {
+        let idx = self.active_index(stream);
+        let s = &mut self.active[idx];
+        assert!(s.inflight, "{stream}: requeue without a planned sweep");
+        s.inflight = false;
+        s.report = s.report.merged(report);
+        s.fed = 0;
+        s.prefill_len = s.total();
+        s.recoveries += 1;
+        s.recoveries
+    }
+
+    /// Abort an active stream (recovery budget exhausted): merge the final
+    /// sweep's report and retire it immediately with `reason`.
+    pub fn abort(&mut self, stream: StreamId, report: &FtReport, reason: FinishReason) {
+        let idx = self.active_index(stream);
+        let s = &mut self.active[idx];
+        s.inflight = false;
+        s.report = s.report.merged(report);
+        s.finish = Some(reason);
+        self.finished.push(self.active.remove(idx));
+    }
+
+    fn active_index(&self, stream: StreamId) -> usize {
+        self.active
+            .iter()
+            .position(|s| s.id == stream)
+            .unwrap_or_else(|| panic!("{stream} is not active"))
     }
 
     /// True when no stream is active or queued (finished streams may still
@@ -751,6 +1104,115 @@ mod tests {
         assert_eq!(done.len(), 2);
         let a_state = done.iter().find(|s| s.id == a).unwrap();
         assert_eq!(a_state.tokens(), vec![1, 2, 3, 4, 90, 91]);
+    }
+
+    #[test]
+    fn stream_id_display_names_streams() {
+        assert_eq!(StreamId(0).to_string(), "stream0");
+        assert_eq!(format!("{}", StreamId(42)), "stream42");
+    }
+
+    #[test]
+    fn requeue_replays_prompt_plus_emitted_tokens_then_resumes() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 2,
+            prefill_chunk: 3,
+            ..Default::default()
+        });
+        let a = sched.submit_request(
+            GenerationRequest::new(vec![1, 2, 3], 3)
+                .with_window(8)
+                .with_recovery(RecoveryPolicy::ReprefillBounded { max_attempts: 2 }),
+        );
+        let plan = sched.plan();
+        assert_eq!(plan[0].feed, vec![1, 2, 3]);
+        assert_eq!(plan[0].window, Some(8), "plan items carry the window");
+        assert!(plan[0].sample);
+        sched.record(a, Some(10), &FtReport::default());
+        let plan = sched.plan();
+        assert_eq!(plan[0].feed, vec![10]);
+        sched.record(a, Some(11), &FtReport::default());
+        // Poison discovered in the next sweep: the engine requeues instead
+        // of recording — the token sampled over damaged state is discarded.
+        let plan = sched.plan();
+        assert_eq!(plan[0].feed, vec![11]);
+        assert_eq!(sched.requeue(a, &FtReport::default()), 1);
+        assert_eq!(sched.active_stream(a).unwrap().recoveries, 1);
+        // Re-prefill: prompt plus both *recorded* tokens, in chunks.
+        let plan = sched.plan();
+        assert_eq!(plan[0].feed, vec![1, 2, 3]);
+        assert!(!plan[0].sample);
+        sched.record(a, None, &FtReport::default());
+        let plan = sched.plan();
+        assert_eq!(plan[0].feed, vec![10, 11]);
+        assert!(
+            plan[0].sample,
+            "the re-prefill tail re-samples the discarded position"
+        );
+        sched.record(a, Some(12), &FtReport::default());
+        assert!(sched.idle());
+        let done = sched.take_finished();
+        assert_eq!(done[0].tokens(), vec![1, 2, 3, 10, 11, 12]);
+        assert_eq!(done[0].finish, Some(FinishReason::Recovered));
+        assert_eq!(done[0].recoveries, 1);
+    }
+
+    #[test]
+    fn abort_retires_immediately_with_the_given_reason() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig::default());
+        let a = sched.submit_request(
+            GenerationRequest::new(vec![1, 2], 5)
+                .with_recovery(RecoveryPolicy::ReprefillBounded { max_attempts: 1 }),
+        );
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 1);
+        sched.abort(
+            a,
+            &FtReport::default(),
+            FinishReason::AbortedPoisoned { attempts: 1 },
+        );
+        assert!(sched.idle());
+        let done = sched.take_finished();
+        assert_eq!(
+            done[0].finish,
+            Some(FinishReason::AbortedPoisoned { attempts: 1 })
+        );
+        assert_eq!(done[0].tokens(), vec![1, 2], "no token was recorded");
+    }
+
+    #[test]
+    fn budget_met_without_recovery_finishes_max_tokens() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig::default());
+        let a = sched.submit(vec![5, 6], 1);
+        let plan = sched.plan();
+        assert_eq!(plan[0].window, None);
+        sched.record(a, Some(7), &FtReport::default());
+        let done = sched.take_finished();
+        assert_eq!(done[0].finish, Some(FinishReason::MaxTokens));
+        assert_eq!(done[0].recoveries, 0);
+    }
+
+    #[test]
+    fn per_stream_windows_cap_admission_projections() {
+        // Three 40-token prompts, each with its *own* 2-row window: the
+        // per-stream cap (window + slack) bounds the projection, so all
+        // three fit a budget the raw prompt lengths would blow through.
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 4,
+            prefill_chunk: 4,
+            memory_budget: Some(100),
+        });
+        sched.set_bytes_per_token(10);
+        sched.set_window_slack(1);
+        for _ in 0..3 {
+            sched.submit_request(GenerationRequest::new(vec![0; 40], 1).with_window(2));
+        }
+        let plan = sched.plan();
+        assert_eq!(
+            plan.len(),
+            3,
+            "window-capped projections (3 × 30 bytes) all fit"
+        );
     }
 
     #[test]

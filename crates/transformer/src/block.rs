@@ -122,16 +122,19 @@ impl TransformerBlock {
     /// `c × hidden` activation chunk attending through its own cache; the
     /// attention fan-out is shared across streams (see
     /// [`MultiHeadAttention::forward_decode_batch`]), everything row-wise
-    /// (norms, residuals, FFN) runs per stream. When the attention module
-    /// is configured with a sliding window, each stream's cache is
-    /// front-evicted before its chunk is appended and each row attends
-    /// only its window — eviction counts land in that stream's
-    /// [`BlockReport`] (`mha.attention.cache_evicted_blocks`).
+    /// (norms, residuals, FFN) runs per stream. `windows[i]` is stream
+    /// `i`'s sliding attention window (a per-stream request property):
+    /// that stream's cache is front-evicted before its chunk is appended
+    /// and each of its rows attends only its window — eviction counts land
+    /// in that stream's [`BlockReport`]
+    /// (`mha.attention.cache_evicted_blocks`).
+    #[allow(clippy::too_many_arguments)]
     pub fn forward_decode_batch<I: FaultInjector>(
         &self,
         xs: &[MatrixF32],
         caches: &mut [&mut KvCache],
         streams: &[StreamId],
+        windows: &[Option<usize>],
         inj: &I,
         layer_idx: usize,
         thresholds: &Thresholds,
@@ -144,9 +147,15 @@ impl TransformerBlock {
                 n
             })
             .collect();
-        let attn =
-            self.mha
-                .forward_decode_batch(&normed, caches, streams, inj, layer_idx * 2, thresholds);
+        let attn = self.mha.forward_decode_batch(
+            &normed,
+            caches,
+            streams,
+            windows,
+            inj,
+            layer_idx * 2,
+            thresholds,
+        );
         xs.iter()
             .zip(attn)
             .map(|(x, (a, mha_rep))| {

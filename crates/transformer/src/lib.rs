@@ -13,13 +13,19 @@
 //! Generation runs over the checksum-protected KV-cache decode path:
 //! O(cache) work per token instead of a full prefill, with cache-resident
 //! state re-verified every step. Serving traffic goes through
-//! [`ServeSession`] ([`TransformerModel::serve`]), which continuously
-//! batches many streams — each with its own [`ModelKvCache`], sampling
-//! state, and per-stream fault history — through shared decode sweeps with
-//! chunked prefill; [`TransformerModel::generate`] is its one-stream
-//! special case, and [`TransformerModel::decode_step`] remains the
-//! explicit token-at-a-time loop. The pre-cache prefill-per-token baseline
-//! survives as [`TransformerModel::generate_prefill`].
+//! [`ServeSession`] ([`TransformerModel::serve`]), a typed
+//! request/response lifecycle: streams are submitted as
+//! [`GenerationRequest`]s (per-stream window, sampling mode, recovery
+//! policy), each sweep emits [`EngineEvent`]s, and retired streams carry a
+//! [`FinishReason`]. The headline recovery behavior —
+//! [`RecoveryPolicy::ReprefillBounded`] — closes the paper's
+//! detect → correct → *recover* loop: a stream whose attended cache window
+//! is poisoned is re-prefilled (prompt plus already-emitted tokens) and
+//! resumes bit-identically to an undamaged run.
+//! [`TransformerModel::generate`] is the session's one-stream special
+//! case, and [`TransformerModel::decode_step`] remains the explicit
+//! token-at-a-time loop. The pre-cache prefill-per-token baseline survives
+//! as [`TransformerModel::generate_prefill`].
 
 #![warn(missing_docs)]
 
@@ -38,7 +44,10 @@ pub use block::TransformerBlock;
 pub use configs::ModelConfig;
 pub use embed::Embedding;
 pub use ffn::FeedForward;
-pub use ft_core::serve::{SchedulerConfig, StreamId};
+pub use ft_core::serve::{
+    EngineEvent, FinishReason, GenerationRequest, RecoveryPolicy, SamplingMode, SchedulerConfig,
+    StreamId,
+};
 pub use linear::{Linear, LinearProtection};
 pub use mha::{BackendKind, KvCache, MhaReport, MultiHeadAttention};
 pub use model::{

@@ -34,12 +34,19 @@ pub struct MultiHeadAttention {
     /// too for the two to produce the same activations. Unmasked prefill
     /// (the paper's benchmark setting) remains the default.
     pub causal: bool,
-    /// Sliding-window attention for the decode path: each step attends
-    /// only the cache blocks holding the most recent `window` rows
+    /// *Default* sliding-window attention for the decode paths: each step
+    /// attends only the cache blocks holding the most recent `window` rows
     /// (block-granular), and storage behind the window is front-evicted
     /// *before* each append — bounded cache memory per stream. `None`
-    /// (the default) attends and retains the full history. Decode-only:
-    /// the prefill path ignores it.
+    /// (the default) attends and retains the full history.
+    ///
+    /// Since the typed-request redesign the window is a *per-stream*
+    /// property: the batched serving path
+    /// ([`forward_decode_batch`](MultiHeadAttention::forward_decode_batch))
+    /// takes one window per stream (resolved by the engine from each
+    /// `GenerationRequest`, with this field as the default), and only the
+    /// single-stream [`forward_decode`](MultiHeadAttention::forward_decode)
+    /// still reads it directly. Decode-only: the prefill path ignores it.
     pub window: Option<usize>,
     /// Rows per KV-cache block ([`KvCache::block`]); also the granularity
     /// of sliding-window eviction. Defaults to the paper's 64-row CTA
@@ -227,17 +234,27 @@ impl MultiHeadAttention {
     /// [`try_decode_sweep`](AttentionBackend::try_decode_sweep) — one
     /// kernel fan-out shared by all streams, with fault events attributed
     /// per stream.
+    ///
+    /// `windows[i]` is stream `i`'s sliding attention window (a per-stream
+    /// request property; the serving engine resolves it from each
+    /// `GenerationRequest`, falling back to the module-level
+    /// [`window`](MultiHeadAttention::window) default): it drives both that
+    /// stream's pre-append storage eviction and its rows'
+    /// [`StreamSlice::window`] in the kernel sweep.
+    #[allow(clippy::too_many_arguments)]
     pub fn forward_decode_batch<I: FaultInjector>(
         &self,
         xs: &[MatrixF32],
         caches: &mut [&mut KvCache],
         streams: &[StreamId],
+        windows: &[Option<usize>],
         inj: &I,
         layer_slot: usize,
         thresholds: &Thresholds,
     ) -> Vec<(MatrixF32, MhaReport)> {
         assert_eq!(xs.len(), caches.len());
         assert_eq!(xs.len(), streams.len());
+        assert_eq!(xs.len(), windows.len());
         let mut reports: Vec<MhaReport> = vec![MhaReport::default(); xs.len()];
         let mut qts = Vec::with_capacity(xs.len());
         let mut heals = Vec::with_capacity(xs.len());
@@ -254,8 +271,9 @@ impl MultiHeadAttention {
             qts.push(self.split_heads(&q));
             // Evict on the pre-chunk length: every chunk row's causal
             // window still finds its blocks resident (see
-            // `KvCache::enforce_window`).
-            evictions.push(match self.window {
+            // `KvCache::enforce_window`). Per stream: each stream's own
+            // request window governs its storage.
+            evictions.push(match windows[i] {
                 Some(w) => caches[i].enforce_window(w) as u64,
                 None => 0,
             });
@@ -268,7 +286,7 @@ impl MultiHeadAttention {
                 stream: streams[i],
                 cache: &*caches[i],
                 q,
-                window: self.window,
+                window: windows[i],
             })
             .collect();
         let outs = self.kernel.decode_sweep(&slices, inj, Some(*thresholds));

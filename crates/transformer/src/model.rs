@@ -7,7 +7,10 @@ use crate::linear::{Linear, LinearProtection};
 use crate::mha::{BackendKind, KvCache};
 use crate::norm::LayerNorm;
 use ft_abft::thresholds::Thresholds;
-use ft_core::serve::{DecodeScheduler, SchedulerConfig, StreamId};
+use ft_core::serve::{
+    DecodeScheduler, EngineEvent, FinishReason, GenerationRequest, RecoveryPolicy, SamplingMode,
+    SchedulerConfig, StreamId,
+};
 use ft_core::types::FtReport;
 use ft_num::{Matrix, MatrixF32};
 use ft_sim::FaultInjector;
@@ -44,7 +47,31 @@ pub struct ModelReport {
 }
 
 impl ModelReport {
-    /// Field-wise accumulate (multi-step aggregation).
+    /// Multi-*step* aggregation: fold one step's (or sweep's) report into a
+    /// stream or session total.
+    ///
+    /// The counter mixing is deliberately non-uniform, and the asymmetry is
+    /// load-bearing:
+    ///
+    /// * `total_detected` / `total_repaired` count **fresh events** — each
+    ///   step's alarms fired exactly once — so they sum.
+    /// * `cache_uncorrectable` is a **sticky level**, not an event count:
+    ///   the protected decode path re-surfaces a cache's surviving damage
+    ///   count on *every* subsequent step (so the re-prefill signal cannot
+    ///   be missed), which means summing across steps would count one
+    ///   physical poisoning event once per step it was re-reported.
+    ///   `.max()` folds the re-reports idempotently while still growing
+    ///   when new damage raises the per-step level.
+    ///
+    /// Within one step, per-**layer** counts are summed by the private
+    /// `absorb_layer` fold: two layers poisoned in the same step are two
+    /// distinct physical events, and the step-level
+    /// count of 2 then rides through `.max()` unchanged — neither dropped
+    /// nor double-counted (pinned by the
+    /// `two_layer_poison_is_counted_once_across_steps` regression test).
+    /// The residual approximation: damage retired (evicted/recovered) and
+    /// *then* re-introduced at a lower level is absorbed by the max — the
+    /// level history, not the event census, is what this field reports.
     pub fn accumulate(&mut self, other: &ModelReport) {
         self.total_detected += other.total_detected;
         self.total_repaired += other.total_repaired;
@@ -85,6 +112,20 @@ impl ModelKvCache {
     /// never report cache events.
     pub fn poisoned(&self) -> u64 {
         self.layers.iter().map(KvCache::poisoned).sum()
+    }
+
+    /// Sticky unrepairable-damage count restricted, per layer, to the
+    /// blocks a decode step at the current length would attend under
+    /// `window` (see [`KvCache::poisoned_attended`]) — the serving
+    /// engine's re-prefill trigger: damage that slid behind the attention
+    /// window can no longer reach a future token and must not trigger
+    /// recovery (it is retired outright once eviction drops its block).
+    /// Like [`poisoned`](ModelKvCache::poisoned), works for every backend.
+    pub fn poisoned_attended(&self, window: Option<usize>) -> u64 {
+        self.layers
+            .iter()
+            .map(|c| c.poisoned_attended(window))
+            .sum()
     }
 }
 
@@ -139,7 +180,7 @@ impl TransformerModel {
         for (l, block) in self.blocks.iter().enumerate() {
             let (next, rep) = block.forward(&h, inj, l, &self.thresholds);
             h = next;
-            report.absorb(&rep);
+            report.absorb_layer(&rep);
         }
         self.final_norm.forward(&mut h);
         (h, report)
@@ -155,7 +196,7 @@ impl TransformerModel {
         self
     }
 
-    /// Sliding-window attention on every block's decode path: each step
+    /// *Default* sliding-window attention for the decode paths: each step
     /// attends only the cache blocks holding the most recent `window`
     /// rows, and storage behind the window is front-evicted before each
     /// append — per-stream cache memory is bounded by roughly
@@ -164,6 +205,15 @@ impl TransformerModel {
     /// serving all compute the same windowed function (pinned by
     /// `tests/eviction_equivalence.rs`). Decode-only: the prefill path is
     /// unaffected.
+    ///
+    /// Since the typed-request redesign the window is a **per-stream**
+    /// property: this builder is the compatibility shim that sets the
+    /// default a [`GenerationRequest`] without its own
+    /// [`window`](ft_core::serve::GenerationRequest::window) inherits at
+    /// [`ServeSession::submit_request`] time. Requests that do set one
+    /// override it, so one session can serve full-attention and windowed
+    /// streams side by side. [`TransformerModel::decode_step`] (the raw
+    /// token-at-a-time loop, which has no request) always uses the default.
     pub fn with_window(mut self, window: usize) -> Self {
         assert!(window > 0, "a zero-row window cannot serve decode");
         for b in &mut self.blocks {
@@ -230,7 +280,7 @@ impl TransformerModel {
             layer_cache.expose(inj, (pos * layers + l) as u64);
             let (next, rep) = block.forward_decode(&h, layer_cache, inj, l, &self.thresholds);
             h = next;
-            report.absorb(&rep);
+            report.absorb_layer(&rep);
         }
         self.final_norm.forward(&mut h);
         cache.positions += 1;
@@ -296,9 +346,53 @@ impl TransformerModel {
     }
 
     /// Open a continuous-batching serving session with the default
-    /// [`SchedulerConfig`]. Submit streams with
-    /// [`ServeSession::submit`], drive them with [`ServeSession::sweep`]
-    /// or [`ServeSession::run`].
+    /// [`SchedulerConfig`]. Submit typed requests with
+    /// [`ServeSession::submit_request`] (or the positional
+    /// [`ServeSession::submit`] shim) and drive them with
+    /// [`ServeSession::sweep_events`] — each sweep emits the typed
+    /// [`EngineEvent`] lifecycle — or fire-and-forget with
+    /// [`ServeSession::run`].
+    ///
+    /// ```
+    /// use ft_sim::NoFaults;
+    /// use ft_transformer::{
+    ///     BackendKind, EngineEvent, FinishReason, GenerationRequest, ModelConfig,
+    ///     RecoveryPolicy, TransformerModel,
+    /// };
+    ///
+    /// let cfg = ModelConfig {
+    ///     name: "doc",
+    ///     layers: 1,
+    ///     heads: 2,
+    ///     hidden: 16,
+    ///     ffn_dim: 32,
+    ///     vocab: 31,
+    ///     max_seq: 32,
+    /// };
+    /// let model = TransformerModel::random(7, cfg, BackendKind::Flash).with_causal(true);
+    /// let mut session = model.serve();
+    /// let id = session.submit_request(
+    ///     GenerationRequest::new(vec![1, 2, 3], 2)
+    ///         .with_recovery(RecoveryPolicy::ReprefillBounded { max_attempts: 2 }),
+    /// );
+    /// // Drive sweep by sweep, observing the typed lifecycle.
+    /// let mut tokens = Vec::new();
+    /// while !session.idle() {
+    ///     for ev in session.sweep_events(&NoFaults) {
+    ///         match ev {
+    ///             EngineEvent::TokenEmitted { token, .. } => tokens.push(token),
+    ///             EngineEvent::Finished { reason, .. } => {
+    ///                 assert_eq!(reason, FinishReason::MaxTokens); // clean run: no recovery
+    ///             }
+    ///             _ => {}
+    ///         }
+    ///     }
+    /// }
+    /// let finished = session.take_finished();
+    /// assert_eq!(finished[0].id, id);
+    /// assert_eq!(finished[0].recoveries, 0);
+    /// assert_eq!(&finished[0].tokens[3..], &tokens[..]);
+    /// ```
     pub fn serve(&self) -> ServeSession<'_> {
         self.serve_with(SchedulerConfig::default())
     }
@@ -322,19 +416,20 @@ impl TransformerModel {
         // the noted totals once streams are resident.
         scheduler.set_bytes_per_token((4 * self.config.hidden * self.config.layers) as u64);
         // Under a sliding window a stream keeps at most ~window +
-        // cache_block rows resident however long its prompt — project
-        // that bound, not the raw prompt length, or long-prompt windowed
-        // streams would be throttled to near-serial admission.
-        if let Some(w) = self.window() {
-            let block = self.blocks.first().map_or(0, |b| b.mha.cache_block);
-            scheduler.set_projection_cap(w + block);
-        }
+        // cache_block rows resident however long its prompt — the window
+        // is a per-request property now, so the scheduler derives each
+        // windowed stream's projection cap itself; we supply the
+        // block-granularity slack (one partially evictable block).
+        let block = self.blocks.first().map_or(0, |b| b.mha.cache_block);
+        scheduler.set_window_slack(block);
         ServeSession {
             model: self,
             scheduler,
             caches: Vec::new(),
             reports: Vec::new(),
             finished: Vec::new(),
+            events: Vec::new(),
+            recoveries: 0,
             peak_cache_bytes: 0,
         }
     }
@@ -345,16 +440,17 @@ impl TransformerModel {
     /// and run the shared multi-stream attention fan-out; finally run the
     /// LM head on the rows that sample a token.
     ///
-    /// `feeds[i]` is `(stream, tokens to feed, sample?)` and must pair with
-    /// `caches[i]`. Returns, per stream, the sampled token (if requested),
-    /// the sweep's model-level report, and the attention-level [`FtReport`]
-    /// attributed to that stream alone.
+    /// `feeds[i]` must pair with `caches[i]`. Returns, per stream, the
+    /// `1 × vocab` logits row of the sampled position (if the feed asked
+    /// for one — the *engine* owns token selection, per the stream's
+    /// [`SamplingMode`]), the sweep's model-level report, and the
+    /// attention-level [`FtReport`] attributed to that stream alone.
     fn run_sweep<I: FaultInjector>(
         &self,
-        feeds: &[(StreamId, Vec<u32>, bool)],
+        feeds: &[SweepFeed],
         caches: &mut [&mut ModelKvCache],
         inj: &I,
-    ) -> Vec<(Option<u32>, ModelReport, FtReport)> {
+    ) -> Vec<(Option<MatrixF32>, ModelReport, FtReport)> {
         let layers = self.blocks.len();
         for (_, c) in feeds.iter().zip(&*caches) {
             assert_eq!(
@@ -363,12 +459,13 @@ impl TransformerModel {
                 "a sweep cache does not belong to this model"
             );
         }
-        let streams: Vec<StreamId> = feeds.iter().map(|f| f.0).collect();
+        let streams: Vec<StreamId> = feeds.iter().map(|f| f.stream).collect();
+        let windows: Vec<Option<usize>> = feeds.iter().map(|f| f.window).collect();
         let base_pos: Vec<usize> = caches.iter().map(|c| c.positions).collect();
         let mut hs: Vec<MatrixF32> = feeds
             .iter()
             .zip(&base_pos)
-            .map(|((_, toks, _), &pos)| self.embed.forward_at(toks, pos))
+            .map(|(f, &pos)| self.embed.forward_at(&f.tokens, pos))
             .collect();
         let mut reports = vec![ModelReport::default(); feeds.len()];
         let mut attn_reports = vec![FtReport::default(); feeds.len()];
@@ -385,6 +482,7 @@ impl TransformerModel {
                 &hs,
                 &mut layer_caches,
                 &streams,
+                &windows,
                 inj,
                 l,
                 &self.thresholds,
@@ -392,17 +490,17 @@ impl TransformerModel {
             for (i, (h, rep)) in outs.into_iter().enumerate() {
                 hs[i] = h;
                 attn_reports[i] = attn_reports[i].merged(&rep.mha.attention);
-                reports[i].absorb(&rep);
+                reports[i].absorb_layer(&rep);
             }
         }
-        for (c, (_, toks, _)) in caches.iter_mut().zip(feeds) {
-            c.positions += toks.len();
+        for (c, f) in caches.iter_mut().zip(feeds) {
+            c.positions += f.tokens.len();
         }
         feeds
             .iter()
             .enumerate()
-            .map(|(i, (_, _, sample))| {
-                let sampled = if *sample {
+            .map(|(i, f)| {
+                let logits = if f.sample {
                     // Only the chunk's final row feeds the sampler; the
                     // interior prefill rows never pay the vocab-wide head.
                     let h = &hs[i];
@@ -414,14 +512,23 @@ impl TransformerModel {
                             .forward(&row, inj, usize::MAX / 2, &self.thresholds);
                     reports[i].total_detected += head_rep.detected;
                     reports[i].total_repaired += head_rep.corrected + head_rep.recomputed;
-                    Some(argmax(logits.row(0)) as u32)
+                    Some(logits)
                 } else {
                     None
                 };
-                (sampled, reports[i], attn_reports[i])
+                (logits, reports[i], attn_reports[i])
             })
             .collect()
     }
+}
+
+/// One stream's share of a batched sweep, as the engine hands it to
+/// [`TransformerModel::run_sweep`].
+struct SweepFeed {
+    stream: StreamId,
+    tokens: Vec<u32>,
+    sample: bool,
+    window: Option<usize>,
 }
 
 /// Cache-exposure step namespace for serving. Exposure steps are drawn
@@ -446,10 +553,11 @@ pub fn serve_expose_step(stream: StreamId, pos: usize, layers: usize, layer: usi
     (stream.0 << 20) + local
 }
 
-/// A retired serving stream: its full token history and fault accounting.
+/// A retired serving stream: its full token history, fault accounting, and
+/// lifecycle outcome.
 #[derive(Clone, Debug)]
 pub struct FinishedStream {
-    /// Stream identity (as returned by [`ServeSession::submit`]).
+    /// Stream identity (as returned by [`ServeSession::submit_request`]).
     pub id: StreamId,
     /// Prompt followed by the sampled continuation.
     pub tokens: Vec<u32>,
@@ -459,18 +567,40 @@ pub struct FinishedStream {
     /// Attention-kernel fault history attributed to this stream alone —
     /// per-stream cache detected/corrected/uncorrectable counts included.
     pub attention: FtReport,
+    /// Why the stream retired. On [`FinishReason::AbortedPoisoned`] the
+    /// token history may be wrong from the last poisoned position onward.
+    pub finish: FinishReason,
+    /// Re-prefill recovery attempts this stream went through (aborted
+    /// streams carry the attempts they consumed; [`finish`] says whether
+    /// they ultimately succeeded).
+    ///
+    /// [`finish`]: FinishedStream::finish
+    pub recoveries: u32,
 }
 
 /// A continuous-batching serving session over one [`TransformerModel`]:
 /// many generation streams, each with its own per-layer [`ModelKvCache`],
-/// sampling state, and fault history, multiplexed through shared batched
-/// decode sweeps.
+/// request configuration ([`GenerationRequest`]: per-stream window,
+/// sampling mode, recovery policy), and fault history, multiplexed through
+/// shared batched decode sweeps that emit typed [`EngineEvent`]s.
 ///
 /// ```text
-/// submit ─▶ scheduler slot table ─▶ sweep: embed → layers (shared
-///   attention fan-out over every stream's chunk) → LM head on sampled
-///   rows ─▶ record tokens + per-stream reports ─▶ retire finished
+/// submit_request ─▶ scheduler slot table ─▶ sweep: embed → layers (shared
+///   attention fan-out, per-stream windows) → LM head + per-stream
+///   sampling ─▶ events: TokenEmitted / FaultCorrected / EvictedBlocks
+///                        / CachePoisoned → Recovering (drop cache,
+///                          re-prefill history) or Finished(AbortedPoisoned)
+///   ─▶ retire finished streams with a FinishReason
 /// ```
+///
+/// The recovery half is the paper's detect → correct → **recover** story
+/// closed end to end: when a stream's attended window carries unrepairable
+/// cache damage and its request asked for
+/// [`RecoveryPolicy::ReprefillBounded`], the engine discards the suspect
+/// sweep output, drops the stream's cache, replays its prompt *plus every
+/// already-emitted token* through chunked prefill, and resumes decoding —
+/// deterministic sampling makes a successful recovery bit-identical to an
+/// undamaged run (pinned by `tests/engine_recovery.rs`).
 ///
 /// [`TransformerModel::generate`] is the one-stream special case.
 pub struct ServeSession<'m> {
@@ -479,29 +609,59 @@ pub struct ServeSession<'m> {
     caches: Vec<(StreamId, ModelKvCache)>,
     reports: Vec<(StreamId, ModelReport)>,
     finished: Vec<FinishedStream>,
+    events: Vec<EngineEvent>,
+    recoveries: u64,
     peak_cache_bytes: u64,
 }
 
 impl ServeSession<'_> {
-    /// Submit a stream: `prompt` plus up to `max_new_tokens` greedy
-    /// continuations (clamped to the model's `max_seq`). The stream joins
+    /// Submit a typed [`GenerationRequest`]. `max_new_tokens` is clamped to
+    /// the model's `max_seq`; a request without its own window inherits the
+    /// model default ([`TransformerModel::with_window`]). The stream joins
     /// the next sweep with a free slot — mid-flight, without stalling
     /// streams already decoding.
-    pub fn submit(&mut self, prompt: &[u32], max_new_tokens: usize) -> StreamId {
-        assert!(!prompt.is_empty(), "a stream needs at least one token");
+    pub fn submit_request(&mut self, mut req: GenerationRequest) -> StreamId {
+        assert!(!req.prompt.is_empty(), "a stream needs at least one token");
         assert!(
-            prompt.len() <= self.model.config.max_seq,
+            req.prompt.len() <= self.model.config.max_seq,
             "prompt exceeds max_seq"
         );
-        let capped = max_new_tokens.min(self.model.config.max_seq - prompt.len());
-        self.scheduler.submit(prompt.to_vec(), capped)
+        req.max_new_tokens = req
+            .max_new_tokens
+            .min(self.model.config.max_seq - req.prompt.len());
+        req.window = req.window.or(self.model.window());
+        self.scheduler.submit_request(req)
     }
 
-    /// Run one batched sweep: plan (admitting pending streams), feed every
-    /// active stream its next chunk through the shared fan-out, sample
-    /// where due, record per-stream reports, and retire finished streams.
-    /// Returns the number of streams that took part.
+    /// Positional-shim submission: `prompt` plus up to `max_new_tokens`
+    /// greedy continuations with default request knobs. Delegates to
+    /// [`submit_request`](ServeSession::submit_request).
+    pub fn submit(&mut self, prompt: &[u32], max_new_tokens: usize) -> StreamId {
+        self.submit_request(GenerationRequest::new(prompt.to_vec(), max_new_tokens))
+    }
+
+    /// Run one batched sweep and return its typed [`EngineEvent`]s: plan
+    /// (admitting pending streams), feed every active stream its next
+    /// chunk through the shared fan-out, sample where due (per-stream
+    /// [`SamplingMode`]), apply each stream's [`RecoveryPolicy`] to
+    /// poisoned caches, and retire finished streams.
+    pub fn sweep_events<I: FaultInjector>(&mut self, inj: &I) -> Vec<EngineEvent> {
+        self.sweep_inner(inj);
+        std::mem::take(&mut self.events)
+    }
+
+    /// Legacy sweep shim: one batched sweep, returning only the number of
+    /// streams that took part (the sweep's events are discarded — use
+    /// [`sweep_events`](ServeSession::sweep_events) to observe them).
+    /// Recovery policies still run; their outcomes remain visible through
+    /// [`FinishedStream::finish`] and [`ServeSession::recoveries`].
     pub fn sweep<I: FaultInjector>(&mut self, inj: &I) -> usize {
+        let n = self.sweep_inner(inj);
+        self.events.clear();
+        n
+    }
+
+    fn sweep_inner<I: FaultInjector>(&mut self, inj: &I) -> usize {
         // Report the live footprint so memory-budget admission sees what
         // the resident streams actually occupy.
         self.scheduler.note_bytes(self.cache_bytes());
@@ -519,11 +679,16 @@ impl ServeSession<'_> {
         // Pair feeds with caches in storage order (plan order and storage
         // order both follow admission, but matching by id keeps the sweep
         // correct under any future scheduling policy).
-        let mut feeds: Vec<(StreamId, Vec<u32>, bool)> = Vec::with_capacity(plan.len());
+        let mut feeds: Vec<SweepFeed> = Vec::with_capacity(plan.len());
         let mut cache_refs: Vec<&mut ModelKvCache> = Vec::with_capacity(plan.len());
         for (id, cache) in self.caches.iter_mut() {
             if let Some(item) = plan.iter().find(|it| it.stream == *id) {
-                feeds.push((*id, item.feed.clone(), item.sample));
+                feeds.push(SweepFeed {
+                    stream: *id,
+                    tokens: item.feed.clone(),
+                    sample: item.sample,
+                    window: item.window,
+                });
                 cache_refs.push(cache);
             }
         }
@@ -531,26 +696,116 @@ impl ServeSession<'_> {
         let results = self.model.run_sweep(&feeds, &mut cache_refs, inj);
         let n = feeds.len();
         self.peak_cache_bytes = self.peak_cache_bytes.max(self.cache_bytes());
-        for ((id, _, _), (sampled, rep, attn)) in feeds.iter().zip(results) {
+        for (feed, (logits, rep, attn)) in feeds.iter().zip(results) {
+            let id = feed.stream;
             let entry = self
                 .reports
                 .iter_mut()
-                .find(|(rid, _)| rid == id)
+                .find(|(rid, _)| *rid == id)
                 .expect("report entry exists for every planned stream");
             entry.1.accumulate(&rep);
-            self.scheduler.record(*id, sampled, &attn);
+            if attn.total_detected() > 0 {
+                self.events.push(EngineEvent::FaultCorrected {
+                    stream: id,
+                    detected: attn.total_detected(),
+                    repaired: attn.total_repaired(),
+                });
+            }
+            if attn.cache_evicted_blocks > 0 {
+                self.events.push(EngineEvent::EvictedBlocks {
+                    stream: id,
+                    blocks: attn.cache_evicted_blocks,
+                });
+            }
+            // Poison trigger, scoped to the stream's attended window: the
+            // sticky per-block marks work for every backend (append-time
+            // laundering needs no protected kernel), and the sweep report
+            // adds the EFTA read path's live uncorrectable detections.
+            // Marks behind the window — and marks retired by eviction,
+            // which leave with their block — must not trigger.
+            let sticky = self
+                .caches
+                .iter()
+                .find(|(cid, _)| *cid == id)
+                .map_or(0, |(_, c)| c.poisoned_attended(feed.window));
+            let poisoned = sticky.max(attn.cache_uncorrectable);
+            if poisoned > 0 {
+                self.events.push(EngineEvent::CachePoisoned {
+                    stream: id,
+                    events: poisoned,
+                });
+            }
+            let state = self
+                .scheduler
+                .active_stream(id)
+                .expect("planned stream is active");
+            let (recovery, attempts, sampling, position) = (
+                state.recovery,
+                state.recoveries,
+                state.sampling,
+                state.total(),
+            );
+            match recovery {
+                RecoveryPolicy::ReprefillBounded { max_attempts } if poisoned > 0 => {
+                    // Whatever this sweep produced was computed over
+                    // damaged state — a sampled token must not enter the
+                    // history. Either give up (budget spent) or drop the
+                    // cache and replay the emitted history.
+                    if attempts >= max_attempts {
+                        self.scheduler
+                            .abort(id, &attn, FinishReason::AbortedPoisoned { attempts });
+                    } else {
+                        let attempt = self.scheduler.requeue(id, &attn);
+                        self.recoveries += 1;
+                        self.events.push(EngineEvent::Recovering {
+                            stream: id,
+                            attempt,
+                        });
+                        let slot = self
+                            .caches
+                            .iter_mut()
+                            .find(|(cid, _)| *cid == id)
+                            .expect("planned stream has a cache");
+                        slot.1 = self.model.new_cache();
+                    }
+                }
+                _ => {
+                    let sampled = if feed.sample {
+                        let logits = logits.expect("sampling feed returns logits");
+                        let t = sample_token(sampling, &logits, id, position);
+                        self.events.push(EngineEvent::TokenEmitted {
+                            stream: id,
+                            token: t,
+                        });
+                        Some(t)
+                    } else {
+                        None
+                    };
+                    self.scheduler.record(id, sampled, &attn);
+                }
+            }
         }
         self.collect_finished();
         n
     }
 
     /// Sweep until every submitted stream has retired, then drain them
-    /// (ordered by stream id).
+    /// (ordered by stream id). Events are discarded sweep by sweep — drive
+    /// the session with [`sweep_events`](ServeSession::sweep_events) to
+    /// observe the lifecycle.
     pub fn run<I: FaultInjector>(&mut self, inj: &I) -> Vec<FinishedStream> {
         while !self.scheduler.idle() {
             self.sweep(inj);
         }
         self.take_finished()
+    }
+
+    /// Total re-prefill recovery attempts across the session — the
+    /// serving report's headline recovery count. Attempts by streams that
+    /// later aborted are included; per-stream detail (attempts + outcome)
+    /// rides on [`FinishedStream::recoveries`] / [`FinishedStream::finish`].
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 
     /// True when no stream is active or queued.
@@ -601,14 +856,64 @@ impl ServeSession<'_> {
                 .map(|i| self.reports.remove(i).1)
                 .unwrap_or_default();
             self.caches.retain(|(id, _)| *id != s.id);
+            let reason = s.finish.unwrap_or(FinishReason::MaxTokens);
+            self.events.push(EngineEvent::Finished {
+                stream: s.id,
+                reason,
+            });
             self.finished.push(FinishedStream {
                 id: s.id,
                 tokens: s.tokens(),
                 report,
                 attention: s.report,
+                finish: reason,
+                recoveries: s.recoveries,
             });
         }
     }
+}
+
+/// Pick the next token from a `1 × vocab` logits row per the stream's
+/// [`SamplingMode`]. Deterministic in every mode, and keyed by the token's
+/// absolute position so a re-prefill recovery re-draws exactly the tokens
+/// it replays.
+fn sample_token(mode: SamplingMode, logits: &MatrixF32, stream: StreamId, position: usize) -> u32 {
+    let row = logits.row(0);
+    match mode {
+        SamplingMode::Greedy => argmax(row) as u32,
+        SamplingMode::TopK { k, seed } => {
+            let k = k.clamp(1, row.len());
+            // Partition the k largest to the front, then order only those
+            // k — O(V + k log k) on the per-token hot path instead of a
+            // full vocab sort. The comparator is total (ties to the lower
+            // index), so the selected set and order are identical to a
+            // full sort's first k.
+            let cmp = |a: &usize, b: &usize| {
+                row[*b]
+                    .partial_cmp(&row[*a])
+                    .unwrap_or(core::cmp::Ordering::Equal)
+                    .then(a.cmp(b))
+            };
+            let mut idx: Vec<usize> = (0..row.len()).collect();
+            if k < idx.len() {
+                idx.select_nth_unstable_by(k - 1, cmp);
+                idx.truncate(k);
+            }
+            idx.sort_unstable_by(cmp);
+            let h = mix64(
+                seed ^ stream.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (position as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            );
+            idx[(h % k as u64) as usize] as u32
+        }
+    }
+}
+
+/// SplitMix64 finaliser (the stateless draw behind [`SamplingMode::TopK`]).
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Index of the largest logit.
@@ -625,7 +930,13 @@ fn argmax(row: &[f32]) -> usize {
 }
 
 impl ModelReport {
-    fn absorb(&mut self, rep: &BlockReport) {
+    /// Per-*layer* aggregation within one step: every counter sums,
+    /// `cache_uncorrectable` included — each layer's sticky level is a
+    /// distinct physical cache's damage, so a step that sees two poisoned
+    /// layers reports level 2. Across steps the re-reported levels are then
+    /// folded by [`accumulate`](ModelReport::accumulate)'s max, not
+    /// re-summed.
+    fn absorb_layer(&mut self, rep: &BlockReport) {
         self.total_detected += rep.mha.projections.detected
             + rep.mha.attention.total_detected()
             + rep.ffn.projections.detected
@@ -881,6 +1192,111 @@ mod tests {
         for (a, b) in finished.iter().zip(&unthrottled) {
             assert_eq!(a.tokens, b.tokens);
         }
+    }
+
+    #[test]
+    fn two_layer_poison_is_counted_once_across_steps() {
+        // Regression for the accumulate/absorb_layer mixing contract:
+        // cache_uncorrectable sums across layers within one step (two
+        // poisoned layers = two physical events) but folds by max across
+        // steps (the sticky level is re-reported every step).
+        let layer_rep = |uncorrectable: u64| {
+            let mut b = BlockReport::default();
+            b.mha.attention.cache_uncorrectable = uncorrectable;
+            b
+        };
+        let mut step = ModelReport::default();
+        step.absorb_layer(&layer_rep(1));
+        step.absorb_layer(&layer_rep(1));
+        assert_eq!(
+            step.cache_uncorrectable, 2,
+            "two layers poisoned in one step are two events"
+        );
+        let mut stream = ModelReport::default();
+        for _ in 0..5 {
+            stream.accumulate(&step);
+        }
+        assert_eq!(
+            stream.cache_uncorrectable, 2,
+            "five re-reports of the same sticky level must not compound"
+        );
+    }
+
+    #[test]
+    fn topk_sampling_is_deterministic_and_k1_is_greedy() {
+        use ft_core::serve::{GenerationRequest, SamplingMode};
+        let model =
+            TransformerModel::random(14, tiny_config(), BackendKind::Flash).with_causal(true);
+        let prompt = [3u32, 1, 4, 1, 5];
+        let run = |mode: SamplingMode| {
+            let mut session = model.serve();
+            let id = session
+                .submit_request(GenerationRequest::new(prompt.to_vec(), 5).with_sampling(mode));
+            let finished = session.run(&NoFaults);
+            finished.into_iter().find(|f| f.id == id).unwrap().tokens
+        };
+        let greedy = run(SamplingMode::Greedy);
+        let k1 = run(SamplingMode::TopK { k: 1, seed: 99 });
+        assert_eq!(greedy, k1, "top-1 must reduce to greedy");
+        let k4a = run(SamplingMode::TopK { k: 4, seed: 7 });
+        let k4b = run(SamplingMode::TopK { k: 4, seed: 7 });
+        assert_eq!(k4a, k4b, "sampling is stateless-deterministic");
+        let k4c = run(SamplingMode::TopK { k: 4, seed: 8 });
+        assert_eq!(k4a.len(), k4c.len());
+    }
+
+    #[test]
+    fn per_request_window_overrides_the_model_default() {
+        // One session, two streams: a full-attention stream and a
+        // request-windowed stream. Each must match its own single-stream
+        // oracle (the model-default knob drives the stepwise loop).
+        let base = TransformerModel::random(
+            15,
+            tiny_config(),
+            BackendKind::Efta(EftaOptions::optimized()),
+        )
+        .with_causal(true)
+        .with_cache_block(4);
+        let windowed = base.clone().with_window(6);
+        let prompt: Vec<u32> = (0..14).map(|i| (i * 5) % 101).collect();
+        let mut session = base.serve_with(SchedulerConfig {
+            max_active: 4,
+            prefill_chunk: 5,
+            ..Default::default()
+        });
+        use ft_core::serve::GenerationRequest;
+        let full = session.submit_request(GenerationRequest::new(prompt.clone(), 6));
+        let win = session.submit_request(GenerationRequest::new(prompt.clone(), 6).with_window(6));
+        let finished = session.run(&NoFaults);
+        let tokens_of = |id| {
+            finished
+                .iter()
+                .find(|f: &&FinishedStream| f.id == id)
+                .unwrap()
+                .tokens
+                .clone()
+        };
+        let (full_want, _) = base.generate(&prompt, 6, &NoFaults);
+        let (win_want, _) = windowed.generate(&prompt, 6, &NoFaults);
+        assert_eq!(tokens_of(full), full_want);
+        assert_eq!(tokens_of(win), win_want);
+        let evicted = finished
+            .iter()
+            .find(|f| f.id == win)
+            .unwrap()
+            .attention
+            .cache_evicted_blocks;
+        assert!(evicted > 0, "the windowed stream must actually evict");
+        assert_eq!(
+            finished
+                .iter()
+                .find(|f| f.id == full)
+                .unwrap()
+                .attention
+                .cache_evicted_blocks,
+            0,
+            "the full-attention stream must not"
+        );
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Engine-lifecycle recovery suite: the typed `GenerationRequest` →
+//! `EngineEvent` API's headline behavior, auto re-prefill
+//! (`RecoveryPolicy::ReprefillBounded`), proven end to end.
+//!
+//! The contracts:
+//! * a stream whose cache is poisoned mid-decode and recovered emits a
+//!   token sequence **bit-identical** to an undamaged greedy run — for
+//!   every `BackendKind` (the sticky per-block poison marks are set by
+//!   append-time laundering, which needs no protected kernel), ragged
+//!   caches included;
+//! * poisoning that persists through `max_attempts` re-prefills aborts the
+//!   stream with `FinishReason::AbortedPoisoned`;
+//! * poison whose block is retired by sliding-window eviction (or that
+//!   sits behind the attended window) triggers **no** recovery;
+//! * `RecoveryPolicy::None` preserves the pre-lifecycle behavior: the
+//!   damage stays on the report, nothing acts on it.
+
+mod common;
+
+use common::{prompt, tiny_config};
+use ft_transformer_suite::attention::backend::BackendKind;
+use ft_transformer_suite::attention::efta::EftaOptions;
+use ft_transformer_suite::num::F16;
+use ft_transformer_suite::sim::{FaultInjector, FaultSite, NoFaults, OpCoord, SeuInjector};
+use ft_transformer_suite::transformer::{
+    serve_expose_step, EngineEvent, FinishReason, FinishedStream, GenerationRequest, ModelConfig,
+    RecoveryPolicy, SchedulerConfig, ServeSession, StreamId, TransformerModel,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tiny(max_seq: usize) -> ModelConfig {
+    tiny_config("recovery-tiny", max_seq)
+}
+
+/// Two targeted SEUs delivered through one injector: aimed at two cache
+/// rows sharing a checksum lane (rows `r` and `r + stride`, same column),
+/// their combined delta is unlocatable — the deterministic recipe for
+/// unrepairable (poisoning) cache damage.
+struct PairInjector(SeuInjector, SeuInjector);
+
+impl PairInjector {
+    /// Alias rows 0 and 8 of column `col` in slot 0 of the K payload
+    /// exposed at step `step` (stride-8 checksums: same lane).
+    fn aliased_k(step: u64, col: usize) -> Self {
+        let coord = |row: usize| OpCoord {
+            slot: 0,
+            i: row as u64,
+            j: col as u64,
+            k: 2 * step, // `which` = 0: the K payload
+        };
+        PairInjector(
+            SeuInjector::new(FaultSite::KvCache, coord(0), 13),
+            SeuInjector::new(FaultSite::KvCache, coord(8), 13),
+        )
+    }
+}
+
+impl FaultInjector for PairInjector {
+    fn corrupt_f32(&self, site: FaultSite, coord: OpCoord, value: f32) -> f32 {
+        self.1
+            .corrupt_f32(site, coord, self.0.corrupt_f32(site, coord, value))
+    }
+    fn corrupt_f16(&self, site: FaultSite, coord: OpCoord, value: F16) -> F16 {
+        self.1
+            .corrupt_f16(site, coord, self.0.corrupt_f16(site, coord, value))
+    }
+    fn fired(&self) -> u64 {
+        self.0.fired() + self.1.fired()
+    }
+}
+
+/// A fault that *re-arms*: every exposure of slot 0 corrupts K rows 0 and
+/// 8 of column `col` — the persistent-damage regime where bounded retries
+/// must eventually give up.
+struct PersistentPair {
+    col: u64,
+    fired: AtomicU64,
+}
+
+impl PersistentPair {
+    fn new(col: usize) -> Self {
+        PersistentPair {
+            col: col as u64,
+            fired: AtomicU64::new(0),
+        }
+    }
+}
+
+impl FaultInjector for PersistentPair {
+    fn corrupt_f32(&self, _: FaultSite, _: OpCoord, value: f32) -> f32 {
+        value
+    }
+    fn corrupt_f16(&self, site: FaultSite, coord: OpCoord, value: F16) -> F16 {
+        let is_k = coord.k.is_multiple_of(2);
+        if site == FaultSite::KvCache
+            && coord.slot == 0
+            && coord.j == self.col
+            && is_k
+            && (coord.i == 0 || coord.i == 8)
+        {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            value.flip_bit(13)
+        } else {
+            value
+        }
+    }
+    fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+/// Drive a session to completion through the event API, returning the
+/// finished streams and every emitted event.
+fn run_with_events<I: FaultInjector>(
+    session: &mut ServeSession<'_>,
+    inj: &I,
+) -> (Vec<FinishedStream>, Vec<EngineEvent>) {
+    let mut events = Vec::new();
+    while !session.idle() {
+        events.extend(session.sweep_events(inj));
+    }
+    (session.take_finished(), events)
+}
+
+fn count_recovering(events: &[EngineEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e, EngineEvent::Recovering { .. }))
+        .count()
+}
+
+/// Mid-decode cache poisoning recovered by `ReprefillBounded` reproduces
+/// the undamaged greedy run bit for bit — on **every** backend in the
+/// registry. The damage is two aliased flips in the trailing *ragged*
+/// block (15 of 16 rows), laundered into a sticky per-block mark by the
+/// next append's verification, which is backend-independent: even the
+/// unprotected flash sweep recovers, because the trigger reads the marks,
+/// not a kernel report.
+#[test]
+fn recovered_stream_is_bit_identical_to_undamaged_run_on_every_backend() {
+    let p = prompt(13, 0);
+    let new_tokens = 6;
+    // Exposure step of (stream 0, sweep base position 15, layer 0 of 2):
+    // at that sweep the cache holds 15 rows — a ragged trailing block with
+    // rows 0 and 8 sharing a stride-8 checksum lane.
+    let step = serve_expose_step(StreamId(0), 15, 2, 0);
+    for kind in BackendKind::all() {
+        let model = TransformerModel::random(41, tiny(64), kind)
+            .with_causal(true)
+            .with_cache_block(16);
+        let request = || {
+            GenerationRequest::new(p.clone(), new_tokens)
+                .with_recovery(RecoveryPolicy::ReprefillBounded { max_attempts: 3 })
+        };
+
+        let mut clean_session = model.serve();
+        clean_session.submit_request(request());
+        let (clean, clean_events) = run_with_events(&mut clean_session, &NoFaults);
+        assert_eq!(count_recovering(&clean_events), 0);
+        assert_eq!(clean[0].finish, FinishReason::MaxTokens);
+
+        let inj = PairInjector::aliased_k(step, 3);
+        let mut session = model.serve();
+        let id = session.submit_request(request());
+        let (finished, events) = run_with_events(&mut session, &inj);
+        assert_eq!(inj.fired(), 2, "{kind}: both aliased flips must land");
+
+        let f = finished.iter().find(|f| f.id == id).unwrap();
+        assert_eq!(
+            f.tokens, clean[0].tokens,
+            "{kind}: recovered stream diverged from the undamaged run"
+        );
+        assert_eq!(f.recoveries, 1, "{kind}: exactly one re-prefill");
+        assert_eq!(f.finish, FinishReason::Recovered, "{kind}");
+        assert_eq!(session.recoveries(), 1, "{kind}");
+        assert_eq!(count_recovering(&events), 1, "{kind}: {events:?}");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, EngineEvent::CachePoisoned { .. })),
+            "{kind}: poisoning must surface as an event"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                EngineEvent::Finished {
+                    reason: FinishReason::Recovered,
+                    ..
+                }
+            )),
+            "{kind}: {events:?}"
+        );
+    }
+}
+
+/// Damage that re-arms after every re-prefill exhausts the bounded budget:
+/// the stream aborts with `FinishReason::AbortedPoisoned { attempts }` and
+/// the session still terminates.
+#[test]
+fn persistent_poison_aborts_after_bounded_attempts() {
+    let model = TransformerModel::random(42, tiny(64), BackendKind::Efta(EftaOptions::optimized()))
+        .with_causal(true)
+        .with_cache_block(16);
+    let inj = PersistentPair::new(3);
+    let mut session = model.serve();
+    let id = session.submit_request(
+        GenerationRequest::new(prompt(13, 1), 6)
+            .with_recovery(RecoveryPolicy::ReprefillBounded { max_attempts: 2 }),
+    );
+    let (finished, events) = run_with_events(&mut session, &inj);
+    assert!(inj.fired() > 0);
+    let f = finished.iter().find(|f| f.id == id).unwrap();
+    assert_eq!(
+        f.finish,
+        FinishReason::AbortedPoisoned { attempts: 2 },
+        "events: {events:?}"
+    );
+    assert_eq!(f.recoveries, 2);
+    assert_eq!(count_recovering(&events), 2);
+    assert!(events.iter().any(|e| matches!(
+        e,
+        EngineEvent::Finished {
+            reason: FinishReason::AbortedPoisoned { .. },
+            ..
+        }
+    )));
+    // An aborted stream is still *finished*: its (suspect) history is
+    // returned rather than dropped — short of the full budget, since the
+    // suspect tokens of the three poisoned sweeps were discarded.
+    assert!(
+        f.tokens.len() >= 13 && f.tokens.len() < 13 + 6,
+        "got {} tokens",
+        f.tokens.len()
+    );
+}
+
+/// Poison whose block falls behind the stream's attended window before the
+/// engine's check — and is then retired outright by sliding-window
+/// eviction — must NOT trigger a re-prefill: the per-block sticky marks
+/// travel out with their block, and the recovery trigger is scoped to the
+/// attended window. The stream still finishes with tokens bit-identical to
+/// the undamaged windowed run, because no sampled position ever attends
+/// the damaged rows.
+#[test]
+fn poison_retired_by_eviction_is_not_reprefilled() {
+    let model = TransformerModel::random(43, tiny(64), BackendKind::Efta(EftaOptions::optimized()))
+        .with_causal(true)
+        .with_cache_block(16);
+    let cfg = SchedulerConfig {
+        max_active: 2,
+        prefill_chunk: 12,
+        ..Default::default()
+    };
+    let p = prompt(36, 2);
+    let request = || {
+        GenerationRequest::new(p.clone(), 3)
+            .with_window(4)
+            .with_recovery(RecoveryPolicy::ReprefillBounded { max_attempts: 3 })
+    };
+
+    let mut clean_session = model.serve_with(cfg);
+    clean_session.submit_request(request());
+    let (clean, _) = run_with_events(&mut clean_session, &NoFaults);
+
+    // Corrupt K rows 0 and 8 (same stride-8 lane) at the sweep based at
+    // position 12: the append launders the damage into block 0's sticky
+    // mark, but by the end of that 12-token chunk the 4-row window's
+    // attended set starts at block 1 — the mark is behind the window at
+    // check time, and the next sweep's pre-append eviction retires it.
+    let step = serve_expose_step(StreamId(0), 12, 2, 0);
+    let inj = PairInjector::aliased_k(step, 3);
+    let mut session = model.serve_with(cfg);
+    let id = session.submit_request(request());
+    let (finished, events) = run_with_events(&mut session, &inj);
+    assert_eq!(inj.fired(), 2, "both aliased flips must land");
+
+    let f = finished.iter().find(|f| f.id == id).unwrap();
+    assert_eq!(f.recoveries, 0, "eviction-retired poison must not recover");
+    assert_eq!(f.finish, FinishReason::MaxTokens);
+    assert_eq!(count_recovering(&events), 0, "{events:?}");
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::CachePoisoned { .. })),
+        "behind-window damage must not surface as poisoning: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::EvictedBlocks { .. })),
+        "the damaged block must actually be evicted: {events:?}"
+    );
+    // The damage was *seen* (append verification detected it, could not
+    // locate it) — it just never reached an attended position.
+    assert!(
+        f.attention.cache_detected >= 1,
+        "append laundering must be on record: {:?}",
+        f.attention
+    );
+    assert_eq!(
+        f.attention.cache_uncorrectable, 0,
+        "window-scoped reports never counted it as live poison: {:?}",
+        f.attention
+    );
+    assert_eq!(
+        f.tokens, clean[0].tokens,
+        "no sampled position attends the damaged rows"
+    );
+}
+
+/// `RecoveryPolicy::None` (the default) preserves the pre-lifecycle
+/// behavior exactly: the poisoning is reported — sticky, every sweep — but
+/// nothing acts on it, and the stream runs to its token budget.
+#[test]
+fn recovery_policy_none_reports_but_never_reprefills() {
+    let model = TransformerModel::random(44, tiny(64), BackendKind::Efta(EftaOptions::optimized()))
+        .with_causal(true)
+        .with_cache_block(16);
+    let step = serve_expose_step(StreamId(0), 15, 2, 0);
+    let inj = PairInjector::aliased_k(step, 3);
+    let mut session = model.serve();
+    let id = session.submit_request(GenerationRequest::new(prompt(13, 3), 6));
+    let (finished, events) = run_with_events(&mut session, &inj);
+    assert_eq!(inj.fired(), 2);
+    let f = finished.iter().find(|f| f.id == id).unwrap();
+    assert_eq!(f.recoveries, 0);
+    assert_eq!(f.finish, FinishReason::MaxTokens);
+    assert_eq!(count_recovering(&events), 0);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::CachePoisoned { .. })),
+        "the poisoning is still surfaced as an event: {events:?}"
+    );
+    assert!(
+        f.attention.cache_uncorrectable >= 1,
+        "the sticky signal must ride the stream report: {:?}",
+        f.attention
+    );
+    assert!(
+        f.report.cache_uncorrectable >= 1,
+        "…and the model-level report: {:?}",
+        f.report
+    );
+    assert_eq!(f.tokens.len(), 13 + 6);
+}
+
+/// Recovery composes with the rest of the engine: a poisoned stream
+/// recovers while an untouched neighbor decodes on, unaware — its tokens,
+/// report, and finish reason are exactly those of a solo run.
+#[test]
+fn neighbor_streams_are_undisturbed_by_a_recovery() {
+    let model = TransformerModel::random(45, tiny(64), BackendKind::Efta(EftaOptions::optimized()))
+        .with_causal(true)
+        .with_cache_block(16);
+    // Solo oracle for the neighbor (stream id differs between sessions,
+    // so compute it from its own single-stream session).
+    let neighbor_prompt = prompt(9, 4);
+    let mut solo = model.serve();
+    solo.submit_request(GenerationRequest::new(neighbor_prompt.clone(), 5));
+    let (solo_finished, _) = run_with_events(&mut solo, &NoFaults);
+
+    // Joint session: stream 0 gets poisoned at decode base 15, stream 1
+    // is the neighbor. Stream 1's exposure steps live in a disjoint
+    // (stream-shifted) namespace, so the pair injector cannot touch it.
+    let step = serve_expose_step(StreamId(0), 15, 2, 0);
+    let inj = PairInjector::aliased_k(step, 3);
+    let mut session = model.serve();
+    let victim = session.submit_request(
+        GenerationRequest::new(prompt(13, 0), 6)
+            .with_recovery(RecoveryPolicy::ReprefillBounded { max_attempts: 3 }),
+    );
+    let neighbor = session.submit_request(GenerationRequest::new(neighbor_prompt, 5));
+    let (finished, events) = run_with_events(&mut session, &inj);
+    assert_eq!(inj.fired(), 2);
+    let fv = finished.iter().find(|f| f.id == victim).unwrap();
+    assert_eq!(fv.finish, FinishReason::Recovered);
+    let fn_ = finished.iter().find(|f| f.id == neighbor).unwrap();
+    assert_eq!(fn_.tokens, solo_finished[0].tokens);
+    assert_eq!(fn_.finish, FinishReason::MaxTokens);
+    assert!(fn_.attention.clean(), "{:?}", fn_.attention);
+    // Every Recovering/CachePoisoned event names the victim.
+    for e in &events {
+        if matches!(
+            e,
+            EngineEvent::Recovering { .. } | EngineEvent::CachePoisoned { .. }
+        ) {
+            assert_eq!(e.stream(), victim, "{e:?}");
+        }
+    }
+}

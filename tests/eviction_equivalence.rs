@@ -199,6 +199,61 @@ fn tiny(max_seq: usize) -> ModelConfig {
 /// windowed oracle exactly, for the protected EFTA sweep and the
 /// unprotected flash sweep alike — chunk boundaries cutting cache blocks
 /// included. Eviction events land in the per-stream reports.
+/// The window is a per-*request* property now: one session serves a
+/// full-attention stream and two windowed streams side by side, and each
+/// reproduces the stepwise oracle of a model configured with *its* window
+/// — the old model-level `with_window` knob is just the default a request
+/// without a window inherits.
+#[test]
+fn mixed_per_request_windows_each_match_their_own_oracle() {
+    use ft_transformer_suite::transformer::GenerationRequest;
+    let base = TransformerModel::random(33, tiny(96), BackendKind::Efta(EftaOptions::optimized()))
+        .with_causal(true)
+        .with_cache_block(4);
+    let windowed = base.clone().with_window(9);
+    let new_tokens = 6;
+    let lens = [26usize, 16, 31];
+    let windows = [None, Some(9), Some(9)];
+    let mut session = base.serve_with(SchedulerConfig {
+        max_active: 3,
+        prefill_chunk: 5,
+        ..Default::default()
+    });
+    let ids: Vec<_> = lens
+        .iter()
+        .zip(&windows)
+        .enumerate()
+        .map(|(i, (&len, &w))| {
+            let mut req = GenerationRequest::new(prompt(len, i), new_tokens);
+            if let Some(w) = w {
+                req = req.with_window(w);
+            }
+            session.submit_request(req)
+        })
+        .collect();
+    let finished = session.run(&NoFaults);
+    for (i, ((id, &len), &w)) in ids.iter().zip(&lens).zip(&windows).enumerate() {
+        let f = finished.iter().find(|f| f.id == *id).unwrap();
+        let oracle_model = if w.is_some() { &windowed } else { &base };
+        let want = stepwise_generate(oracle_model, &prompt(len, i), new_tokens);
+        assert_eq!(
+            f.tokens, want,
+            "stream {i} (window {w:?}): diverged from its own oracle"
+        );
+        if w.is_some() {
+            assert!(
+                f.attention.cache_evicted_blocks > 0,
+                "stream {i}: a windowed stream this long must evict"
+            );
+        } else {
+            assert_eq!(
+                f.attention.cache_evicted_blocks, 0,
+                "stream {i}: full attention must never evict"
+            );
+        }
+    }
+}
+
 #[test]
 fn windowed_scheduled_streams_match_windowed_stepwise_decode() {
     let lens = [26usize, 16, 7, 32];
