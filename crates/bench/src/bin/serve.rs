@@ -12,6 +12,8 @@
 //! #                       ^ just the bounded-memory (sliding-window) sweep
 //! cargo run --release -p ft-bench --bin serve -- --smoke --recovery-only
 //! #                       ^ just the fault-recovery (auto re-prefill) sweep
+//! cargo run --release -p ft-bench --bin serve -- --smoke --latency-only
+//! #                       ^ just the priority-scheduling latency sweep
 //! ```
 //!
 //! Reported, per stream count, over a mixed-prompt-length workload:
@@ -33,15 +35,23 @@
 //! flatten versus the unbounded run at ≤ 10% aggregate tokens/sec cost,
 //! and a byte-budget session (`SchedulerConfig::memory_budget`) must
 //! throttle concurrency while still completing every stream.
+//!
+//! The latency sweep (standalone via `--latency-only`) drives the
+//! push-based `Engine` with a bursty mixed-class trace — a wall of long
+//! `Batch` generations, then `Latency`/`Normal` arrivals mid-flight — and
+//! reports p50/p99 time-to-first-token and mean inter-token gap per
+//! priority class, for the priority+preemption run and a FIFO
+//! single-queue baseline. Hard assert: `Latency`-class p99 TTFT beats
+//! `Batch`-class under priority scheduling.
 
 use ft_bench::{banner, has_flag, HarnessArgs, TextTable};
 use ft_core::efta::EftaOptions;
 use ft_sim::{BerInjector, FaultInjector, FaultSite, NoFaults};
 use ft_transformer::{
-    BackendKind, EngineEvent, FinishReason, GenerationRequest, ModelConfig, RecoveryPolicy,
-    SchedulerConfig, TransformerModel,
+    BackendKind, Engine, EngineConfig, EngineEvent, FinishReason, GenerationRequest, ModelConfig,
+    Priority, RecoveryPolicy, SchedulerConfig, TransformerModel,
 };
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Index of the largest logit.
 fn argmax(row: &[f32]) -> u32 {
@@ -130,6 +140,10 @@ fn main() {
         recovery_sweep(&model, &prompts_for, sched_cfg, smoke);
         return;
     }
+    if has_flag("--latency-only") {
+        latency_sweep(&model, &prompts_for, smoke);
+        return;
+    }
 
     let mut table = TextTable::new(&[
         "streams",
@@ -155,7 +169,7 @@ fn main() {
         let mut session = model.serve_with(sched_cfg);
         let ids: Vec<_> = prompts
             .iter()
-            .map(|p| session.submit(p, new_tokens))
+            .map(|p| session.submit_request(GenerationRequest::new(p.clone(), new_tokens)))
             .collect();
         let finished = session.run(&NoFaults);
         let t_sched = t0.elapsed().as_secs_f64();
@@ -206,7 +220,7 @@ fn main() {
     let prompts = prompts_for(n);
     let mut clean_session = model.serve_with(sched_cfg);
     for p in &prompts {
-        clean_session.submit(p, new_tokens);
+        clean_session.submit_request(GenerationRequest::new(p.clone(), new_tokens));
     }
     let clean = clean_session.run(&NoFaults);
     let ber = if smoke { 2e-4 } else { 5e-5 };
@@ -242,12 +256,13 @@ fn main() {
             .sum::<u64>()
     );
 
-    // In smoke (CI) mode the bounded and recovery sweeps run as their own
-    // steps via `--bounded-only` / `--recovery-only`; skipping them here
-    // keeps the CI smokes disjoint.
+    // In smoke (CI) mode the bounded, recovery, and latency sweeps run as
+    // their own steps via `--bounded-only` / `--recovery-only` /
+    // `--latency-only`; skipping them here keeps the CI smokes disjoint.
     if !smoke {
         bounded_memory_sweep(&model, &prompts_for, sched_cfg, smoke);
         recovery_sweep(&model, &prompts_for, sched_cfg, smoke);
+        latency_sweep(&model, &prompts_for, smoke);
     }
 }
 
@@ -390,12 +405,12 @@ fn bounded_memory_sweep(
             ..sched_cfg
         });
         for p in &prompts {
-            session.submit(p, gen_tokens);
+            session.submit_request(GenerationRequest::new(p.clone(), gen_tokens));
         }
         let t0 = Instant::now();
         let mut max_active = 0usize;
         while !session.idle() {
-            session.sweep(&NoFaults);
+            session.sweep_events(&NoFaults);
             max_active = max_active.max(session.active_streams());
         }
         let dt = t0.elapsed().as_secs_f64();
@@ -451,5 +466,211 @@ fn bounded_memory_sweep(
         "byte-budget {budget}: peak {peak_bud}, max concurrent {max_active} \
          of {n} streams, {:.1} tok/s",
         generated as f64 / t_bud
+    );
+}
+
+/// One stream's observed timeline under the engine: priority class label,
+/// submission instant, and the instant of every received token.
+struct StreamTrace {
+    class: Priority,
+    submitted: Instant,
+    token_times: Vec<Instant>,
+}
+
+/// The `p`-th percentile (0–100) of a sample set, in milliseconds.
+fn percentile_ms(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[idx]
+}
+
+/// Drive one bursty mixed-class trace through the engine: `Batch` wall
+/// first, a beat later the `Normal`/`Latency` burst. Every handle gets a
+/// consumer thread stamping token arrival times. Returns per-stream
+/// traces plus the run's aggregate tokens/sec.
+#[allow(clippy::type_complexity)]
+fn run_trace(
+    model: &TransformerModel,
+    trace: &[(Vec<u32>, usize, Priority, bool)],
+    engine_cfg: EngineConfig,
+    honor_classes: bool,
+) -> (Vec<StreamTrace>, f64) {
+    let engine = Engine::spawn(model.clone(), engine_cfg);
+    let t0 = Instant::now();
+    let mut consumers = Vec::new();
+    let mut burst_started = false;
+    for (p, n, class, in_burst) in trace {
+        if *in_burst && !burst_started {
+            // The burst arrives mid-flight, once batch work holds the
+            // slot table.
+            std::thread::sleep(Duration::from_millis(30));
+            burst_started = true;
+        }
+        // The FIFO baseline submits everything as one class (single
+        // queue, no preemption) but keeps the label for reporting.
+        let submit_class = if honor_classes {
+            *class
+        } else {
+            Priority::Normal
+        };
+        let handle =
+            engine.submit(GenerationRequest::new(p.clone(), *n).with_priority(submit_class));
+        let (label, submitted) = (*class, Instant::now());
+        consumers.push(std::thread::spawn(move || {
+            let mut token_times = Vec::new();
+            while let Some(ev) = handle.recv() {
+                if matches!(ev, EngineEvent::TokenEmitted { .. }) {
+                    token_times.push(Instant::now());
+                }
+            }
+            StreamTrace {
+                class: label,
+                submitted,
+                token_times,
+            }
+        }));
+    }
+    let traces: Vec<StreamTrace> = consumers
+        .into_iter()
+        .map(|c| c.join().expect("consumer thread"))
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    let tokens: usize = traces.iter().map(|t| t.token_times.len()).sum();
+    (traces, tokens as f64 / wall)
+}
+
+/// The priority-scheduling latency sweep: p50/p99 time-to-first-token and
+/// mean inter-token gap per class, priority+preemption vs a FIFO
+/// single-queue baseline over the identical bursty trace.
+fn latency_sweep(
+    model: &TransformerModel,
+    prompts_for: &dyn Fn(usize) -> Vec<Vec<u32>>,
+    smoke: bool,
+) {
+    println!("\nlatency serve (push-based engine, priority + preemption vs FIFO):");
+    let (n_batch, n_normal, n_latency, batch_tokens, burst_tokens, max_active) = if smoke {
+        (10usize, 3usize, 3usize, 8usize, 3usize, 4usize)
+    } else {
+        (20, 6, 6, 16, 6, 4)
+    };
+    let n = n_batch + n_normal + n_latency;
+    let prompts = prompts_for(n);
+    // Batch wall up front; Normal/Latency interleaved in the later burst.
+    let mut trace: Vec<(Vec<u32>, usize, Priority, bool)> = Vec::new();
+    for p in prompts.iter().take(n_batch) {
+        trace.push((p.clone(), batch_tokens, Priority::Batch, false));
+    }
+    for (i, p) in prompts.iter().skip(n_batch).enumerate() {
+        let class = if i % 2 == 0 && i / 2 < n_latency {
+            Priority::Latency
+        } else {
+            Priority::Normal
+        };
+        trace.push((p.clone(), burst_tokens, class, true));
+    }
+
+    let scheduler = SchedulerConfig {
+        max_active,
+        prefill_chunk: 16,
+        preempt: true,
+        priority_aging: Some(32),
+        ..Default::default()
+    };
+    let priority_cfg = EngineConfig {
+        scheduler,
+        ..Default::default()
+    };
+    let fifo_cfg = EngineConfig {
+        scheduler: SchedulerConfig {
+            preempt: false,
+            priority_aging: None,
+            ..scheduler
+        },
+        ..Default::default()
+    };
+
+    let (fifo, fifo_tps) = run_trace(model, &trace, fifo_cfg, false);
+    let (prio, prio_tps) = run_trace(model, &trace, priority_cfg, true);
+
+    let classes = [Priority::Latency, Priority::Normal, Priority::Batch];
+    let stats = |traces: &[StreamTrace], class: Priority| -> (f64, f64, f64) {
+        let mut ttft: Vec<f64> = traces
+            .iter()
+            .filter(|t| t.class == class)
+            .map(|t| (t.token_times[0] - t.submitted).as_secs_f64() * 1e3)
+            .collect();
+        let gaps: Vec<f64> = traces
+            .iter()
+            .filter(|t| t.class == class)
+            .flat_map(|t| {
+                t.token_times
+                    .windows(2)
+                    .map(|w| (w[1] - w[0]).as_secs_f64() * 1e3)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mean_gap = if gaps.is_empty() {
+            0.0
+        } else {
+            gaps.iter().sum::<f64>() / gaps.len() as f64
+        };
+        (
+            percentile_ms(&mut ttft, 50.0),
+            percentile_ms(&mut ttft, 99.0),
+            mean_gap,
+        )
+    };
+
+    let mut table = TextTable::new(&[
+        "class",
+        "streams",
+        "fifo p50 ttft",
+        "fifo p99 ttft",
+        "prio p50 ttft",
+        "prio p99 ttft",
+        "prio itl (mean)",
+    ]);
+    for class in classes {
+        let count = trace.iter().filter(|(_, _, c, _)| *c == class).count();
+        let (f50, f99, _) = stats(&fifo, class);
+        let (p50, p99, itl) = stats(&prio, class);
+        table.row(&[
+            format!("{class}"),
+            format!("{count}"),
+            format!("{f50:.1} ms"),
+            format!("{f99:.1} ms"),
+            format!("{p50:.1} ms"),
+            format!("{p99:.1} ms"),
+            format!("{itl:.1} ms"),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Deterministic half of the acceptance: under priority scheduling a
+    // Latency arrival must not queue behind the Batch wall.
+    let (_, lat_p99, _) = stats(&prio, Priority::Latency);
+    let (_, batch_p99, _) = stats(&prio, Priority::Batch);
+    assert!(
+        lat_p99 < batch_p99,
+        "priority scheduling must put Latency p99 TTFT ({lat_p99:.1} ms) \
+         under Batch p99 TTFT ({batch_p99:.1} ms)"
+    );
+    // Timing-dependent halves stay printed PASS/FAIL (machine-dependent).
+    let (_, fifo_lat_p99, _) = stats(&fifo, Priority::Latency);
+    let tps_ratio = prio_tps / fifo_tps;
+    println!(
+        "Latency p99 TTFT {lat_p99:.1} ms vs {fifo_lat_p99:.1} ms FIFO at {n} \
+         mixed streams (acceptance: improves) -> {}",
+        if lat_p99 < fifo_lat_p99 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    println!(
+        "aggregate {prio_tps:.1} tok/s priority vs {fifo_tps:.1} tok/s FIFO, \
+         ratio {tps_ratio:.2} (acceptance: >= 0.90) -> {}",
+        if tps_ratio >= 0.9 { "PASS" } else { "FAIL" }
     );
 }

@@ -37,7 +37,7 @@
 //! the forward pass:
 //!
 //! ```
-//! use ft_core::serve::{DecodeScheduler, SchedulerConfig};
+//! use ft_core::serve::{DecodeScheduler, GenerationRequest, SchedulerConfig};
 //!
 //! let mut sched = DecodeScheduler::new(SchedulerConfig {
 //!     max_active: 8,
@@ -46,8 +46,8 @@
 //! });
 //! // Two streams join: a 6-token prompt wanting 2 new tokens, and a
 //! // 2-token prompt wanting 1.
-//! let a = sched.submit(vec![1, 2, 3, 4, 5, 6], 2);
-//! let b = sched.submit(vec![7, 8], 1);
+//! let a = sched.submit_request(GenerationRequest::new(vec![1, 2, 3, 4, 5, 6], 2));
+//! let b = sched.submit_request(GenerationRequest::new(vec![7, 8], 1));
 //!
 //! // Sweep 1: A feeds its first prefill chunk, B its whole prompt.
 //! let plan = sched.plan();
@@ -370,6 +370,46 @@ pub enum RecoveryPolicy {
     },
 }
 
+/// Scheduling class of a generation stream. Ordered: `Batch < Normal <
+/// Latency`, so `as u64` is the base scheduling score the run queue sorts
+/// by (higher goes first). Priority is the workload-awareness hook the
+/// serving loop attaches to — ALBERTA's observation that protection and
+/// scheduling decisions should know what the workload can afford lands
+/// here first as admission ordering and preemption.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Throughput work: fills whatever capacity latency traffic leaves.
+    Batch,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Latency-sensitive: admitted first, never preempted by aging alone.
+    Latency,
+}
+
+impl core::fmt::Display for Priority {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Priority::Batch => "batch",
+            Priority::Normal => "normal",
+            Priority::Latency => "latency",
+        })
+    }
+}
+
+/// Effective run-queue score of a stream that has waited `waited` plan
+/// ticks: the base class, promoted one class per `aging` ticks of queue
+/// delay (deadline-aware aging — a starved `Batch` stream eventually
+/// competes as `Latency`), and never beyond `Latency`. `aging = None`
+/// disables promotion.
+fn aged_score(priority: Priority, waited: u64, aging: Option<u64>) -> u64 {
+    let base = priority as u64;
+    match aging {
+        None => base,
+        Some(n) => (base + waited / n.max(1)).min(Priority::Latency as u64),
+    }
+}
+
 /// Why a stream retired.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FinishReason {
@@ -386,6 +426,18 @@ pub enum FinishReason {
         /// Re-prefill attempts consumed before aborting.
         attempts: u32,
     },
+}
+
+impl core::fmt::Display for FinishReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FinishReason::MaxTokens => f.write_str("max-tokens"),
+            FinishReason::Recovered => f.write_str("recovered"),
+            FinishReason::AbortedPoisoned { attempts } => {
+                write!(f, "aborted-poisoned(attempts={attempts})")
+            }
+        }
+    }
 }
 
 /// One generation stream, fully specified: the typed replacement for the
@@ -417,6 +469,8 @@ pub struct GenerationRequest {
     pub sampling: SamplingMode,
     /// What to do when this stream's attended cache is poisoned.
     pub recovery: RecoveryPolicy,
+    /// Scheduling class (run-queue ordering, preemption, aging).
+    pub priority: Priority,
 }
 
 impl GenerationRequest {
@@ -429,6 +483,7 @@ impl GenerationRequest {
             window: None,
             sampling: SamplingMode::default(),
             recovery: RecoveryPolicy::default(),
+            priority: Priority::default(),
         }
     }
 
@@ -449,6 +504,12 @@ impl GenerationRequest {
     /// Poisoned-cache recovery policy for this stream.
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Scheduling class for this stream.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -503,6 +564,20 @@ pub enum EngineEvent {
         /// Blocks dropped this sweep (summed over layers).
         blocks: u64,
     },
+    /// The scheduler parked this stream (preemption or backpressure): its
+    /// cache is dropped, its emitted tokens are kept, and it re-enters the
+    /// run queue to be resumed later through chunked re-prefill —
+    /// bit-identical to an uninterrupted run under deterministic sampling.
+    Preempted {
+        /// The parked stream.
+        stream: StreamId,
+    },
+    /// A previously parked stream re-entered the slot table and is
+    /// re-prefilling its history.
+    Resumed {
+        /// The re-admitted stream.
+        stream: StreamId,
+    },
     /// The stream retired.
     Finished {
         /// The retired stream.
@@ -521,7 +596,36 @@ impl EngineEvent {
             | EngineEvent::CachePoisoned { stream, .. }
             | EngineEvent::Recovering { stream, .. }
             | EngineEvent::EvictedBlocks { stream, .. }
+            | EngineEvent::Preempted { stream }
+            | EngineEvent::Resumed { stream }
             | EngineEvent::Finished { stream, .. } => stream,
+        }
+    }
+}
+
+impl core::fmt::Display for EngineEvent {
+    /// One-line event-log form: `stream3 token=42`, `stream3 finished:
+    /// recovered`, … (benches and examples print these verbatim).
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            EngineEvent::TokenEmitted { stream, token } => write!(f, "{stream} token={token}"),
+            EngineEvent::FaultCorrected {
+                stream,
+                detected,
+                repaired,
+            } => write!(f, "{stream} corrected {repaired}/{detected}"),
+            EngineEvent::CachePoisoned { stream, events } => {
+                write!(f, "{stream} poisoned(events={events})")
+            }
+            EngineEvent::Recovering { stream, attempt } => {
+                write!(f, "{stream} recovering(attempt={attempt})")
+            }
+            EngineEvent::EvictedBlocks { stream, blocks } => {
+                write!(f, "{stream} evicted {blocks} blocks")
+            }
+            EngineEvent::Preempted { stream } => write!(f, "{stream} preempted"),
+            EngineEvent::Resumed { stream } => write!(f, "{stream} resumed"),
+            EngineEvent::Finished { stream, reason } => write!(f, "{stream} finished: {reason}"),
         }
     }
 }
@@ -557,6 +661,18 @@ pub struct SchedulerConfig {
     /// [`set_bytes_per_token`](DecodeScheduler::set_bytes_per_token)
     /// (planning asserts it); `None` admits by slot count alone.
     pub memory_budget: Option<u64>,
+    /// Allow [`plan`](DecodeScheduler::plan) to *park* the lowest-priority
+    /// active stream (at most one per plan) when a strictly higher-class
+    /// stream is blocked at the head of the run queue by a full slot table
+    /// or the byte budget. Parking drops the stream's cache and requeues
+    /// it; resumption replays its history through the bit-identical chunked
+    /// re-prefill path. Off by default: pre-existing drivers see FIFO.
+    pub preempt: bool,
+    /// Deadline-aware aging: a queued stream is promoted one priority class
+    /// per this many plan ticks of waiting (capped at
+    /// [`Priority::Latency`]), so `Batch` work cannot starve behind a
+    /// steady `Latency` arrival stream. `None` disables aging.
+    pub priority_aging: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -565,6 +681,8 @@ impl Default for SchedulerConfig {
             max_active: 16,
             prefill_chunk: 16,
             memory_budget: None,
+            preempt: false,
+            priority_aging: None,
         }
     }
 }
@@ -604,12 +722,26 @@ pub struct StreamState {
     /// Fault events attributed to this stream across every sweep it took
     /// part in (attention-kernel events, including cache residency).
     pub report: FtReport,
+    /// Scheduling class, as resolved at submission.
+    pub priority: Priority,
+    /// Times this stream was parked (preemption or backpressure) and had
+    /// to re-enter the run queue.
+    pub preemptions: u32,
     /// Leading tokens of [`tokens`](StreamState::tokens) treated as prefill
     /// for the current cache: the prompt length on a fresh submission, the
     /// whole emitted history after a recovery requeue.
     prefill_len: usize,
     /// A sweep for this stream has been planned but not yet recorded.
     inflight: bool,
+    /// Plan tick at which the stream (re-)entered the run queue — the
+    /// aging clock.
+    queued_at: u64,
+    /// The stream sits in the run queue because it was parked mid-decode
+    /// (its cache is gone); re-admission surfaces a resume transition.
+    parked: bool,
+    /// Backpressure hold: the stream keeps its slot and cache but is not
+    /// fed (its consumer cannot absorb more events right now).
+    held: bool,
 }
 
 impl StreamState {
@@ -696,6 +828,20 @@ pub struct DecodeScheduler {
     /// keeps up to one extra block resident, so the driver passes the
     /// cache block size here.
     window_slack: usize,
+    /// Plan counter — the aging clock ticks once per [`plan`] call.
+    ///
+    /// [`plan`]: DecodeScheduler::plan
+    tick: u64,
+    /// Streams parked since the last [`drain_parked`]
+    /// (driver must drop their caches).
+    ///
+    /// [`drain_parked`]: DecodeScheduler::drain_parked
+    parked_log: Vec<StreamId>,
+    /// Previously parked streams re-admitted since the last
+    /// [`drain_resumed`].
+    ///
+    /// [`drain_resumed`]: DecodeScheduler::drain_resumed
+    resumed_log: Vec<StreamId>,
 }
 
 impl DecodeScheduler {
@@ -714,13 +860,30 @@ impl DecodeScheduler {
     ///
     /// [`plan`]: DecodeScheduler::plan
     pub fn submit_request(&mut self, req: GenerationRequest) -> StreamId {
+        let id = StreamId(self.next_id);
+        self.submit_request_with_id(req, id)
+    }
+
+    /// [`submit_request`](DecodeScheduler::submit_request) with a
+    /// caller-chosen [`StreamId`] — the serving loop allocates ids on the
+    /// submitting thread (so a handle knows its id before the worker sees
+    /// the request) and must be able to replay them here in whatever order
+    /// the submission channel delivers. Panics if `id` is already known to
+    /// the scheduler.
+    pub fn submit_request_with_id(&mut self, req: GenerationRequest, id: StreamId) -> StreamId {
         assert!(!req.prompt.is_empty(), "a stream needs at least one token");
         assert!(
             req.window != Some(0),
             "a zero-row window cannot serve decode"
         );
-        let id = StreamId(self.next_id);
-        self.next_id += 1;
+        let known = self
+            .active
+            .iter()
+            .chain(self.pending.iter())
+            .chain(self.finished.iter())
+            .any(|s| s.id == id);
+        assert!(!known, "{id} is already submitted");
+        self.next_id = self.next_id.max(id.0 + 1);
         let prefill_len = req.prompt.len();
         let max_total = prefill_len + req.max_new_tokens;
         self.pending.push_back(StreamState {
@@ -735,8 +898,13 @@ impl DecodeScheduler {
             recoveries: 0,
             finish: None,
             report: FtReport::default(),
+            priority: req.priority,
+            preemptions: 0,
             prefill_len,
             inflight: false,
+            queued_at: self.tick,
+            parked: false,
+            held: false,
         });
         id
     }
@@ -744,6 +912,10 @@ impl DecodeScheduler {
     /// Positional-shim submission: `prompt` followed by up to
     /// `max_new_tokens` greedy continuations with default request knobs.
     /// Delegates to [`submit_request`](DecodeScheduler::submit_request).
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a typed GenerationRequest and use submit_request instead"
+    )]
     pub fn submit(&mut self, prompt: Vec<u32>, max_new_tokens: usize) -> StreamId {
         self.submit_request(GenerationRequest::new(prompt, max_new_tokens))
     }
@@ -786,16 +958,23 @@ impl DecodeScheduler {
         self.window_slack = rows;
     }
 
-    /// Plan the next sweep: admit pending streams into free slots (gated
-    /// by [`SchedulerConfig::memory_budget`] when set), retire streams
-    /// whose budget is already met, and hand every active stream its next
-    /// chunk (marking it in-flight until [`record`]ed).
+    /// Plan the next sweep: sort the run queue by effective priority
+    /// (class plus deadline-aware aging, FIFO within a class), optionally
+    /// park one active stream to make room for a blocked higher-class
+    /// arrival ([`SchedulerConfig::preempt`]), admit pending streams into
+    /// free slots (gated by [`SchedulerConfig::memory_budget`] when set),
+    /// retire streams whose budget is already met, and hand every active
+    /// non-[`hold`] stream its next chunk (marking it in-flight until
+    /// [`record`]ed).
     ///
-    /// An empty plan means the scheduler is [`idle`](DecodeScheduler::idle)
-    /// or every active stream is awaiting its record.
+    /// An empty plan means the scheduler is [`idle`](DecodeScheduler::idle),
+    /// every active stream is awaiting its record, or every active stream
+    /// is held.
     ///
     /// [`record`]: DecodeScheduler::record
+    /// [`hold`]: DecodeScheduler::hold
     pub fn plan(&mut self) -> Vec<PlanItem> {
+        self.tick += 1;
         // Project the footprint each stream is *committed* to, not just
         // what is materialized: noted bytes cover rows already in cache,
         // and every stream — active or candidate — will keep appending up
@@ -820,7 +999,55 @@ impl DecodeScheduler {
             let materialized = s.materialized().min(cap);
             target.saturating_sub(materialized) as u64 * bpt
         };
+        // Run-queue order: effective (aged) priority first, submission
+        // order within a class. Stable sort keeps FIFO ties honest.
+        let aging = self.cfg.priority_aging;
+        let tick = self.tick;
+        let score =
+            |s: &StreamState| aged_score(s.priority, tick.saturating_sub(s.queued_at), aging);
+        self.pending
+            .make_contiguous()
+            .sort_by(|a, b| score(b).cmp(&score(a)).then(a.id.cmp(&b.id)));
         let mut projected = self.noted_bytes + self.active.iter().map(remainder).sum::<u64>();
+        // Preemption: when the head of the run queue outranks an active
+        // stream and cannot be admitted (slot table full, or the byte
+        // budget is exhausted), park the weakest active stream — lowest
+        // class, least progress to throw away, newest submission — so the
+        // higher class gets its slot *this* plan. At most one park per
+        // plan keeps the table from thrashing under a burst, and a stream
+        // still mid-(re-)prefill is never a victim: parking it would
+        // discard every fed row before it sampled anything, so a
+        // perpetually-outranked stream could be re-admitted and re-parked
+        // forever without emitting a token. Requiring the prefill to
+        // complete first pins a minimum of one sampled token per
+        // admission cycle, which makes priority livelock impossible.
+        if self.cfg.preempt {
+            if let Some(front) = self.pending.front() {
+                let front_score = score(front);
+                let slots_full = self.active.len() >= self.cfg.max_active;
+                let budget_blocked = match self.cfg.memory_budget {
+                    None => false,
+                    Some(b) => !self.active.is_empty() && projected + remainder(front) > b,
+                };
+                if slots_full || budget_blocked {
+                    let victim = self
+                        .active
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| !s.inflight && !s.done() && !s.prefilling())
+                        .min_by_key(|(_, s)| {
+                            (s.priority, s.materialized(), core::cmp::Reverse(s.id))
+                        })
+                        .map(|(i, _)| i);
+                    if let Some(i) = victim {
+                        if (self.active[i].priority as u64) < front_score {
+                            projected = projected.saturating_sub(remainder(&self.active[i]));
+                            self.park_index(i);
+                        }
+                    }
+                }
+            }
+        }
         while self.active.len() < self.cfg.max_active {
             let Some(next) = self.pending.front() else {
                 break;
@@ -836,7 +1063,11 @@ impl DecodeScheduler {
                 break;
             }
             projected += cost;
-            let s = self.pending.pop_front().expect("front checked above");
+            let mut s = self.pending.pop_front().expect("front checked above");
+            if s.parked {
+                s.parked = false;
+                self.resumed_log.push(s.id);
+            }
             self.active.push(s);
         }
         // Retire zero-budget streams (max_new_tokens == 0) without feeding.
@@ -853,7 +1084,7 @@ impl DecodeScheduler {
         let chunk = self.cfg.prefill_chunk;
         let mut items = Vec::new();
         for s in &mut self.active {
-            if s.inflight {
+            if s.inflight || s.held {
                 continue;
             }
             let (feed, sample) = if s.prefilling() {
@@ -924,6 +1155,79 @@ impl DecodeScheduler {
         s.prefill_len = s.total();
         s.recoveries += 1;
         s.recoveries
+    }
+
+    /// Park an active stream: give up its slot, drop the materialized-cache
+    /// claim (the driver must drop the cache itself — see
+    /// [`drain_parked`](DecodeScheduler::drain_parked)), and requeue it
+    /// with its emitted history as the new prefill source, exactly like a
+    /// recovery [`requeue`](DecodeScheduler::requeue) but without touching
+    /// the recovery accounting. Resumption replays the history through
+    /// chunked re-prefill, which is bit-identical to the uninterrupted run
+    /// under deterministic sampling.
+    ///
+    /// Returns `false` (a no-op) when the stream is not active, is awaiting
+    /// its [`record`](DecodeScheduler::record), or is already done — the
+    /// serving loop's park decisions race benignly with retirement.
+    pub fn park(&mut self, stream: StreamId) -> bool {
+        let Some(i) = self.active.iter().position(|s| s.id == stream) else {
+            return false;
+        };
+        if self.active[i].inflight || self.active[i].done() {
+            return false;
+        }
+        self.park_index(i);
+        true
+    }
+
+    fn park_index(&mut self, i: usize) {
+        let mut s = self.active.remove(i);
+        s.fed = 0;
+        s.prefill_len = s.total();
+        s.preemptions += 1;
+        s.parked = true;
+        s.held = false;
+        s.queued_at = self.tick;
+        self.parked_log.push(s.id);
+        self.pending.push_back(s);
+    }
+
+    /// Backpressure hold: keep the stream's slot and cache but stop
+    /// feeding it (its consumer cannot absorb more events). Returns `false`
+    /// when the stream is not active or already held.
+    pub fn hold(&mut self, stream: StreamId) -> bool {
+        match self.active.iter_mut().find(|s| s.id == stream) {
+            Some(s) if !s.held => {
+                s.held = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Lift a backpressure [`hold`](DecodeScheduler::hold). Returns `false`
+    /// when the stream is not active or was not held.
+    pub fn release(&mut self, stream: StreamId) -> bool {
+        match self.active.iter_mut().find(|s| s.id == stream) {
+            Some(s) if s.held => {
+                s.held = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Streams parked (preempted) since the last drain. The driver must
+    /// drop each stream's cache — the scheduler has already reset its
+    /// prefill bookkeeping to replay the full history.
+    pub fn drain_parked(&mut self) -> Vec<StreamId> {
+        std::mem::take(&mut self.parked_log)
+    }
+
+    /// Previously parked streams re-admitted since the last drain (their
+    /// re-prefill starts with the next planned chunk).
+    pub fn drain_resumed(&mut self) -> Vec<StreamId> {
+        std::mem::take(&mut self.resumed_log)
     }
 
     /// Abort an active stream (recovery budget exhausted): merge the final
@@ -1068,9 +1372,10 @@ mod tests {
             prefill_chunk: 3,
             ..Default::default()
         });
-        let a = sched.submit(vec![1, 2, 3, 4], 2);
-        let b = sched.submit(vec![5], 1);
-        let c = sched.submit(vec![6, 7], 1); // queued: only 2 slots
+        let a = sched.submit_request(GenerationRequest::new(vec![1, 2, 3, 4], 2));
+        let b = sched.submit_request(GenerationRequest::new(vec![5], 1));
+        // Queued: only 2 slots.
+        let c = sched.submit_request(GenerationRequest::new(vec![6, 7], 1));
 
         let plan = sched.plan();
         assert_eq!(plan.len(), 2);
@@ -1183,7 +1488,7 @@ mod tests {
     #[test]
     fn budget_met_without_recovery_finishes_max_tokens() {
         let mut sched = DecodeScheduler::new(SchedulerConfig::default());
-        let a = sched.submit(vec![5, 6], 1);
+        let a = sched.submit_request(GenerationRequest::new(vec![5, 6], 1));
         let plan = sched.plan();
         assert_eq!(plan[0].window, None);
         sched.record(a, Some(7), &FtReport::default());
@@ -1201,6 +1506,7 @@ mod tests {
             max_active: 4,
             prefill_chunk: 4,
             memory_budget: Some(100),
+            ..Default::default()
         });
         sched.set_bytes_per_token(10);
         sched.set_window_slack(1);
@@ -1224,11 +1530,12 @@ mod tests {
             max_active: 8,
             prefill_chunk: 4,
             memory_budget: Some(130),
+            ..Default::default()
         });
         sched.set_bytes_per_token(10);
-        let a = sched.submit(vec![1, 2, 3, 4], 2);
-        let b = sched.submit(vec![5, 6, 7, 8], 2);
-        let c = sched.submit(vec![9, 10, 11, 12], 2);
+        let a = sched.submit_request(GenerationRequest::new(vec![1, 2, 3, 4], 2));
+        let b = sched.submit_request(GenerationRequest::new(vec![5, 6, 7, 8], 2));
+        let c = sched.submit_request(GenerationRequest::new(vec![9, 10, 11, 12], 2));
         let plan = sched.plan();
         assert_eq!(plan.len(), 2, "slots are free but the budget is not");
         assert_eq!(plan[0].stream, a);
@@ -1261,11 +1568,13 @@ mod tests {
             max_active: 4,
             prefill_chunk: 4,
             memory_budget: Some(100),
+            ..Default::default()
         });
         sched.set_bytes_per_token(10);
         sched.set_projection_cap(3); // window: ≤ 3 resident tokens/stream
         for _ in 0..3 {
-            sched.submit(vec![0; 40], 1); // 40-token prompt, capped cost 30
+            // A 40-token prompt, capped cost 30.
+            sched.submit_request(GenerationRequest::new(vec![0; 40], 1));
         }
         let plan = sched.plan();
         assert_eq!(
@@ -1283,10 +1592,11 @@ mod tests {
             max_active: 4,
             prefill_chunk: 8,
             memory_budget: Some(1),
+            ..Default::default()
         });
         sched.set_bytes_per_token(1000);
-        sched.submit(vec![1, 2], 0);
-        sched.submit(vec![3, 4], 0);
+        sched.submit_request(GenerationRequest::new(vec![1, 2], 0));
+        sched.submit_request(GenerationRequest::new(vec![3, 4], 0));
         // Zero-budget streams retire at plan time; both must drain even
         // though neither "fits".
         while !sched.idle() {
@@ -1301,7 +1611,7 @@ mod tests {
     #[test]
     fn zero_budget_stream_retires_without_feeding() {
         let mut sched = DecodeScheduler::new(SchedulerConfig::default());
-        let id = sched.submit(vec![1, 2], 0);
+        let id = sched.submit_request(GenerationRequest::new(vec![1, 2], 0));
         assert!(sched.plan().is_empty());
         assert!(sched.idle());
         let done = sched.take_finished();
@@ -1340,5 +1650,266 @@ mod tests {
         assert_eq!(outs[1].stream, StreamId(7));
         assert!(outs[1].report.cache_detected > 0, "{:?}", outs[1].report);
         assert!(outs[1].report.cache_corrected > 0);
+    }
+
+    #[test]
+    fn display_impls_render_one_line_event_logs() {
+        assert_eq!(Priority::Latency.to_string(), "latency");
+        assert_eq!(Priority::Normal.to_string(), "normal");
+        assert_eq!(Priority::Batch.to_string(), "batch");
+        assert_eq!(FinishReason::MaxTokens.to_string(), "max-tokens");
+        assert_eq!(FinishReason::Recovered.to_string(), "recovered");
+        assert_eq!(
+            FinishReason::AbortedPoisoned { attempts: 2 }.to_string(),
+            "aborted-poisoned(attempts=2)"
+        );
+        let s = StreamId(3);
+        assert_eq!(
+            EngineEvent::TokenEmitted {
+                stream: s,
+                token: 42
+            }
+            .to_string(),
+            "stream3 token=42"
+        );
+        assert_eq!(
+            EngineEvent::FaultCorrected {
+                stream: s,
+                detected: 4,
+                repaired: 3
+            }
+            .to_string(),
+            "stream3 corrected 3/4"
+        );
+        assert_eq!(
+            EngineEvent::CachePoisoned {
+                stream: s,
+                events: 1
+            }
+            .to_string(),
+            "stream3 poisoned(events=1)"
+        );
+        assert_eq!(
+            EngineEvent::Recovering {
+                stream: s,
+                attempt: 1
+            }
+            .to_string(),
+            "stream3 recovering(attempt=1)"
+        );
+        assert_eq!(
+            EngineEvent::EvictedBlocks {
+                stream: s,
+                blocks: 2
+            }
+            .to_string(),
+            "stream3 evicted 2 blocks"
+        );
+        assert_eq!(
+            EngineEvent::Preempted { stream: s }.to_string(),
+            "stream3 preempted"
+        );
+        assert_eq!(
+            EngineEvent::Resumed { stream: s }.to_string(),
+            "stream3 resumed"
+        );
+        assert_eq!(
+            EngineEvent::Finished {
+                stream: s,
+                reason: FinishReason::Recovered
+            }
+            .to_string(),
+            "stream3 finished: recovered"
+        );
+    }
+
+    #[test]
+    fn priority_orders_batch_below_normal_below_latency() {
+        assert!(Priority::Batch < Priority::Normal);
+        assert!(Priority::Normal < Priority::Latency);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn run_queue_admits_by_priority_class_not_arrival_order() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 1,
+            prefill_chunk: 8,
+            ..Default::default()
+        });
+        let batch =
+            sched.submit_request(GenerationRequest::new(vec![1], 1).with_priority(Priority::Batch));
+        let lat = sched
+            .submit_request(GenerationRequest::new(vec![2], 1).with_priority(Priority::Latency));
+        let norm = sched.submit_request(GenerationRequest::new(vec![3], 1));
+        // Latency jumps the earlier Batch and Normal submissions.
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].stream, lat);
+        sched.record(lat, Some(9), &FtReport::default());
+        let plan = sched.plan();
+        assert_eq!(plan[0].stream, norm);
+        sched.record(norm, Some(9), &FtReport::default());
+        let plan = sched.plan();
+        assert_eq!(plan[0].stream, batch);
+    }
+
+    #[test]
+    fn aging_promotes_a_starved_batch_stream() {
+        // One slot, aging after 2 ticks: the Batch stream out-waits a
+        // steady supply of fresh Normal arrivals instead of starving.
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 1,
+            prefill_chunk: 8,
+            priority_aging: Some(2),
+            ..Default::default()
+        });
+        let batch =
+            sched.submit_request(GenerationRequest::new(vec![1], 4).with_priority(Priority::Batch));
+        for fresh_normals in 0..6 {
+            let n = sched.submit_request(GenerationRequest::new(vec![2], 1));
+            let plan = sched.plan();
+            assert_eq!(plan.len(), 1);
+            if plan[0].stream == batch {
+                // Aged past Normal: promotion beat the fresh arrival.
+                assert!(fresh_normals >= 1, "promoted after waiting, not instantly");
+                return;
+            }
+            sched.record(n, Some(9), &FtReport::default());
+        }
+        panic!("the Batch stream starved behind fresh Normal arrivals");
+    }
+
+    #[test]
+    fn preemption_parks_the_weakest_active_stream_for_a_latency_arrival() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 1,
+            prefill_chunk: 8,
+            preempt: true,
+            ..Default::default()
+        });
+        let batch = sched
+            .submit_request(GenerationRequest::new(vec![1, 2], 4).with_priority(Priority::Batch));
+        // Prefill + two decoded tokens.
+        let plan = sched.plan();
+        assert_eq!(plan[0].feed, vec![1, 2]);
+        sched.record(batch, Some(10), &FtReport::default());
+        sched.plan();
+        sched.record(batch, Some(11), &FtReport::default());
+        // A Latency arrival finds the slot table full: the Batch stream is
+        // parked (cache claim dropped, history kept) in the same plan.
+        let lat = sched
+            .submit_request(GenerationRequest::new(vec![7], 1).with_priority(Priority::Latency));
+        let plan = sched.plan();
+        assert_eq!(sched.drain_parked(), vec![batch]);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].stream, lat);
+        sched.record(lat, Some(20), &FtReport::default());
+        assert_eq!(sched.take_finished().len(), 1);
+        // The parked stream resumes: its whole emitted history replays as
+        // prefill, then decode continues where it left off.
+        let plan = sched.plan();
+        assert_eq!(sched.drain_resumed(), vec![batch]);
+        assert_eq!(plan[0].stream, batch);
+        assert_eq!(plan[0].feed, vec![1, 2, 10, 11]);
+        assert!(
+            plan[0].sample,
+            "re-prefill tail re-samples the next position"
+        );
+        sched.record(batch, Some(12), &FtReport::default());
+        sched.plan();
+        sched.record(batch, Some(13), &FtReport::default());
+        assert!(sched.idle());
+        let done = sched.take_finished();
+        assert_eq!(done[0].tokens(), vec![1, 2, 10, 11, 12, 13]);
+        assert_eq!(done[0].preemptions, 1);
+        assert_eq!(
+            done[0].finish,
+            Some(FinishReason::MaxTokens),
+            "preemption is not a fault: no Recovered reason"
+        );
+    }
+
+    #[test]
+    fn preemption_never_fires_without_a_strictly_higher_class() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 1,
+            prefill_chunk: 8,
+            preempt: true,
+            ..Default::default()
+        });
+        let first = sched.submit_request(GenerationRequest::new(vec![1], 4));
+        sched.plan();
+        sched.record(first, Some(10), &FtReport::default());
+        sched.submit_request(GenerationRequest::new(vec![2], 1));
+        let plan = sched.plan();
+        assert!(
+            sched.drain_parked().is_empty(),
+            "equal class never preempts"
+        );
+        assert_eq!(plan[0].stream, first);
+    }
+
+    #[test]
+    fn hold_keeps_the_slot_but_stops_feeding_until_release() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            max_active: 2,
+            prefill_chunk: 8,
+            ..Default::default()
+        });
+        let a = sched.submit_request(GenerationRequest::new(vec![1], 3));
+        let b = sched.submit_request(GenerationRequest::new(vec![2], 3));
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 2);
+        sched.record(a, Some(10), &FtReport::default());
+        sched.record(b, Some(20), &FtReport::default());
+        assert!(sched.hold(a));
+        assert!(!sched.hold(a), "double hold is a no-op");
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 1, "held stream keeps its slot but is not fed");
+        assert_eq!(plan[0].stream, b);
+        sched.record(b, Some(21), &FtReport::default());
+        assert!(sched.release(a));
+        assert!(!sched.release(a), "double release is a no-op");
+        let plan = sched.plan();
+        assert_eq!(plan.len(), 2, "released stream is fed again");
+        assert!(plan.iter().any(|p| p.stream == a));
+    }
+
+    #[test]
+    fn park_refuses_inflight_and_unknown_streams() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig::default());
+        let a = sched.submit_request(GenerationRequest::new(vec![1], 2));
+        assert!(!sched.park(a), "pending, not active");
+        sched.plan();
+        assert!(!sched.park(a), "in-flight streams cannot be parked");
+        sched.record(a, Some(10), &FtReport::default());
+        assert!(sched.park(a));
+        assert_eq!(sched.drain_parked(), vec![a]);
+        assert!(!sched.park(StreamId(99)), "unknown stream");
+    }
+
+    #[test]
+    fn caller_chosen_ids_replay_out_of_order() {
+        // The serving loop allocates ids on the submitting thread; the
+        // worker may see them in any order. Later auto-allocated ids must
+        // not collide.
+        let mut sched = DecodeScheduler::new(SchedulerConfig::default());
+        sched.submit_request_with_id(GenerationRequest::new(vec![1], 1), StreamId(5));
+        sched.submit_request_with_id(GenerationRequest::new(vec![2], 1), StreamId(3));
+        let auto = sched.submit_request(GenerationRequest::new(vec![3], 1));
+        assert_eq!(
+            auto,
+            StreamId(6),
+            "auto ids skip past the highest replayed id"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already submitted")]
+    fn duplicate_stream_ids_are_rejected() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig::default());
+        sched.submit_request_with_id(GenerationRequest::new(vec![1], 1), StreamId(4));
+        sched.submit_request_with_id(GenerationRequest::new(vec![2], 1), StreamId(4));
     }
 }

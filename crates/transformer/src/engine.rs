@@ -1,0 +1,484 @@
+//! Push-based serving loop: a [`ServeSession`] on a dedicated worker
+//! thread, driven by submissions instead of polled sweeps.
+//!
+//! The pull-mode [`ServeSession`] makes the *caller* the event loop: it
+//! must call `sweep_events` in a loop and dispatch the events itself, and
+//! every stream it submitted advances in lock step with that loop. This
+//! module inverts the control flow — [`Engine::spawn`] moves an owned
+//! session onto a worker thread, [`Engine::submit`] hands back a
+//! [`StreamHandle`] whose [`EngineEvent`]s arrive over a bounded per-stream
+//! channel, and the worker sweeps continuously on its own:
+//!
+//! ```text
+//!  caller threads                     worker thread
+//!  ──────────────                     ─────────────────────────────────
+//!  Engine::submit ──┐                 loop {
+//!    (alloc id,     │  mpsc::channel    drain submissions → scheduler
+//!     make handle)  ├─────────────────▶ flush per-stream outboxes
+//!                   │                   park consumers stuck too long
+//!  StreamHandle ◀───┘                   sweep_events(injector)
+//!    .recv()  ◀── bounded sync_channel  route events → outboxes
+//!    .wait()                          }
+//! ```
+//!
+//! Three policies make it a *server* rather than a threaded loop:
+//!
+//! * **Priority classes.** Every request carries a [`Priority`]
+//!   (`Latency` / `Normal` / `Batch`); the scheduler's run queue admits
+//!   by class with deadline-aware aging
+//!   ([`SchedulerConfig::priority_aging`]), so batch work cannot starve
+//!   and latency work does not queue behind it.
+//! * **Preemption.** With [`SchedulerConfig::preempt`] on (the engine
+//!   default), a blocked higher-class arrival parks the weakest active
+//!   stream: its cache is dropped, its emitted tokens are kept, and it
+//!   resumes later through the same chunked re-prefill path recovery
+//!   uses — so a preempted stream's output is bit-identical to an
+//!   uninterrupted run ([`EngineEvent::Preempted`] / `Resumed` mark the
+//!   transitions).
+//! * **Backpressure.** Per-stream channels are bounded
+//!   ([`EngineConfig::channel_capacity`]). A full channel never blocks
+//!   the sweep: the stream's events buffer in a worker-side outbox, the
+//!   stream itself is first *held* (keeps slot + cache, stops being fed)
+//!   and, after [`EngineConfig::park_after_held_sweeps`] sweeps with a
+//!   still-stuck consumer while others wait for a slot, *parked* — the
+//!   slot and cache bytes go to streams whose consumers are keeping up.
+//!
+//! No async runtime: plain `std::thread` + `std::sync::mpsc`, per the
+//! repo's no-new-dependencies policy.
+
+use crate::model::{ServeSession, TransformerModel};
+use ft_core::serve::{
+    EngineEvent, FinishReason, GenerationRequest, Priority, SchedulerConfig, StreamId,
+};
+use ft_sim::{FaultInjector, NoFaults};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// Sizing and policy knobs of an [`Engine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Scheduler sizing handed to the worker's [`ServeSession`]. The
+    /// engine default turns preemption on and ages queued streams one
+    /// class per 64 plan ticks (a plain [`SchedulerConfig::default`]
+    /// leaves both off for pull-mode compatibility).
+    pub scheduler: SchedulerConfig,
+    /// Bound of each stream's event channel. A full channel parks events
+    /// in a worker-side outbox (and eventually the stream itself) instead
+    /// of blocking the sweep.
+    pub channel_capacity: usize,
+    /// Sweeps a stream may sit *held* (slot kept, not fed) with a stuck
+    /// consumer before the worker parks it — but only while other streams
+    /// are waiting for a slot. `0` parks at the first blocked sweep.
+    pub park_after_held_sweeps: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            scheduler: SchedulerConfig {
+                preempt: true,
+                priority_aging: Some(64),
+                ..SchedulerConfig::default()
+            },
+            channel_capacity: 64,
+            park_after_held_sweeps: 4,
+        }
+    }
+}
+
+/// A request plus the submitting side's pre-allocated id and event sender,
+/// as shipped over the submission channel.
+enum Command {
+    Submit {
+        id: StreamId,
+        req: GenerationRequest,
+        events: SyncSender<EngineEvent>,
+    },
+}
+
+/// Handle to a serving loop running on its own worker thread.
+///
+/// Submissions are non-blocking from any number of caller threads (the
+/// handle allocates the [`StreamId`] locally, so it is known before the
+/// worker sees the request). Dropping the engine hangs up the submission
+/// channel; the worker finishes the streams it already has — delivering
+/// into whatever [`StreamHandle`]s are still alive — and exits, so handles
+/// outlive the engine. Dropping a `StreamHandle` early discards that
+/// stream's remaining events (the stream itself still runs to completion).
+///
+/// ```no_run
+/// use ft_transformer::{
+///     BackendKind, Engine, EngineConfig, GenerationRequest, ModelConfig, Priority,
+///     TransformerModel,
+/// };
+///
+/// let cfg = ModelConfig {
+///     name: "doc",
+///     layers: 1,
+///     heads: 2,
+///     hidden: 16,
+///     ffn_dim: 32,
+///     vocab: 31,
+///     max_seq: 32,
+/// };
+/// let model = TransformerModel::random(7, cfg, BackendKind::Flash).with_causal(true);
+/// let engine = Engine::spawn(model, EngineConfig::default());
+/// let handle = engine
+///     .submit(GenerationRequest::new(vec![1, 2, 3], 8).with_priority(Priority::Latency));
+/// for event in handle.iter() {
+///     println!("{event}"); // stream0 token=…, stream0 finished: max-tokens
+/// }
+/// ```
+pub struct Engine {
+    tx: Option<Sender<Command>>,
+    next_id: AtomicU64,
+    capacity: usize,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawn the serving loop over an owned model with no fault injection.
+    pub fn spawn(model: TransformerModel, cfg: EngineConfig) -> Engine {
+        Engine::spawn_with(model, cfg, Arc::new(NoFaults))
+    }
+
+    /// Spawn the serving loop with a shared fault injector: every sweep
+    /// exposes cache-resident state and kernel operations to `inj`, and
+    /// per-request [`RecoveryPolicy`](ft_core::serve::RecoveryPolicy)
+    /// handling (including re-prefill after park/resume) runs unchanged on
+    /// the worker.
+    pub fn spawn_with(
+        model: TransformerModel,
+        cfg: EngineConfig,
+        inj: Arc<dyn FaultInjector + Send + Sync>,
+    ) -> Engine {
+        assert!(cfg.channel_capacity > 0, "a stream needs event capacity");
+        let (tx, rx) = mpsc::channel();
+        let capacity = cfg.channel_capacity;
+        let worker = thread::Builder::new()
+            .name("ft-serve-worker".into())
+            .spawn(move || worker_loop(model, cfg, inj, rx))
+            .expect("spawn serving worker thread");
+        Engine {
+            tx: Some(tx),
+            next_id: AtomicU64::new(0),
+            capacity,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submit a request and get the stream's event handle. The request's
+    /// own [`GenerationRequest::priority`] is honored; `max_new_tokens`
+    /// clamping and model-default window resolution happen on the worker,
+    /// exactly as in [`ServeSession::submit_request`].
+    pub fn submit(&self, req: GenerationRequest) -> StreamHandle {
+        let id = StreamId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let priority = req.priority;
+        let (events, rx) = mpsc::sync_channel(self.capacity);
+        self.tx
+            .as_ref()
+            .expect("submission channel open while the engine is alive")
+            .send(Command::Submit { id, req, events })
+            .expect("serving worker alive while the engine is alive");
+        StreamHandle {
+            id,
+            priority,
+            events: rx,
+        }
+    }
+
+    /// [`submit`](Engine::submit) with an explicit priority class
+    /// (overrides whatever the request carried).
+    pub fn submit_with_priority(&self, req: GenerationRequest, priority: Priority) -> StreamHandle {
+        self.submit(req.with_priority(priority))
+    }
+
+    /// Hang up the submission channel and wait for the worker to finish
+    /// every stream it already has. Only call after draining (or dropping)
+    /// all handles — a blocked consumer would leave the worker, and hence
+    /// this join, waiting on it.
+    pub fn shutdown(mut self) {
+        self.tx = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    /// Hang up the submission channel and detach: the worker finishes its
+    /// remaining streams in the background (handles stay valid) and exits.
+    fn drop(&mut self) {
+        self.tx = None;
+        drop(self.worker.take());
+    }
+}
+
+/// The receiving side of one stream: yields the stream's [`EngineEvent`]s
+/// in order, ending after [`EngineEvent::Finished`].
+pub struct StreamHandle {
+    id: StreamId,
+    priority: Priority,
+    events: Receiver<EngineEvent>,
+}
+
+impl StreamHandle {
+    /// The stream's identity (allocated at submission, before the worker
+    /// ran anything).
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// The class the stream was submitted under.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Block for the next event; `None` once the stream has finished and
+    /// every event has been delivered.
+    pub fn recv(&self) -> Option<EngineEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Non-blocking receive: `None` when no event is ready right now *or*
+    /// the stream is complete (disambiguate with a final
+    /// [`EngineEvent::Finished`], which always precedes the hang-up).
+    pub fn try_recv(&self) -> Option<EngineEvent> {
+        self.events.try_recv().ok()
+    }
+
+    /// [`recv`](StreamHandle::recv) with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<EngineEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    /// Blocking iterator over the stream's remaining events.
+    pub fn iter(&self) -> impl Iterator<Item = EngineEvent> + '_ {
+        std::iter::from_fn(move || self.recv())
+    }
+
+    /// Drain the stream to completion and fold its lifecycle into a
+    /// [`StreamOutcome`].
+    pub fn wait(self) -> StreamOutcome {
+        let mut outcome = StreamOutcome {
+            id: self.id,
+            priority: self.priority,
+            tokens: Vec::new(),
+            finish: None,
+            recoveries: 0,
+            preemptions: 0,
+            events: Vec::new(),
+        };
+        for ev in self.iter() {
+            match ev {
+                EngineEvent::TokenEmitted { token, .. } => outcome.tokens.push(token),
+                EngineEvent::Recovering { .. } => outcome.recoveries += 1,
+                EngineEvent::Preempted { .. } => outcome.preemptions += 1,
+                EngineEvent::Finished { reason, .. } => outcome.finish = Some(reason),
+                _ => {}
+            }
+            outcome.events.push(ev);
+        }
+        outcome
+    }
+}
+
+/// A completed stream's lifecycle, folded by [`StreamHandle::wait`].
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// The stream's identity.
+    pub id: StreamId,
+    /// The class it was submitted under.
+    pub priority: Priority,
+    /// Sampled continuation tokens, in emission order (the prompt is not
+    /// echoed).
+    pub tokens: Vec<u32>,
+    /// Terminal reason; `None` only if the engine was torn down before the
+    /// stream finished.
+    pub finish: Option<FinishReason>,
+    /// Re-prefill recovery attempts observed ([`EngineEvent::Recovering`]).
+    pub recoveries: u32,
+    /// Park transitions observed ([`EngineEvent::Preempted`]).
+    pub preemptions: u32,
+    /// The full ordered event log.
+    pub events: Vec<EngineEvent>,
+}
+
+/// Worker-side event queue of one stream: everything the bounded channel
+/// could not absorb yet.
+struct Outbox {
+    tx: SyncSender<EngineEvent>,
+    buf: VecDeque<EngineEvent>,
+    held_sweeps: u32,
+    finished: bool,
+    dead: bool,
+}
+
+impl Outbox {
+    /// Push as much buffered backlog into the channel as fits.
+    fn flush(&mut self) {
+        while let Some(&ev) = self.buf.front() {
+            match self.tx.try_send(ev) {
+                Ok(()) => {
+                    self.buf.pop_front();
+                }
+                Err(TrySendError::Full(_)) => return,
+                Err(TrySendError::Disconnected(_)) => {
+                    // Consumer dropped its handle: discard the backlog and
+                    // stop routing to this stream.
+                    self.dead = true;
+                    self.buf.clear();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Undelivered events remain and the consumer is still attached.
+    fn blocked(&self) -> bool {
+        !self.dead && !self.buf.is_empty()
+    }
+
+    fn push(&mut self, ev: EngineEvent) {
+        if self.dead {
+            return;
+        }
+        if matches!(ev, EngineEvent::Finished { .. }) {
+            self.finished = true;
+        }
+        self.buf.push_back(ev);
+        self.flush();
+    }
+}
+
+/// The serving loop proper. Runs until the submission channel is hung up
+/// *and* every accepted stream has finished with its events delivered (or
+/// its consumer gone).
+fn worker_loop(
+    model: TransformerModel,
+    cfg: EngineConfig,
+    inj: Arc<dyn FaultInjector + Send + Sync>,
+    rx: Receiver<Command>,
+) {
+    let mut session = model.into_serve(cfg.scheduler);
+    let inj: &(dyn FaultInjector + Send + Sync) = &*inj;
+    let mut outboxes: BTreeMap<u64, Outbox> = BTreeMap::new();
+    let mut open = true;
+    let accept = |cmd: Command,
+                  session: &mut ServeSession<TransformerModel>,
+                  outboxes: &mut BTreeMap<u64, Outbox>| {
+        let Command::Submit { id, req, events } = cmd;
+        session.submit_request_with_id(req, id);
+        outboxes.insert(
+            id.0,
+            Outbox {
+                tx: events,
+                buf: VecDeque::new(),
+                held_sweeps: 0,
+                finished: false,
+                dead: false,
+            },
+        );
+    };
+    loop {
+        // Drain submissions without blocking the sweep cadence.
+        while open {
+            match rx.try_recv() {
+                Ok(cmd) => accept(cmd, &mut session, &mut outboxes),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => open = false,
+            }
+        }
+        // Retry blocked backlogs; consumers that caught up get their
+        // stream fed again.
+        let mut caught_up = Vec::new();
+        for (id, ob) in outboxes.iter_mut() {
+            ob.flush();
+            if !ob.blocked() && ob.held_sweeps > 0 {
+                ob.held_sweeps = 0;
+                caught_up.push(StreamId(*id));
+            }
+        }
+        for id in caught_up {
+            session.release_stream(id);
+        }
+        // Finished-and-delivered (or abandoned) streams need no routing.
+        outboxes.retain(|_, ob| !(ob.dead || (ob.finished && ob.buf.is_empty())));
+        if session.idle() {
+            if outboxes.is_empty() {
+                if !open {
+                    return;
+                }
+                // Nothing to do until the next submission arrives.
+                match rx.recv() {
+                    Ok(cmd) => accept(cmd, &mut session, &mut outboxes),
+                    Err(_) => return,
+                }
+                continue;
+            }
+            // All streams retired but some consumers have not absorbed
+            // their final events yet: wait on them (and on new work).
+            if open {
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(cmd) => accept(cmd, &mut session, &mut outboxes),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => open = false,
+                }
+            } else {
+                thread::sleep(Duration::from_millis(1));
+            }
+            continue;
+        }
+        // Backpressure park: a stream whose consumer has been stuck for
+        // enough sweeps gives its slot (and cache bytes) to waiting work.
+        if session.pending_streams() > 0 {
+            let stuck: Vec<StreamId> = outboxes
+                .iter()
+                .filter(|(_, ob)| {
+                    ob.blocked() && !ob.finished && ob.held_sweeps >= cfg.park_after_held_sweeps
+                })
+                .map(|(&id, _)| StreamId(id))
+                .collect();
+            for id in stuck {
+                if session.park_stream(id) {
+                    if let Some(ob) = outboxes.get_mut(&id.0) {
+                        ob.held_sweeps = 0;
+                    }
+                }
+            }
+        }
+        let events = session.sweep_events(&inj);
+        let swept = !events.is_empty();
+        for ev in events {
+            if let Some(ob) = outboxes.get_mut(&ev.stream().0) {
+                ob.push(ev);
+            }
+        }
+        // Streams whose consumers still lag get held: slot and cache stay,
+        // but no further tokens are generated for them.
+        let mut lagging = Vec::new();
+        for (id, ob) in outboxes.iter_mut() {
+            if ob.blocked() && !ob.finished {
+                ob.held_sweeps += 1;
+                lagging.push(StreamId(*id));
+            }
+        }
+        for id in lagging {
+            // Tolerant no-op when the stream is pending (parked) or
+            // already retired.
+            session.hold_stream(id);
+        }
+        // The worker never reads FinishedStream records — outcomes travel
+        // as events — so drain them to free their token histories.
+        session.take_finished();
+        if !swept {
+            // Every feedable stream is held or awaiting its consumer:
+            // yield briefly instead of spinning on empty plans.
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+}

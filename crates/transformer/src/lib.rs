@@ -26,6 +26,13 @@
 //! case, and [`TransformerModel::decode_step`] remains the explicit
 //! token-at-a-time loop. The pre-cache prefill-per-token baseline survives
 //! as [`TransformerModel::generate_prefill`].
+//!
+//! On top of the pull-mode session sits the push-based serving loop
+//! ([`Engine`], [`crate::engine`]): an owned session on a dedicated worker
+//! thread, a [`Priority`]-classed run queue with aging, preemption through
+//! the bit-identical re-prefill path, and bounded per-stream event
+//! channels ([`StreamHandle`]) with backpressure that holds or parks slow
+//! consumers' streams instead of stalling the sweep.
 
 #![warn(missing_docs)]
 
@@ -33,6 +40,7 @@ pub mod activation;
 pub mod block;
 pub mod configs;
 pub mod embed;
+pub mod engine;
 pub mod ffn;
 pub mod linear;
 pub mod mha;
@@ -43,10 +51,11 @@ pub use activation::Activation;
 pub use block::TransformerBlock;
 pub use configs::ModelConfig;
 pub use embed::Embedding;
+pub use engine::{Engine, EngineConfig, StreamHandle, StreamOutcome};
 pub use ffn::FeedForward;
 pub use ft_core::serve::{
-    EngineEvent, FinishReason, GenerationRequest, RecoveryPolicy, SamplingMode, SchedulerConfig,
-    StreamId,
+    EngineEvent, FinishReason, GenerationRequest, Priority, RecoveryPolicy, SamplingMode,
+    SchedulerConfig, StreamId,
 };
 pub use linear::{Linear, LinearProtection};
 pub use mha::{BackendKind, KvCache, MhaReport, MultiHeadAttention};

@@ -311,7 +311,7 @@ impl TransformerModel {
     ) -> (Vec<u32>, ModelReport) {
         assert!(!prompt.is_empty(), "generation needs at least one token");
         let mut session = self.serve();
-        let id = session.submit(prompt, new_tokens);
+        let id = session.submit_request(GenerationRequest::new(prompt.to_vec(), new_tokens));
         let finished = session.run(inj);
         let stream = finished
             .into_iter()
@@ -393,7 +393,7 @@ impl TransformerModel {
     /// assert_eq!(finished[0].recoveries, 0);
     /// assert_eq!(&finished[0].tokens[3..], &tokens[..]);
     /// ```
-    pub fn serve(&self) -> ServeSession<'_> {
+    pub fn serve(&self) -> ServeSession<&TransformerModel> {
         self.serve_with(SchedulerConfig::default())
     }
 
@@ -409,29 +409,17 @@ impl TransformerModel {
     /// [`SchedulerConfig::memory_budget`]) — check
     /// [`ServeSession::peak_cache_bytes`] for what a workload actually
     /// occupied.
-    pub fn serve_with(&self, cfg: SchedulerConfig) -> ServeSession<'_> {
-        let mut scheduler = DecodeScheduler::new(cfg);
-        // Projection for admission: FP16 K+V payload per token per layer
-        // (2 tensors × hidden × 2 bytes); checksum metadata rides along in
-        // the noted totals once streams are resident.
-        scheduler.set_bytes_per_token((4 * self.config.hidden * self.config.layers) as u64);
-        // Under a sliding window a stream keeps at most ~window +
-        // cache_block rows resident however long its prompt — the window
-        // is a per-request property now, so the scheduler derives each
-        // windowed stream's projection cap itself; we supply the
-        // block-granularity slack (one partially evictable block).
-        let block = self.blocks.first().map_or(0, |b| b.mha.cache_block);
-        scheduler.set_window_slack(block);
-        ServeSession {
-            model: self,
-            scheduler,
-            caches: Vec::new(),
-            reports: Vec::new(),
-            finished: Vec::new(),
-            events: Vec::new(),
-            recoveries: 0,
-            peak_cache_bytes: 0,
-        }
+    pub fn serve_with(&self, cfg: SchedulerConfig) -> ServeSession<&TransformerModel> {
+        ServeSession::new(self, cfg)
+    }
+
+    /// Open a serving session that *owns* the model — the `Send` form a
+    /// push-based serving loop moves onto its worker thread (see
+    /// [`Engine`](crate::engine::Engine)). Scheduling behavior is identical
+    /// to [`serve_with`](TransformerModel::serve_with); clone the model
+    /// first if the caller needs to keep using it.
+    pub fn into_serve(self, cfg: SchedulerConfig) -> ServeSession<TransformerModel> {
+        ServeSession::new(self, cfg)
     }
 
     /// One batched decode sweep over many streams: per stream, embed its
@@ -576,6 +564,10 @@ pub struct FinishedStream {
     ///
     /// [`finish`]: FinishedStream::finish
     pub recoveries: u32,
+    /// Times the stream was parked (preemption or backpressure) and
+    /// resumed through re-prefill. Not a fault: a preempted-and-resumed
+    /// stream's tokens are bit-identical to an uninterrupted run.
+    pub preemptions: u32,
 }
 
 /// A continuous-batching serving session over one [`TransformerModel`]:
@@ -603,39 +595,103 @@ pub struct FinishedStream {
 /// undamaged run (pinned by `tests/engine_recovery.rs`).
 ///
 /// [`TransformerModel::generate`] is the one-stream special case.
-pub struct ServeSession<'m> {
-    model: &'m TransformerModel,
+///
+/// The session is generic over model *ownership*: `M` is anything that
+/// borrows a [`TransformerModel`] — `&TransformerModel` for the classic
+/// in-thread session ([`TransformerModel::serve`]), or the model itself
+/// for the owned, `Send` session a serving loop moves onto its worker
+/// thread ([`TransformerModel::into_serve`]).
+pub struct ServeSession<M: core::borrow::Borrow<TransformerModel> = TransformerModel> {
+    model: M,
     scheduler: DecodeScheduler,
     caches: Vec<(StreamId, ModelKvCache)>,
     reports: Vec<(StreamId, ModelReport)>,
     finished: Vec<FinishedStream>,
     events: Vec<EngineEvent>,
     recoveries: u64,
+    preemptions: u64,
     peak_cache_bytes: u64,
 }
 
-impl ServeSession<'_> {
+impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
+    /// Open a session over `model` (borrowed or owned) with the given
+    /// scheduler sizing — the common constructor behind
+    /// [`TransformerModel::serve_with`] and
+    /// [`TransformerModel::into_serve`].
+    pub fn new(model: M, cfg: SchedulerConfig) -> Self {
+        let (bytes_per_token, block) = {
+            let m: &TransformerModel = model.borrow();
+            // Projection for admission: FP16 K+V payload per token per
+            // layer (2 tensors × hidden × 2 bytes); checksum metadata
+            // rides along in the noted totals once streams are resident.
+            (
+                (4 * m.config.hidden * m.config.layers) as u64,
+                m.blocks.first().map_or(0, |b| b.mha.cache_block),
+            )
+        };
+        let mut scheduler = DecodeScheduler::new(cfg);
+        scheduler.set_bytes_per_token(bytes_per_token);
+        // Under a sliding window a stream keeps at most ~window +
+        // cache_block rows resident however long its prompt — the window
+        // is a per-request property now, so the scheduler derives each
+        // windowed stream's projection cap itself; we supply the
+        // block-granularity slack (one partially evictable block).
+        scheduler.set_window_slack(block);
+        ServeSession {
+            model,
+            scheduler,
+            caches: Vec::new(),
+            reports: Vec::new(),
+            finished: Vec::new(),
+            events: Vec::new(),
+            recoveries: 0,
+            preemptions: 0,
+            peak_cache_bytes: 0,
+        }
+    }
     /// Submit a typed [`GenerationRequest`]. `max_new_tokens` is clamped to
     /// the model's `max_seq`; a request without its own window inherits the
     /// model default ([`TransformerModel::with_window`]). The stream joins
     /// the next sweep with a free slot — mid-flight, without stalling
     /// streams already decoding.
-    pub fn submit_request(&mut self, mut req: GenerationRequest) -> StreamId {
+    pub fn submit_request(&mut self, req: GenerationRequest) -> StreamId {
+        let req = self.resolve_request(req);
+        self.scheduler.submit_request(req)
+    }
+
+    /// [`submit_request`](ServeSession::submit_request) with a
+    /// caller-chosen [`StreamId`]: the serving loop allocates ids on the
+    /// submitting thread and replays them here in whatever order its
+    /// submission channel delivers them. Panics if `id` is already known
+    /// to the session's scheduler.
+    pub fn submit_request_with_id(&mut self, req: GenerationRequest, id: StreamId) -> StreamId {
+        let req = self.resolve_request(req);
+        self.scheduler.submit_request_with_id(req, id)
+    }
+
+    /// Clamp the token budget to the model's `max_seq` and resolve the
+    /// model-default window for requests without their own.
+    fn resolve_request(&self, mut req: GenerationRequest) -> GenerationRequest {
+        let model = self.model.borrow();
         assert!(!req.prompt.is_empty(), "a stream needs at least one token");
         assert!(
-            req.prompt.len() <= self.model.config.max_seq,
+            req.prompt.len() <= model.config.max_seq,
             "prompt exceeds max_seq"
         );
         req.max_new_tokens = req
             .max_new_tokens
-            .min(self.model.config.max_seq - req.prompt.len());
-        req.window = req.window.or(self.model.window());
-        self.scheduler.submit_request(req)
+            .min(model.config.max_seq - req.prompt.len());
+        req.window = req.window.or(model.window());
+        req
     }
 
     /// Positional-shim submission: `prompt` plus up to `max_new_tokens`
     /// greedy continuations with default request knobs. Delegates to
     /// [`submit_request`](ServeSession::submit_request).
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a typed GenerationRequest and use submit_request instead"
+    )]
     pub fn submit(&mut self, prompt: &[u32], max_new_tokens: usize) -> StreamId {
         self.submit_request(GenerationRequest::new(prompt.to_vec(), max_new_tokens))
     }
@@ -655,6 +711,10 @@ impl ServeSession<'_> {
     /// [`sweep_events`](ServeSession::sweep_events) to observe them).
     /// Recovery policies still run; their outcomes remain visible through
     /// [`FinishedStream::finish`] and [`ServeSession::recoveries`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use sweep_events and observe the typed EngineEvent lifecycle instead"
+    )]
     pub fn sweep<I: FaultInjector>(&mut self, inj: &I) -> usize {
         let n = self.sweep_inner(inj);
         self.events.clear();
@@ -666,13 +726,22 @@ impl ServeSession<'_> {
         // the resident streams actually occupy.
         self.scheduler.note_bytes(self.cache_bytes());
         let plan = self.scheduler.plan();
+        // Planning may have parked or resumed streams (preemption);
+        // absorb those transitions before feeding anything.
+        self.absorb_park_resume();
         if plan.is_empty() {
             self.collect_finished();
             return 0;
         }
         for item in &plan {
+            // Cache and report existence are tracked separately: a stream
+            // resuming from a park gets a fresh cache but keeps the model
+            // report it accumulated before parking.
             if !self.caches.iter().any(|(id, _)| *id == item.stream) {
-                self.caches.push((item.stream, self.model.new_cache()));
+                self.caches
+                    .push((item.stream, self.model.borrow().new_cache()));
+            }
+            if !self.reports.iter().any(|(id, _)| *id == item.stream) {
                 self.reports.push((item.stream, ModelReport::default()));
             }
         }
@@ -693,7 +762,7 @@ impl ServeSession<'_> {
             }
         }
         debug_assert_eq!(feeds.len(), plan.len());
-        let results = self.model.run_sweep(&feeds, &mut cache_refs, inj);
+        let results = self.model.borrow().run_sweep(&feeds, &mut cache_refs, inj);
         let n = feeds.len();
         self.peak_cache_bytes = self.peak_cache_bytes.max(self.cache_bytes());
         for (feed, (logits, rep, attn)) in feeds.iter().zip(results) {
@@ -766,7 +835,7 @@ impl ServeSession<'_> {
                             .iter_mut()
                             .find(|(cid, _)| *cid == id)
                             .expect("planned stream has a cache");
-                        slot.1 = self.model.new_cache();
+                        slot.1 = self.model.borrow().new_cache();
                     }
                 }
                 _ => {
@@ -795,9 +864,62 @@ impl ServeSession<'_> {
     /// observe the lifecycle.
     pub fn run<I: FaultInjector>(&mut self, inj: &I) -> Vec<FinishedStream> {
         while !self.scheduler.idle() {
-            self.sweep(inj);
+            self.sweep_inner(inj);
+            self.events.clear();
         }
         self.take_finished()
+    }
+
+    /// Park an active stream: drop its cache, keep its emitted tokens, and
+    /// requeue it to be resumed later through the bit-identical chunked
+    /// re-prefill path. Emits [`EngineEvent::Preempted`] (in the next
+    /// [`sweep_events`](ServeSession::sweep_events) batch) on success.
+    /// Returns `false` — a no-op — when the stream is not active, is
+    /// mid-sweep, or is already done; the serving loop's backpressure
+    /// decisions race benignly with retirement.
+    pub fn park_stream(&mut self, stream: StreamId) -> bool {
+        let parked = self.scheduler.park(stream);
+        self.absorb_park_resume();
+        parked
+    }
+
+    /// Backpressure hold: keep the stream's slot and cache but stop
+    /// feeding it until [`release_stream`](ServeSession::release_stream).
+    /// Returns `false` when the stream is not active or already held.
+    pub fn hold_stream(&mut self, stream: StreamId) -> bool {
+        self.scheduler.hold(stream)
+    }
+
+    /// Lift a backpressure hold. Returns `false` when the stream is not
+    /// active or was not held.
+    pub fn release_stream(&mut self, stream: StreamId) -> bool {
+        self.scheduler.release(stream)
+    }
+
+    /// True while `stream` holds a decode slot (planned, held, or awaiting
+    /// its record — parked and retired streams are not active).
+    pub fn is_active(&self, stream: StreamId) -> bool {
+        self.scheduler.active_stream(stream).is_some()
+    }
+
+    /// Total park transitions (preemption + backpressure) across the
+    /// session; per-stream counts ride on [`FinishedStream::preemptions`].
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Turn the scheduler's park/resume transitions into session state:
+    /// a parked stream's cache is dropped (its model report survives for
+    /// the resume), and both directions surface as typed events.
+    fn absorb_park_resume(&mut self) {
+        for id in self.scheduler.drain_parked() {
+            self.caches.retain(|(cid, _)| *cid != id);
+            self.preemptions += 1;
+            self.events.push(EngineEvent::Preempted { stream: id });
+        }
+        for id in self.scheduler.drain_resumed() {
+            self.events.push(EngineEvent::Resumed { stream: id });
+        }
     }
 
     /// Total re-prefill recovery attempts across the session — the
@@ -868,6 +990,7 @@ impl ServeSession<'_> {
                 attention: s.report,
                 finish: reason,
                 recoveries: s.recoveries,
+                preemptions: s.preemptions,
             });
         }
     }
@@ -1128,7 +1251,9 @@ mod tests {
                 prefill_chunk: 6,
                 ..Default::default()
             });
-            let ids: Vec<_> = (0..3).map(|_| session.submit(&prompt, 12)).collect();
+            let ids: Vec<_> = (0..3)
+                .map(|_| session.submit_request(GenerationRequest::new(prompt.clone(), 12)))
+                .collect();
             let finished = session.run(&NoFaults);
             (ids, finished, session.peak_cache_bytes())
         };
@@ -1169,11 +1294,14 @@ mod tests {
             max_active: 4,
             prefill_chunk: 8,
             memory_budget: Some(budget),
+            ..Default::default()
         });
-        let ids: Vec<_> = (0..3).map(|_| session.submit(&prompt, 4)).collect();
+        let ids: Vec<_> = (0..3)
+            .map(|_| session.submit_request(GenerationRequest::new(prompt.clone(), 4)))
+            .collect();
         let mut max_active = 0;
         while !session.idle() {
-            session.sweep(&NoFaults);
+            session.sweep_events(&NoFaults);
             max_active = max_active.max(session.active_streams());
         }
         let finished = session.take_finished();
@@ -1186,7 +1314,7 @@ mod tests {
         // change what any stream computes.
         let mut free = model.serve();
         for _ in 0..3 {
-            free.submit(&prompt, 4);
+            free.submit_request(GenerationRequest::new(prompt.clone(), 4));
         }
         let unthrottled = free.run(&NoFaults);
         for (a, b) in finished.iter().zip(&unthrottled) {

@@ -112,7 +112,7 @@ impl FaultInjector for PersistentPair {
 /// Drive a session to completion through the event API, returning the
 /// finished streams and every emitted event.
 fn run_with_events<I: FaultInjector>(
-    session: &mut ServeSession<'_>,
+    session: &mut ServeSession<&TransformerModel>,
     inj: &I,
 ) -> (Vec<FinishedStream>, Vec<EngineEvent>) {
     let mut events = Vec::new();

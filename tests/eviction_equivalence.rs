@@ -22,7 +22,9 @@ use ft_transformer_suite::attention::serve::{StreamId, StreamSlice};
 use ft_transformer_suite::num::rng::normal_tensor_f16;
 use ft_transformer_suite::num::Tensor4F16;
 use ft_transformer_suite::sim::{FaultInjector, FaultSite, NoFaults, OpCoord, SeuInjector};
-use ft_transformer_suite::transformer::{ModelConfig, SchedulerConfig, TransformerModel};
+use ft_transformer_suite::transformer::{
+    GenerationRequest, ModelConfig, SchedulerConfig, TransformerModel,
+};
 
 const HEADS: usize = 2;
 const DIM: usize = 16;
@@ -274,7 +276,9 @@ fn windowed_scheduled_streams_match_windowed_stepwise_decode() {
         let ids: Vec<_> = lens
             .iter()
             .enumerate()
-            .map(|(i, &len)| session.submit(&prompt(len, i), new_tokens))
+            .map(|(i, &len)| {
+                session.submit_request(GenerationRequest::new(prompt(len, i), new_tokens))
+            })
             .collect();
         let finished = session.run(&NoFaults);
         assert_eq!(finished.len(), lens.len());

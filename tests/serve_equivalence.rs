@@ -12,7 +12,7 @@ use ft_transformer_suite::attention::efta::EftaOptions;
 use ft_transformer_suite::attention::serve::SchedulerConfig;
 use ft_transformer_suite::sim::{FaultInjector, FaultSite, NoFaults, OpCoord, SeuInjector};
 use ft_transformer_suite::transformer::{
-    serve_expose_step, BackendKind, ModelConfig, StreamId, TransformerModel,
+    serve_expose_step, BackendKind, GenerationRequest, ModelConfig, StreamId, TransformerModel,
 };
 
 fn tiny(max_seq: usize) -> ModelConfig {
@@ -42,7 +42,9 @@ fn scheduled_streams_match_independent_decode() {
         let ids: Vec<_> = lens
             .iter()
             .enumerate()
-            .map(|(i, &len)| session.submit(&prompt(len, i), new_tokens))
+            .map(|(i, &len)| {
+                session.submit_request(GenerationRequest::new(prompt(len, i), new_tokens))
+            })
             .collect();
         let finished = session.run(&NoFaults);
         assert_eq!(finished.len(), lens.len());
@@ -76,11 +78,11 @@ fn streams_joining_mid_flight_do_not_disturb_the_batch() {
         prefill_chunk: 8,
         ..Default::default()
     });
-    let a = session.submit(&prompt(20, 0), 5);
+    let a = session.submit_request(GenerationRequest::new(prompt(20, 0), 5));
     // A is mid-prefill after one sweep; B and C join late, C must queue.
-    session.sweep(&NoFaults);
-    let b = session.submit(&prompt(33, 1), 3);
-    let c = session.submit(&prompt(5, 2), 6);
+    session.sweep_events(&NoFaults);
+    let b = session.submit_request(GenerationRequest::new(prompt(33, 1), 3));
+    let c = session.submit_request(GenerationRequest::new(prompt(5, 2), 6));
     let finished = session.run(&NoFaults);
     assert_eq!(finished.len(), 3);
     for (id, len, salt, new) in [(a, 20, 0, 5), (b, 33, 1, 3), (c, 5, 2, 6)] {
@@ -114,8 +116,8 @@ fn cache_fault_is_attributed_to_the_hit_stream_only() {
         ft_transformer_suite::transformer::FinishedStream,
     ) {
         let mut session = model.serve_with(cfg);
-        let a = session.submit(&prompt(24, 0), 3);
-        let b = session.submit(&prompt(20, 1), 3);
+        let a = session.submit_request(GenerationRequest::new(prompt(24, 0), 3));
+        let b = session.submit_request(GenerationRequest::new(prompt(20, 1), 3));
         let finished = session.run(inj);
         let fa = finished.iter().find(|f| f.id == a).unwrap().clone();
         let fb = finished.iter().find(|f| f.id == b).unwrap().clone();
@@ -158,10 +160,12 @@ fn cache_fault_is_attributed_to_the_hit_stream_only() {
 /// The old positional `submit` is a pure shim over the typed
 /// `GenerationRequest` path: the same workload submitted both ways is
 /// token-bit-identical, and every cleanly finished stream carries
-/// `FinishReason::MaxTokens` with zero recoveries.
+/// `FinishReason::MaxTokens` with zero recoveries. (The shim is
+/// deprecated; this test is its one sanctioned caller.)
 #[test]
+#[allow(deprecated)]
 fn typed_requests_match_positional_shim_submissions() {
-    use ft_transformer_suite::transformer::{FinishReason, GenerationRequest};
+    use ft_transformer_suite::transformer::FinishReason;
     let lens = [18usize, 7, 25];
     let new_tokens = 4;
     let model = TransformerModel::random(25, tiny(96), BackendKind::Efta(EftaOptions::optimized()))
@@ -204,7 +208,7 @@ fn generate_is_the_one_stream_special_case() {
     let p = prompt(11, 4);
     let (tokens, report) = model.generate(&p, 6, &NoFaults);
     let mut session = model.serve();
-    let id = session.submit(&p, 6);
+    let id = session.submit_request(GenerationRequest::new(p.clone(), 6));
     let finished = session.run(&NoFaults);
     let f = finished.iter().find(|f| f.id == id).unwrap();
     assert_eq!(f.tokens, tokens);
