@@ -280,10 +280,12 @@ pub trait AttentionBackend: Sync {
         }
     }
 
-    /// One continuous-batching sweep: every stream slice's `(row, slot)`
-    /// work units — single decode rows and chunked-prefill rows alike —
-    /// run through one parallel fan-out, and fault events are attributed
-    /// to per-stream [`FtReport`]s (see [`crate::serve`]).
+    /// One continuous-batching sweep: every stream slice's `(stream, slot)`
+    /// tiles — each spanning all of that stream's chunk rows, single decode
+    /// rows and chunked-prefill chunks alike — run through one parallel
+    /// fan-out. A tile verifies each attended cache block once and shares
+    /// it across its rows, and fault events are attributed to per-stream
+    /// [`FtReport`]s (see [`crate::serve`]).
     ///
     /// The default is the unprotected sweep; backends with a protected
     /// decode variant (EFTA) override it, exactly mirroring
@@ -609,6 +611,30 @@ impl BackendKind {
             .iter()
             .map(|n| n.parse().expect("canonical name parses"))
             .collect()
+    }
+
+    /// Per-row oracle variant of
+    /// [`try_decode_sweep`](AttentionBackend::try_decode_sweep): the
+    /// original `(stream, row, slot)` fan-out, with every chunk row
+    /// re-reading (and, under EFTA, re-verifying) its attended cache
+    /// blocks itself. Output rows are bit-identical to the fused tile
+    /// sweep on every backend — this is the baseline the fused kernel's
+    /// equivalence suite and the serve bench's `--fused-only` report
+    /// measure against.
+    pub fn try_decode_sweep_per_row(
+        &self,
+        slices: &[crate::serve::StreamSlice<'_>],
+        injector: &dyn FaultInjector,
+        thresholds: Option<Thresholds>,
+    ) -> Result<Vec<crate::serve::StreamSweepOutput>, BackendError> {
+        match self {
+            BackendKind::Reference | BackendKind::Flash | BackendKind::Decoupled(_) => {
+                crate::serve::sweep_unprotected_per_row(slices, injector)
+            }
+            BackendKind::Efta(options) => {
+                crate::serve::sweep_efta_per_row(slices, injector, thresholds, options)
+            }
+        }
     }
 }
 

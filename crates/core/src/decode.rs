@@ -224,13 +224,65 @@ pub(crate) fn vis_block_rows(cache: &KvCache, b: usize, vis: usize) -> usize {
     cache.block_rows(b).min(vis - b * cache.block())
 }
 
+/// Exact kernel-stat census of one fused sweep tile over a `c`-row chunk
+/// (the last `c` rows of `cache`): compute terms are summed **per row**
+/// over that row's own attended prefix (row `r` sees `len − c + r + 1`
+/// rows under its window), and cache payload + checksum read traffic is
+/// charged **once per attended block** — the union of the rows' attended
+/// spans — matching the fused kernel's verify-once reads. Replaces the old
+/// `per_row × c` roofline, which billed every chunk row the full cache.
+pub(crate) fn sweep_tile_stats(
+    cache: &KvCache,
+    c: usize,
+    window: Option<usize>,
+    protected: bool,
+) -> KernelStats {
+    let base = cache.len() - c;
+    let slots = cache.num_slots() as u64;
+    let d = cache.dim() as u64;
+    let mut stats = KernelStats {
+        launches: 1,
+        ..Default::default()
+    };
+    // Shared reads: every row's attended span is a prefix of the last
+    // row's, so the union of attended blocks is the last row's range.
+    let vis_last = base + c;
+    let b0_min = window_start_block(cache, base + 1, window);
+    let union_rows = (vis_last - b0_min * cache.block()) as u64;
+    let union_blocks = (vis_blocks(cache, vis_last) - b0_min) as u64;
+    stats.hbm_read = slots * 2 * union_rows * d * 2;
+    stats.hbm_written = slots * c as u64 * d * 2;
+    if protected {
+        // Checksum operands read once per attended block (see
+        // `decode_stats` for the width-8 MMA tile floor).
+        let s = cache.stride().max(8) as u64;
+        stats.hbm_read += slots * 4 * (union_blocks * s * d) / 2;
+    }
+    for r in 0..c {
+        let vis = base + r + 1;
+        let attended = attended_rows(cache, vis, window);
+        stats.tc_flops += slots * 2 * gemm_flops(1, attended, cache.dim());
+        stats.fp32_flops += slots * 4 * attended as u64;
+        stats.sfu_ops += slots * attended as u64;
+        if protected {
+            let s = cache.stride().max(8);
+            let blocks_r = (vis_blocks(cache, vis) - window_start_block(cache, vis, window)) as u64;
+            stats.tc_flops += slots * 2 * 2 * gemm_flops(1, s, cache.dim());
+            stats.serial_flops += slots * (attended as u64 + 2 * d + 4 * blocks_r);
+        }
+    }
+    stats
+}
+
 /// Unprotected single-query decode of one `(batch, head)` slot against the
 /// first `vis` cached rows (optionally restricted to a sliding `window` of
 /// the most recent rows): raw cache reads, online softmax, no checks.
 ///
 /// `q_raw` is the unscaled `1 × dim` query row; `step` namespaces fault
 /// coordinates. [`reference_decode`] calls this with `vis = cache.len()`;
-/// the serving sweep calls it per chunk row with that row's causal prefix.
+/// the per-row oracle sweep calls it per chunk row with that row's causal
+/// prefix. A one-row tile of [`reference_decode_tile`], so the per-row and
+/// fused paths share one kernel body.
 pub(crate) fn reference_decode_slot(
     cache: &KvCache,
     slot: usize,
@@ -240,30 +292,81 @@ pub(crate) fn reference_decode_slot(
     inj: &dyn FaultInjector,
     window: Option<usize>,
 ) -> MatrixF32 {
+    reference_decode_tile(cache, slot, vis, step, q_raw, inj, window)
+}
+
+/// Unprotected multi-row decode tile of one `(batch, head)` slot: chunk
+/// row `r` of the `c × dim` unscaled query chunk `q_chunk` attends the
+/// causal prefix `0 .. vis0 + r` at fault-coordinate step `step0 + r` —
+/// the fused form of `c` [`reference_decode_slot`] calls.
+///
+/// The tile iterates **block-major**: each attended cache block is read
+/// once and every tile row's online-softmax update against it runs before
+/// the next block is touched. Per row, the update sequence (ascending
+/// block order over exactly that row's attended blocks) is unchanged, so
+/// the output is bit-identical to the per-row path.
+pub(crate) fn reference_decode_tile(
+    cache: &KvCache,
+    slot: usize,
+    vis0: usize,
+    step0: usize,
+    q_chunk: &MatrixF32,
+    inj: &dyn FaultInjector,
+    window: Option<usize>,
+) -> MatrixF32 {
     let d = cache.dim();
-    let q_blk = Matrix::from_fn(1, d, |_, j| q_raw.get(0, j) * cache.scale());
-    let mut state = crate::flash::OnlineState::new(1, d);
-    let b0 = window_start_block(cache, vis, window);
-    for (jb, c0) in (b0..vis_blocks(cache, vis)).map(|b| (b, b * cache.block())) {
-        let rows = vis_block_rows(cache, jb, vis);
-        let mut k_blk = cache.read_k_raw(slot, jb);
-        let mut v_blk = cache.read_v_raw(slot, jb);
-        if rows < k_blk.rows() {
-            k_blk = k_blk.block(0, 0, rows, d);
-            v_blk = v_blk.block(0, 0, rows, d);
+    let c = q_chunk.rows();
+    let scale = cache.scale();
+    // Per-row scaled query rows, hoisted out of the block loop (the old
+    // per-row fan-out allocated these once per work unit).
+    let q_rows: Vec<MatrixF32> = (0..c)
+        .map(|r| Matrix::from_fn(1, d, |_, j| q_chunk.get(r, j) * scale))
+        .collect();
+    let mut states: Vec<crate::flash::OnlineState> = (0..c)
+        .map(|_| crate::flash::OnlineState::new(1, d))
+        .collect();
+    // Row r's attended block range [b0[r], nb[r]); both bounds are
+    // non-decreasing in r (later rows see more), so the union is
+    // [b0[0], nb[c-1]).
+    let b0: Vec<usize> = (0..c)
+        .map(|r| window_start_block(cache, vis0 + r, window))
+        .collect();
+    let nb: Vec<usize> = (0..c).map(|r| vis_blocks(cache, vis0 + r)).collect();
+    for jb in b0[0]..nb[c - 1] {
+        let c0 = jb * cache.block();
+        let k_full = cache.read_k_raw(slot, jb);
+        let v_full = cache.read_v_raw(slot, jb);
+        for r in 0..c {
+            if jb < b0[r] || jb >= nb[r] {
+                continue;
+            }
+            let (vis, step) = (vis0 + r, step0 + r);
+            let rows = vis_block_rows(cache, jb, vis);
+            let (kt, vt);
+            let (k_blk, v_blk) = if rows < k_full.rows() {
+                kt = k_full.block(0, 0, rows, d);
+                vt = v_full.block(0, 0, rows, d);
+                (&kt, &vt)
+            } else {
+                (&k_full, &v_full)
+            };
+            let s_blk = gemm_nt_inj(
+                &q_rows[r],
+                k_blk,
+                &inj,
+                GemmCtx::new(FaultSite::GemmIAccum, slot)
+                    .at(step, c0)
+                    .iter(3 * jb),
+            );
+            crate::flash::online_update(&mut states[r], &s_blk, v_blk);
         }
-        let s_blk = gemm_nt_inj(
-            &q_blk,
-            &k_blk,
-            &inj,
-            GemmCtx::new(FaultSite::GemmIAccum, slot)
-                .at(step, c0)
-                .iter(3 * jb),
-        );
-        crate::flash::online_update(&mut state, &s_blk, &v_blk);
     }
-    crate::flash::finalize(&mut state);
-    state.o
+    let mut out = Matrix::zeros(c, d);
+    for (r, state) in states.iter_mut().enumerate() {
+        crate::flash::finalize(state);
+        out.row_mut(r).copy_from_slice(state.o.row(0));
+    }
+    out
 }
 
 /// EFTA-protected single-query decode of one slot against the first `vis`
@@ -294,305 +397,385 @@ pub(crate) fn efta_decode_slot(
     counters: &FtCounters,
     window: Option<usize>,
 ) -> MatrixF32 {
+    efta_decode_tile(
+        cache, slot, vis, step, q_raw, inj, thr, opts, counters, window,
+    )
+}
+
+/// EFTA-protected multi-row decode tile of one slot: chunk row `r` of the
+/// `c × dim` unscaled query chunk attends the causal prefix
+/// `0 .. vis0 + r` at fault-coordinate step `step0 + r` — the fused form
+/// of `c` [`efta_decode_slot`] calls, and the kernel body both share
+/// (`efta_decode_slot` is the one-row tile).
+///
+/// **Verify-once invariant:** the tile iterates block-major, reading each
+/// attended cache block through [`KvCache::verified_block`] exactly once;
+/// the corrected payload, stored checksum operands, and max-norm snapshot
+/// are then exposed to every tile row attending the block, and the block's
+/// verification outcome lands in `counters` once — not once per attending
+/// row. Rows whose causal frontier cuts the block mid-way truncate the
+/// shared verified payload and re-encode checksum operands over their
+/// visible rows, exactly as the per-row path does, so fused output stays
+/// bit-identical.
+///
+/// Per row, the accumulation order over its attended blocks is unchanged
+/// (ascending block index, one multi-accumulator state per row carried
+/// across the shared block loop), so every row reproduces its standalone
+/// decode bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn efta_decode_tile(
+    cache: &KvCache,
+    slot: usize,
+    vis0: usize,
+    step0: usize,
+    q_chunk: &MatrixF32,
+    inj: &dyn FaultInjector,
+    thr: &Thresholds,
+    opts: &EftaOptions,
+    counters: &FtCounters,
+    window: Option<usize>,
+) -> MatrixF32 {
     let d = cache.dim();
+    let c = q_chunk.rows();
+    let scale = cache.scale();
     // Output-checksum width: the V column fold is over `dim`.
     let so = cache.stride().min(d);
-    let q_blk = Matrix::from_fn(1, d, |_, j| q_raw.get(0, j) * cache.scale());
-    let q_norm = q_blk.row(0).iter().map(|x| x * x).sum::<f32>().sqrt();
+    // Per-row scaled queries and norms, hoisted out of the block loop (the
+    // old per-row fan-out allocated these once per work unit).
+    let q_rows: Vec<MatrixF32> = (0..c)
+        .map(|r| Matrix::from_fn(1, d, |_, j| q_chunk.get(r, j) * scale))
+        .collect();
+    let q_norms: Vec<f32> = q_rows
+        .iter()
+        .map(|q| q.row(0).iter().map(|x| x * x).sum::<f32>().sqrt())
+        .collect();
 
-    let mut m = f32::NEG_INFINITY;
-    let mut ell = 0.0f32;
-    let mut o: MatrixF32 = Matrix::zeros(1, d);
-    let mut o_c1: MatrixF32 = Matrix::zeros(1, so);
-    let mut o_c2: MatrixF32 = Matrix::zeros(1, so);
-    let nb = vis_blocks(cache, vis);
-    let b0 = window_start_block(cache, vis, window);
-    let mut max_hist: Vec<f32> = Vec::with_capacity(nb - b0);
-    let mut damaged = false;
+    // Per-row online-softmax accumulators, carried across the shared
+    // block loop (the tile's multi-accumulator inner state).
+    let mut m = vec![f32::NEG_INFINITY; c];
+    let mut ell = vec![0.0f32; c];
+    let mut o: Vec<MatrixF32> = (0..c).map(|_| Matrix::zeros(1, d)).collect();
+    let mut o_c1: Vec<MatrixF32> = (0..c).map(|_| Matrix::zeros(1, so)).collect();
+    let mut o_c2: Vec<MatrixF32> = (0..c).map(|_| Matrix::zeros(1, so)).collect();
+    // Row r's attended block range [b0[r], nb[r]); both bounds are
+    // non-decreasing in r, so the union is [b0[0], nb[c-1]).
+    let b0: Vec<usize> = (0..c)
+        .map(|r| window_start_block(cache, vis0 + r, window))
+        .collect();
+    let nb: Vec<usize> = (0..c).map(|r| vis_blocks(cache, vis0 + r)).collect();
+    let mut max_hist: Vec<Vec<f32>> = (0..c).map(|r| Vec::with_capacity(nb[r] - b0[r])).collect();
+    let mut damaged = vec![false; c];
 
-    for (jb, c0) in (b0..nb).map(|b| (b, b * cache.block())) {
-        // ---- Verified cache reads: residency protection ---------
-        let rows = vis_block_rows(cache, jb, vis);
-        let (k_full, krep) = cache.read_k_verified(slot, jb);
-        let (v_full, vrep) = cache.read_v_verified(slot, jb);
-        for rep in [krep, vrep] {
+    for jb in b0[0]..nb[c - 1] {
+        let c0 = jb * cache.block();
+        // ---- Verified cache read: once per (tile, block) --------
+        let vb = cache.verified_block(slot, jb);
+        for rep in [vb.k_report, vb.v_report] {
             FtCounters::add(&counters.cache_detected, rep.detected);
             FtCounters::add(&counters.cache_corrected, rep.corrected);
             FtCounters::add(&counters.cache_uncorrectable, rep.uncorrectable);
         }
-        if krep.uncorrectable + vrep.uncorrectable > 0 {
-            damaged = true;
-        }
-        let full = rows == k_full.rows();
-        let (k_blk, v_blk) = if full {
-            (k_full, v_full)
-        } else {
-            (k_full.block(0, 0, rows, d), v_full.block(0, 0, rows, d))
-        };
-        // Stored operands for fully visible blocks; a partial causal
-        // frontier re-encodes over the visible rows (same loop, same
-        // data → the exact operands a `vis`-row cache would store).
-        let (kcs_owned, vcs_owned);
-        let (kcs, vcs): (&StridedChecksums, &StridedChecksums) = if full {
-            (cache.k_checksums(slot, jb), cache.v_checksums(slot, jb))
-        } else {
-            kcs_owned = encode_rows_strided(&k_blk, cache.stride().min(rows), false);
-            vcs_owned = encode_cols_strided(&v_blk, cache.stride().min(d), false);
-            (&kcs_owned, &vcs_owned)
-        };
-        let k_max_norm = if full {
-            cache.k_max_norm(slot, jb)
-        } else {
-            (0..rows)
-                .map(|r| k_blk.row(r).iter().map(|x| x * x).sum::<f32>().sqrt())
-                .fold(0.0f32, f32::max)
-        };
-        let bc = k_blk.rows();
-        let sb = kcs.stride;
+        let block_damaged = vb.k_report.uncorrectable + vb.v_report.uncorrectable > 0;
 
-        // ---- GEMM I + stored-checksum GEMMs ---------------------
-        let ctx = |it: usize, col_off: usize| {
-            GemmCtx::new(FaultSite::GemmIAccum, slot)
-                .at(step, col_off)
-                .iter(3 * jb + it)
-        };
-        let mut s_blk = gemm_nt_inj(&q_blk, &k_blk, &inj, ctx(0, c0));
-        let s_c1 = gemm_nt_inj(&q_blk, &kcs.w1, &inj, ctx(1, vis + c0));
-        let s_c2 = gemm_nt_inj(&q_blk, &kcs.w2, &inj, ctx(2, vis + c0));
+        for r in 0..c {
+            if jb < b0[r] || jb >= nb[r] {
+                continue;
+            }
+            if block_damaged {
+                damaged[r] = true;
+            }
+            let (vis, step) = (vis0 + r, step0 + r);
+            let q_blk = &q_rows[r];
+            let rows = vis_block_rows(cache, jb, vis);
+            let full = rows == vb.k.rows();
+            let (kt, vt);
+            let (k_blk, v_blk): (&MatrixF32, &MatrixF32) = if full {
+                (&vb.k, &vb.v)
+            } else {
+                kt = vb.k.block(0, 0, rows, d);
+                vt = vb.v.block(0, 0, rows, d);
+                (&kt, &vt)
+            };
+            // Stored operands for fully visible blocks; a partial causal
+            // frontier re-encodes over the visible rows (same loop, same
+            // data → the exact operands a `vis`-row cache would store).
+            let (kcs_owned, vcs_owned);
+            let (kcs, vcs): (&StridedChecksums, &StridedChecksums) = if full {
+                (vb.k_cs, vb.v_cs)
+            } else {
+                kcs_owned = encode_rows_strided(k_blk, cache.stride().min(rows), false);
+                vcs_owned = encode_cols_strided(v_blk, cache.stride().min(d), false);
+                (&kcs_owned, &vcs_owned)
+            };
+            let k_max_norm = if full {
+                vb.k_max_norm
+            } else {
+                (0..rows)
+                    .map(|kr| k_blk.row(kr).iter().map(|x| x * x).sum::<f32>().sqrt())
+                    .fold(0.0f32, f32::max)
+            };
+            let bc = k_blk.rows();
+            let sb = kcs.stride;
 
-        // ---- Reduce max + SNVR restriction ----------------------
-        let mut bm = s_blk
-            .row(0)
-            .iter()
-            .cloned()
-            .fold(f32::NEG_INFINITY, f32::max);
-        bm = inj.corrupt_f32(FaultSite::MaxReduce, OpCoord::new(slot, step, jb, 0), bm);
-        if let Restriction::Repaired { repaired } = restrict_row_max(s_blk.row(0), bm) {
-            bm = repaired;
-            FtCounters::add(&counters.max_restricted, 1);
-        }
-        // Cauchy–Schwarz plausibility bound unmasks a positive-huge
-        // hijack (same extension as the prefill kernel). The K row
-        // norm is snapshotted at append time, not rescanned here.
-        if bm > q_norm * k_max_norm * 1.05 + 1e-3 || !bm.is_finite() {
-            let (mut arg, mut best) = (0usize, f32::NEG_INFINITY);
-            for (j, &v) in s_blk.row(0).iter().enumerate() {
-                if v > best || !v.is_finite() {
-                    best = v;
-                    arg = j;
-                }
-            }
-            let mut acc = 0.0f32;
-            for (a, b) in q_blk.row(0).iter().zip(k_blk.row(arg)) {
-                acc += a * b;
-            }
-            if s_blk.get(0, arg) != acc {
-                s_blk.set(0, arg, acc);
-                FtCounters::add(&counters.gemm1_corrected, 1);
-            }
-            bm = s_blk
+            // ---- GEMM I + stored-checksum GEMMs ---------------------
+            let ctx = |it: usize, col_off: usize| {
+                GemmCtx::new(FaultSite::GemmIAccum, slot)
+                    .at(step, col_off)
+                    .iter(3 * jb + it)
+            };
+            let mut s_blk = gemm_nt_inj(q_blk, k_blk, &inj, ctx(0, c0));
+            let s_c1 = gemm_nt_inj(q_blk, &kcs.w1, &inj, ctx(1, vis + c0));
+            let s_c2 = gemm_nt_inj(q_blk, &kcs.w2, &inj, ctx(2, vis + c0));
+
+            // ---- Reduce max + SNVR restriction ----------------------
+            let mut bm = s_blk
                 .row(0)
                 .iter()
                 .cloned()
                 .fold(f32::NEG_INFINITY, f32::max);
-            FtCounters::add(&counters.max_restricted, 1);
-        }
-        let m_new = m.max(bm);
-
-        // ---- Subtract + EXP -------------------------------------
-        let mut p: MatrixF32 = Matrix::zeros(1, bc);
-        for j in 0..bc {
-            let diff = inj.corrupt_f32(
-                FaultSite::Subtract,
-                OpCoord::new(slot, step, c0 + j, jb),
-                s_blk.get(0, j) - m_new,
-            );
-            let e = inj.corrupt_f32(
-                FaultSite::ExpUnit,
-                OpCoord::new(slot, step, c0 + j, jb),
-                diff.exp(),
-            );
-            p.set(0, j, e);
-        }
-
-        // ---- Product check: GEMM I ∪ subtract ∪ EXP -------------
-        if opts.softmax == SoftmaxProtection::Snvr {
-            let counts = residue_counts(bc, sb);
-            let mut tc1 = s_c1.clone();
-            transport_subtract_max(&mut tc1, &[m_new], &counts);
-            let p_c1 = ft_abft::propagate::transport_exp(&tc1);
-            let mismatches = verify_products(&p, &p_c1, sb, thr.exp_product);
-            if !mismatches.is_empty() {
-                FtCounters::add(&counters.exp_detected, mismatches.len() as u64);
-                let classify_floor = thr.gemm.abs_floor.max(1e-2);
-                let sums1 = strided_sums(&s_blk, sb);
-                let sums2 = strided_sums_weighted(&s_blk, sb);
-                let mut linear = Vec::new();
-                let mut exp_only = Vec::new();
-                for mm in &mismatches {
-                    let d1 = sums1.get(0, mm.t) - s_c1.get(0, mm.t);
-                    if d1.abs() > classify_floor || !d1.is_finite() {
-                        linear.push(StridedMismatch {
-                            i: 0,
-                            t: mm.t,
-                            delta1: d1,
-                            delta2: sums2.get(0, mm.t) - s_c2.get(0, mm.t),
-                        });
-                    } else {
-                        exp_only.push(mm.t);
+            bm = inj.corrupt_f32(FaultSite::MaxReduce, OpCoord::new(slot, step, jb, 0), bm);
+            if let Restriction::Repaired { repaired } = restrict_row_max(s_blk.row(0), bm) {
+                bm = repaired;
+                FtCounters::add(&counters.max_restricted, 1);
+            }
+            // Cauchy–Schwarz plausibility bound unmasks a positive-huge
+            // hijack (same extension as the prefill kernel). The K row
+            // norm is snapshotted at append time, not rescanned here.
+            if bm > q_norms[r] * k_max_norm * 1.05 + 1e-3 || !bm.is_finite() {
+                let (mut arg, mut best) = (0usize, f32::NEG_INFINITY);
+                for (j, &v) in s_blk.row(0).iter().enumerate() {
+                    if v > best || !v.is_finite() {
+                        best = v;
+                        arg = j;
                     }
                 }
-                if !linear.is_empty() {
-                    let rep = correct_strided(&mut s_blk, &linear, sb);
-                    for loc in &rep.corrected {
-                        let mut acc = 0.0f32;
-                        for (a, b) in q_blk.row(0).iter().zip(k_blk.row(loc.col)) {
-                            acc += a * b;
+                let mut acc = 0.0f32;
+                for (a, b) in q_blk.row(0).iter().zip(k_blk.row(arg)) {
+                    acc += a * b;
+                }
+                if s_blk.get(0, arg) != acc {
+                    s_blk.set(0, arg, acc);
+                    FtCounters::add(&counters.gemm1_corrected, 1);
+                }
+                bm = s_blk
+                    .row(0)
+                    .iter()
+                    .cloned()
+                    .fold(f32::NEG_INFINITY, f32::max);
+                FtCounters::add(&counters.max_restricted, 1);
+            }
+            let m_new = m[r].max(bm);
+
+            // ---- Subtract + EXP -------------------------------------
+            let mut p: MatrixF32 = Matrix::zeros(1, bc);
+            for j in 0..bc {
+                let diff = inj.corrupt_f32(
+                    FaultSite::Subtract,
+                    OpCoord::new(slot, step, c0 + j, jb),
+                    s_blk.get(0, j) - m_new,
+                );
+                let e = inj.corrupt_f32(
+                    FaultSite::ExpUnit,
+                    OpCoord::new(slot, step, c0 + j, jb),
+                    diff.exp(),
+                );
+                p.set(0, j, e);
+            }
+
+            // ---- Product check: GEMM I ∪ subtract ∪ EXP -------------
+            if opts.softmax == SoftmaxProtection::Snvr {
+                let counts = residue_counts(bc, sb);
+                let mut tc1 = s_c1.clone();
+                transport_subtract_max(&mut tc1, &[m_new], &counts);
+                let p_c1 = ft_abft::propagate::transport_exp(&tc1);
+                let mismatches = verify_products(&p, &p_c1, sb, thr.exp_product);
+                if !mismatches.is_empty() {
+                    FtCounters::add(&counters.exp_detected, mismatches.len() as u64);
+                    let classify_floor = thr.gemm.abs_floor.max(1e-2);
+                    let sums1 = strided_sums(&s_blk, sb);
+                    let sums2 = strided_sums_weighted(&s_blk, sb);
+                    let mut linear = Vec::new();
+                    let mut exp_only = Vec::new();
+                    for mm in &mismatches {
+                        let d1 = sums1.get(0, mm.t) - s_c1.get(0, mm.t);
+                        if d1.abs() > classify_floor || !d1.is_finite() {
+                            linear.push(StridedMismatch {
+                                i: 0,
+                                t: mm.t,
+                                delta1: d1,
+                                delta2: sums2.get(0, mm.t) - s_c2.get(0, mm.t),
+                            });
+                        } else {
+                            exp_only.push(mm.t);
                         }
-                        s_blk.set(0, loc.col, acc);
                     }
-                    FtCounters::add(&counters.gemm1_detected, rep.detections as u64);
-                    FtCounters::add(&counters.gemm1_corrected, rep.corrected.len() as u64);
-                    if rep.uncorrectable > 0 {
-                        s_blk = gemm_nt(&q_blk, &k_blk);
-                        FtCounters::add(&counters.gemm1_recomputed, rep.uncorrectable as u64);
+                    if !linear.is_empty() {
+                        let rep = correct_strided(&mut s_blk, &linear, sb);
+                        for loc in &rep.corrected {
+                            let mut acc = 0.0f32;
+                            for (a, b) in q_blk.row(0).iter().zip(k_blk.row(loc.col)) {
+                                acc += a * b;
+                            }
+                            s_blk.set(0, loc.col, acc);
+                        }
+                        FtCounters::add(&counters.gemm1_detected, rep.detections as u64);
+                        FtCounters::add(&counters.gemm1_corrected, rep.corrected.len() as u64);
+                        if rep.uncorrectable > 0 {
+                            s_blk = gemm_nt(q_blk, k_blk);
+                            FtCounters::add(&counters.gemm1_recomputed, rep.uncorrectable as u64);
+                        }
+                        for mm in &linear {
+                            let mut col = mm.t;
+                            while col < bc {
+                                p.set(0, col, (s_blk.get(0, col) - m_new).exp());
+                                col += sb;
+                            }
+                        }
                     }
-                    for mm in &linear {
-                        let mut col = mm.t;
+                    for t in exp_only {
+                        let mut col = t;
                         while col < bc {
                             p.set(0, col, (s_blk.get(0, col) - m_new).exp());
                             col += sb;
                         }
+                        FtCounters::add(&counters.exp_recomputed, 1);
                     }
                 }
-                for t in exp_only {
-                    let mut col = t;
-                    while col < bc {
-                        p.set(0, col, (s_blk.get(0, col) - m_new).exp());
-                        col += sb;
-                    }
-                    FtCounters::add(&counters.exp_recomputed, 1);
-                }
+            }
+
+            // ---- Rowsum + rescale state -----------------------------
+            let factor = if m[r].is_finite() {
+                (m[r] - m_new).exp()
+            } else {
+                0.0
+            };
+            let factor =
+                inj.corrupt_f32(FaultSite::Rescale, OpCoord::new(slot, step, jb, 2), factor);
+            let mut rs = 0.0f32;
+            for &e in p.row(0) {
+                rs += e;
+            }
+            let rs = inj.corrupt_f32(FaultSite::SumReduce, OpCoord::new(slot, step, jb, 1), rs);
+            ell[r] = factor * ell[r] + rs;
+            m[r] = m_new;
+            max_hist[r].push(bm);
+
+            // ---- GEMM II: data + stored-checksum operands -----------
+            let p16 = p.to_f16().to_f32();
+            let ctx2 = |it: usize, col_off: usize| {
+                GemmCtx::new(FaultSite::GemmIiAccum, slot)
+                    .at(step, col_off)
+                    .iter(3 * jb + it)
+            };
+            let pv = gemm_nn_inj(&p16, v_blk, &inj, ctx2(0, 0));
+            let pc1 = gemm_nn_inj(&p16, &vcs.w1, &inj, ctx2(1, d));
+            let pc2 = gemm_nn_inj(&p16, &vcs.w2, &inj, ctx2(2, d));
+            for (col, (ov, &dv)) in o[r].row_mut(0).iter_mut().zip(pv.row(0)).enumerate() {
+                let scaled = inj.corrupt_f32(
+                    FaultSite::Rescale,
+                    OpCoord::new(slot, step, col, 4000 + jb),
+                    factor * *ov,
+                );
+                *ov = scaled + dv;
+            }
+            for (ov, &dv) in o_c1[r].row_mut(0).iter_mut().zip(pc1.row(0)) {
+                *ov = factor * *ov + dv;
+            }
+            for (ov, &dv) in o_c2[r].row_mut(0).iter_mut().zip(pc2.row(0)) {
+                *ov = factor * *ov + dv;
+            }
+        }
+    }
+
+    let mut out = Matrix::zeros(c, d);
+    for r in 0..c {
+        let (vis, step) = (vis0 + r, step0 + r);
+        let o = &mut o[r];
+        let mut ell = ell[r];
+
+        // ---- Post-loop SNVR rowsum restriction ----------------------
+        if opts.softmax == SoftmaxProtection::Snvr {
+            // The rowsum upper bound is the number of rows actually
+            // attended — the window span under sliding-window decode, not
+            // the full prefix.
+            let n_rows = vis - b0[r] * cache.block();
+            if let Restriction::Repaired { repaired } =
+                restrict_rowsum(ell, &max_hist[r], m[r], n_rows)
+            {
+                ell = repaired;
+                FtCounters::add(&counters.sum_restricted, 1);
             }
         }
 
-        // ---- Rowsum + rescale state -----------------------------
-        let factor = if m.is_finite() {
-            (m - m_new).exp()
-        } else {
-            0.0
-        };
-        let factor = inj.corrupt_f32(FaultSite::Rescale, OpCoord::new(slot, step, jb, 2), factor);
-        let mut rs = 0.0f32;
-        for &e in p.row(0) {
-            rs += e;
-        }
-        let rs = inj.corrupt_f32(FaultSite::SumReduce, OpCoord::new(slot, step, jb, 1), rs);
-        ell = factor * ell + rs;
-        m = m_new;
-        max_hist.push(bm);
-
-        // ---- GEMM II: data + stored-checksum operands -----------
-        let p16 = p.to_f16().to_f32();
-        let ctx2 = |it: usize, col_off: usize| {
-            GemmCtx::new(FaultSite::GemmIiAccum, slot)
-                .at(step, col_off)
-                .iter(3 * jb + it)
-        };
-        let pv = gemm_nn_inj(&p16, &v_blk, &inj, ctx2(0, 0));
-        let pc1 = gemm_nn_inj(&p16, &vcs.w1, &inj, ctx2(1, d));
-        let pc2 = gemm_nn_inj(&p16, &vcs.w2, &inj, ctx2(2, d));
-        for (col, (ov, &dv)) in o.row_mut(0).iter_mut().zip(pv.row(0)).enumerate() {
-            let scaled = inj.corrupt_f32(
-                FaultSite::Rescale,
-                OpCoord::new(slot, step, col, 4000 + jb),
-                factor * *ov,
-            );
-            *ov = scaled + dv;
-        }
-        for (ov, &dv) in o_c1.row_mut(0).iter_mut().zip(pc1.row(0)) {
-            *ov = factor * *ov + dv;
-        }
-        for (ov, &dv) in o_c2.row_mut(0).iter_mut().zip(pc2.row(0)) {
-            *ov = factor * *ov + dv;
-        }
-    }
-
-    // ---- Post-loop SNVR rowsum restriction ----------------------
-    if opts.softmax == SoftmaxProtection::Snvr {
-        // The rowsum upper bound is the number of rows actually attended —
-        // the window span under sliding-window decode, not the full prefix.
-        let n_rows = vis - b0 * cache.block();
-        if let Restriction::Repaired { repaired } = restrict_rowsum(ell, &max_hist, m, n_rows) {
-            ell = repaired;
-            FtCounters::add(&counters.sum_restricted, 1);
-        }
-    }
-
-    // ---- Normalise (output + checksums) -------------------------
-    let inv = inj.corrupt_f32(
-        FaultSite::Normalize,
-        OpCoord::new(slot, step, 0, 999),
-        1.0 / ell,
-    );
-    for (col, v) in o.row_mut(0).iter_mut().enumerate() {
-        *v = inj.corrupt_f32(
+        // ---- Normalise (output + checksums) -------------------------
+        let inv = inj.corrupt_f32(
             FaultSite::Normalize,
-            OpCoord::new(slot, step, col, 1000),
-            *v * inv,
+            OpCoord::new(slot, step, 0, 999),
+            1.0 / ell,
         );
-    }
-    for v in o_c1.row_mut(0).iter_mut().chain(o_c2.row_mut(0)) {
-        *v *= inv;
-    }
-
-    // ---- Final unified output verification ----------------------
-    let sums1 = strided_sums(&o, so);
-    let sums2 = strided_sums_weighted(&o, so);
-    let mut mismatches = Vec::new();
-    for t in 0..so {
-        if thr.output.detects(sums1.get(0, t), o_c1.get(0, t)) {
-            mismatches.push(StridedMismatch {
-                i: 0,
-                t,
-                delta1: sums1.get(0, t) - o_c1.get(0, t),
-                delta2: sums2.get(0, t) - o_c2.get(0, t),
-            });
+        for (col, v) in o.row_mut(0).iter_mut().enumerate() {
+            *v = inj.corrupt_f32(
+                FaultSite::Normalize,
+                OpCoord::new(slot, step, col, 1000),
+                *v * inv,
+            );
         }
-    }
-    if !mismatches.is_empty() {
-        let rep = correct_strided(&mut o, &mismatches, so);
-        FtCounters::add(&counters.gemm2_detected, rep.detections as u64);
-        FtCounters::add(&counters.gemm2_corrected, rep.corrected.len() as u64);
-        let catastrophic = rep.corrected.iter().any(|l| {
-            !l.delta.is_finite() || l.delta.abs() > 1e3 * (o_c1.get(0, l.col % so).abs() + 1.0)
-        });
-        if rep.uncorrectable > 0 || catastrophic {
-            FtCounters::add(&counters.gemm2_recomputed, rep.uncorrectable.max(1) as u64);
-            damaged = true;
+        for v in o_c1[r].row_mut(0).iter_mut().chain(o_c2[r].row_mut(0)) {
+            *v *= inv;
         }
-    }
 
-    if damaged {
-        // Recomputation fallback over verified reads: clean online
-        // softmax of the visible prefix (cache-uncorrectable damage stays
-        // in the data, but the report carries that signal).
-        let mut state = crate::flash::OnlineState::new(1, d);
-        for jb in b0..nb {
-            let rows = vis_block_rows(cache, jb, vis);
-            let (mut k_blk, _) = cache.read_k_verified(slot, jb);
-            let (mut v_blk, _) = cache.read_v_verified(slot, jb);
-            if rows < k_blk.rows() {
-                k_blk = k_blk.block(0, 0, rows, d);
-                v_blk = v_blk.block(0, 0, rows, d);
+        // ---- Final unified output verification ----------------------
+        let sums1 = strided_sums(o, so);
+        let sums2 = strided_sums_weighted(o, so);
+        let mut mismatches = Vec::new();
+        for t in 0..so {
+            if thr.output.detects(sums1.get(0, t), o_c1[r].get(0, t)) {
+                mismatches.push(StridedMismatch {
+                    i: 0,
+                    t,
+                    delta1: sums1.get(0, t) - o_c1[r].get(0, t),
+                    delta2: sums2.get(0, t) - o_c2[r].get(0, t),
+                });
             }
-            let s_blk = gemm_nt(&q_blk, &k_blk);
-            crate::flash::online_update(&mut state, &s_blk, &v_blk);
         }
-        crate::flash::finalize(&mut state);
-        o = state.o;
+        if !mismatches.is_empty() {
+            let rep = correct_strided(o, &mismatches, so);
+            FtCounters::add(&counters.gemm2_detected, rep.detections as u64);
+            FtCounters::add(&counters.gemm2_corrected, rep.corrected.len() as u64);
+            let catastrophic = rep.corrected.iter().any(|l| {
+                !l.delta.is_finite()
+                    || l.delta.abs() > 1e3 * (o_c1[r].get(0, l.col % so).abs() + 1.0)
+            });
+            if rep.uncorrectable > 0 || catastrophic {
+                FtCounters::add(&counters.gemm2_recomputed, rep.uncorrectable.max(1) as u64);
+                damaged[r] = true;
+            }
+        }
+
+        if damaged[r] {
+            // Recomputation fallback over verified reads: clean online
+            // softmax of the visible prefix (cache-uncorrectable damage
+            // stays in the data, but the report carries that signal). Rare
+            // path — re-reads per row rather than keeping every attended
+            // block resident for the whole tile.
+            let mut state = crate::flash::OnlineState::new(1, d);
+            for jb in b0[r]..nb[r] {
+                let rows = vis_block_rows(cache, jb, vis);
+                let (mut k_blk, _) = cache.read_k_verified(slot, jb);
+                let (mut v_blk, _) = cache.read_v_verified(slot, jb);
+                if rows < k_blk.rows() {
+                    k_blk = k_blk.block(0, 0, rows, d);
+                    v_blk = v_blk.block(0, 0, rows, d);
+                }
+                let s_blk = gemm_nt(&q_rows[r], &k_blk);
+                crate::flash::online_update(&mut state, &s_blk, &v_blk);
+            }
+            crate::flash::finalize(&mut state);
+            *o = state.o;
+        }
+        out.row_mut(r).copy_from_slice(o.row(0));
     }
-    o
+    out
 }
 
 /// Unprotected single-query decode: raw cache reads, online softmax, no

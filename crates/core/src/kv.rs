@@ -146,6 +146,31 @@ impl KvReadReport {
     }
 }
 
+/// One cache block read through verification **once** and shared by every
+/// chunk row of a sweep tile (see [`KvCache::verified_block`]): corrected
+/// f32 payload plus borrowed checksum operands, so the tile's checksum
+/// GEMMs reuse the stored append-time encodes without re-deriving them
+/// per row.
+#[derive(Debug)]
+pub struct VerifiedBlock<'a> {
+    /// Verified (located-and-corrected) f32 copy of the block's K rows.
+    pub k: MatrixF32,
+    /// Verified f32 copy of the block's V rows.
+    pub v: MatrixF32,
+    /// Stored append-time K checksum operands (the GEMM I checksum
+    /// operands for fully visible blocks).
+    pub k_cs: &'a StridedChecksums,
+    /// Stored append-time V checksum operands (GEMM II).
+    pub v_cs: &'a StridedChecksums,
+    /// Largest Euclidean K row norm, snapshotted at append time (the
+    /// Cauchy–Schwarz max-plausibility bound).
+    pub k_max_norm: f32,
+    /// K verification outcome — to be attributed once per sweep.
+    pub k_report: KvReadReport,
+    /// V verification outcome — to be attributed once per sweep.
+    pub v_report: KvReadReport,
+}
+
 /// Checksum-protected per-(batch, head) K/V store for incremental decode.
 ///
 /// Rows are appended one token at a time (or several for chunked prefill);
@@ -516,6 +541,35 @@ impl KvCache {
         let mut vf = blk.v.to_f32();
         let report = verify_cols(&mut vf, &blk.v_cs);
         (vf, report)
+    }
+
+    /// Verify block `b` of slot `slot` **once** and expose everything a
+    /// sweep tile needs from it: the corrected K/V payload, the stored
+    /// checksum operands, and the append-time max-norm snapshot — the
+    /// fused multi-row sweep's verify-once, expose-many read path. The
+    /// verification outcome rides along exactly once, so a tile serving
+    /// many chunk rows attributes each physical cache fault to its
+    /// stream's report once per sweep, not once per attending row.
+    ///
+    /// The payload copies are bit-identical to
+    /// [`read_k_verified`](KvCache::read_k_verified) /
+    /// [`read_v_verified`](KvCache::read_v_verified) — same stored rows
+    /// through the same deterministic locate-and-correct pass.
+    pub fn verified_block(&self, slot: usize, b: usize) -> VerifiedBlock<'_> {
+        let blk = &self.slots[slot][self.resident_index(b)];
+        let mut kf = blk.k.to_f32();
+        let k_report = verify_rows(&mut kf, &blk.k_cs);
+        let mut vf = blk.v.to_f32();
+        let v_report = verify_cols(&mut vf, &blk.v_cs);
+        VerifiedBlock {
+            k: kf,
+            v: vf,
+            k_cs: &blk.k_cs,
+            v_cs: &blk.v_cs,
+            k_max_norm: blk.k_max_norm,
+            k_report,
+            v_report,
+        }
     }
 
     /// Model soft errors landing in cache-resident state: every stored FP16

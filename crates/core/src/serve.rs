@@ -13,12 +13,19 @@
 //!   [`KvCache`].
 //! * [`sweep_unprotected`] / [`sweep_efta`] — the batched multi-stream
 //!   extensions of [`reference_decode`] / [`efta_decode`]: every
-//!   `(stream, row, slot)` work unit of every slice is flattened into
-//!   **one** parallel sweep, and fault events are accumulated into
-//!   per-stream [`FtReport`]s — a cache hit on stream 3 lands in stream
-//!   3's report, not in a global blur. The numerics are the single-stream
-//!   kernels' own per-slot bodies, so a scheduled stream is bit-identical
-//!   to the same stream decoded alone.
+//!   `(stream, slot)` **tile** of every slice is flattened into **one**
+//!   parallel sweep. A tile spans all of its stream's chunk rows, reads
+//!   and verifies each attended cache block once, and runs every row's
+//!   online-softmax accumulation against the shared buffer — chunked
+//!   prefill pays block verification once per sweep instead of once per
+//!   row. Fault events are accumulated into per-stream [`FtReport`]s — a
+//!   cache hit on stream 3 lands in stream 3's report, not in a global
+//!   blur — with per-block cache events attributed once per sweep. The
+//!   numerics are the single-stream kernels' own per-slot bodies run
+//!   row-major inside the tile, so a scheduled stream is bit-identical to
+//!   the same stream decoded alone (the per-row fan-out survives as
+//!   [`sweep_unprotected_per_row`] / [`sweep_efta_per_row`], the oracle
+//!   the fused path is tested against).
 //! * [`DecodeScheduler`] — the continuous-batching slot table: streams are
 //!   admitted into free slots between sweeps (prompts consumed in
 //!   prefill-chunk bites so a long prompt never stalls the batch), each
@@ -75,7 +82,10 @@
 //! [`efta_decode`]: crate::decode::efta_decode
 
 use crate::backend::BackendError;
-use crate::decode::{decode_stats, efta_decode_slot, reference_decode_slot};
+use crate::decode::{
+    efta_decode_slot, efta_decode_tile, reference_decode_slot, reference_decode_tile,
+    sweep_tile_stats,
+};
 use crate::efta::{EftaOptions, GemmProtection, SoftmaxProtection};
 use crate::kv::KvCache;
 use crate::types::{FtCounters, FtReport};
@@ -169,8 +179,23 @@ fn validate(slices: &[StreamSlice<'_>]) {
     }
 }
 
-/// Flattened work units of a sweep: `(slice index, chunk row, slot)`.
-fn work_units(slices: &[StreamSlice<'_>]) -> Vec<(usize, usize, usize)> {
+/// Flattened tile work units of a fused sweep: `(slice index, slot)` —
+/// one tile spans every chunk row of that `(stream, slot)` pair, so each
+/// attended cache block is verified once per tile rather than once per
+/// row.
+fn tile_units(slices: &[StreamSlice<'_>]) -> Vec<(usize, usize)> {
+    let mut units = Vec::new();
+    for (si, s) in slices.iter().enumerate() {
+        for slot in 0..s.cache.num_slots() {
+            units.push((si, slot));
+        }
+    }
+    units
+}
+
+/// Flattened per-row work units of the oracle sweeps:
+/// `(slice index, chunk row, slot)`.
+fn row_work_units(slices: &[StreamSlice<'_>]) -> Vec<(usize, usize, usize)> {
     let mut units = Vec::new();
     for (si, s) in slices.iter().enumerate() {
         for row in 0..s.q.seq() {
@@ -182,38 +207,43 @@ fn work_units(slices: &[StreamSlice<'_>]) -> Vec<(usize, usize, usize)> {
     units
 }
 
-/// Reassemble flat per-unit rows (in `work_units` order) into per-stream
-/// output tensors.
+/// Regroup flat per-row outputs (in `row_work_units` order) into per-tile
+/// `c × dim` matrices (in `tile_units` order), the shape [`assemble`]
+/// consumes.
+fn rows_to_tiles(slices: &[StreamSlice<'_>], rows: Vec<MatrixF32>) -> Vec<MatrixF32> {
+    let mut tiles = Vec::new();
+    let mut off = 0;
+    for s in slices {
+        let (c, ns, d) = (s.q.seq(), s.cache.num_slots(), s.cache.dim());
+        for slot in 0..ns {
+            tiles.push(Matrix::from_fn(c, d, |r, j| {
+                rows[off + r * ns + slot].get(0, j)
+            }));
+        }
+        off += c * ns;
+    }
+    tiles
+}
+
+/// Reassemble per-tile `c × dim` outputs (in `tile_units` order) into
+/// per-stream output tensors, with an exact per-row attended census for
+/// each stream's kernel stats (see
+/// [`sweep_tile_stats`](crate::decode::sweep_tile_stats) — chunk rows are
+/// charged their own causal prefix, and shared block reads are charged
+/// once per tile, not once per row).
 fn assemble(
     slices: &[StreamSlice<'_>],
-    rows: Vec<MatrixF32>,
+    tiles: Vec<MatrixF32>,
     reports: Vec<FtReport>,
     protected: bool,
 ) -> Vec<StreamSweepOutput> {
     let mut out = Vec::with_capacity(slices.len());
-    let mut off = 0;
+    let mut tiles = tiles.into_iter();
     for (s, report) in slices.iter().zip(reports) {
         let (c, ns, d) = (s.q.seq(), s.cache.num_slots(), s.cache.dim());
-        let mats: Vec<MatrixF32> = (0..ns)
-            .map(|slot| Matrix::from_fn(c, d, |r, j| rows[off + r * ns + slot].get(0, j)))
-            .collect();
-        off += c * ns;
-        // One fused sweep launch; per-row traffic/FLOPs scale with the
-        // chunk width (a slight overcount for prefix rows, which see less
-        // of the cache — a conservative roofline, not an exact census).
-        let attended = crate::decode::attended_rows(s.cache, s.cache.len(), s.window);
-        let per_row = decode_stats(s.cache, attended, protected);
-        let stats = ft_sim::device::KernelStats {
-            launches: per_row.launches,
-            hbm_read: per_row.hbm_read * c as u64,
-            hbm_written: per_row.hbm_written * c as u64,
-            tc_flops: per_row.tc_flops * c as u64,
-            fp32_flops: per_row.fp32_flops * c as u64,
-            sfu_ops: per_row.sfu_ops * c as u64,
-            serial_flops: per_row.serial_flops * c as u64,
-        };
+        let mats: Vec<MatrixF32> = tiles.by_ref().take(ns).collect();
         let mut timeline = Timeline::new();
-        timeline.push("decode", stats);
+        timeline.push("decode", sweep_tile_stats(s.cache, c, s.window, protected));
         out.push(StreamSweepOutput {
             stream: s.stream,
             o: Tensor4F32::from_slots(s.cache.batch(), s.cache.heads(), c, d, mats),
@@ -224,9 +254,12 @@ fn assemble(
     out
 }
 
-/// Unprotected batched sweep: every stream's work units run through
-/// [`reference_decode`](crate::decode::reference_decode)'s per-slot body in
-/// one parallel fan-out. The default
+/// Unprotected batched sweep: one fused multi-row tile per
+/// `(stream, slot)` work unit, each tile reading every attended cache
+/// block once and running all chunk rows' online-softmax accumulation
+/// against it (see `ft_core::decode::reference_decode_tile` — row
+/// outputs are bit-identical to the per-row oracle
+/// [`sweep_unprotected_per_row`]). The default
 /// [`try_decode_sweep`](crate::backend::AttentionBackend::try_decode_sweep)
 /// path for backends without a protected decode variant.
 pub fn sweep_unprotected(
@@ -234,7 +267,30 @@ pub fn sweep_unprotected(
     inj: &dyn FaultInjector,
 ) -> Result<Vec<StreamSweepOutput>, BackendError> {
     validate(slices);
-    let rows: Vec<MatrixF32> = work_units(slices)
+    let tiles: Vec<MatrixF32> = tile_units(slices)
+        .into_par_iter()
+        .map(|(si, slot)| {
+            let s = &slices[si];
+            let base = s.base();
+            let q_chunk = s.q.slot_flat(slot).to_f32();
+            reference_decode_tile(s.cache, slot, base + 1, base, &q_chunk, inj, s.window)
+        })
+        .collect();
+    let reports = vec![FtReport::default(); slices.len()];
+    Ok(assemble(slices, tiles, reports, false))
+}
+
+/// Per-row oracle for [`sweep_unprotected`]: the original
+/// `(stream, row, slot)` fan-out, each unit decoding one chunk row alone.
+/// Kept (and exported) as the equivalence baseline the fused tile sweep is
+/// tested and benchmarked against — it re-reads every attended cache block
+/// once **per row**, which is exactly the cost the fused sweep amortises.
+pub fn sweep_unprotected_per_row(
+    slices: &[StreamSlice<'_>],
+    inj: &dyn FaultInjector,
+) -> Result<Vec<StreamSweepOutput>, BackendError> {
+    validate(slices);
+    let rows: Vec<MatrixF32> = row_work_units(slices)
         .into_par_iter()
         .map(|(si, row, slot)| {
             let s = &slices[si];
@@ -252,41 +308,73 @@ pub fn sweep_unprotected(
         })
         .collect();
     let reports = vec![FtReport::default(); slices.len()];
-    Ok(assemble(slices, rows, reports, false))
+    let tiles = rows_to_tiles(slices, rows);
+    Ok(assemble(slices, tiles, reports, false))
 }
 
 /// EFTA-protected batched sweep: the multi-stream extension of
-/// [`efta_decode`](crate::decode::efta_decode). Each work unit verifies its
-/// stream's cache blocks on read and runs the protected single-query
-/// pipeline; fault events land in that stream's [`FtReport`] only.
+/// [`efta_decode`](crate::decode::efta_decode), fused into one multi-row
+/// tile per `(stream, slot)` work unit. Each tile verifies every attended
+/// cache block of its stream **once** per sweep
+/// ([`KvCache::verified_block`]), exposes the corrected payload and stored
+/// checksum operands to all chunk rows, and runs the protected per-row
+/// pipeline against the shared buffer; fault events land in that stream's
+/// [`FtReport`] only, with per-block cache events attributed once per
+/// sweep (see [`sweep_efta_per_row`] for the row-granular oracle, which
+/// attributes per attending row). Row outputs are bit-identical to the
+/// oracle on every backend.
 pub fn sweep_efta(
     slices: &[StreamSlice<'_>],
     inj: &dyn FaultInjector,
     thresholds: Option<Thresholds>,
     opts: &EftaOptions,
 ) -> Result<Vec<StreamSweepOutput>, BackendError> {
-    if opts.gemm == GemmProtection::Unprotected && opts.softmax == SoftmaxProtection::Unprotected {
-        return sweep_unprotected(slices, inj);
-    }
-    if opts.gemm == GemmProtection::Traditional {
-        return Err(BackendError::Unsupported(
-            "decode reuses the cache's strided append-time checksums; the traditional \
-             element scheme has no cached operands to reuse"
-                .into(),
-        ));
-    }
-    validate(slices);
-    let thr = thresholds.unwrap_or(opts.thresholds);
-    let counters: Vec<FtCounters> = slices.iter().map(|_| FtCounters::new()).collect();
-    for (s, c) in slices.iter().zip(&counters) {
-        // Sticky unrepairable damage is per stream: surface it in that
-        // stream's report every sweep, scoped to the blocks the stream's
-        // window can still attend (see `KvCache::poisoned_attended` — a
-        // mark behind the window cannot reach any future token, so it must
-        // not trip the engine's re-prefill trigger).
-        FtCounters::add(&c.cache_uncorrectable, s.cache.poisoned_attended(s.window));
-    }
-    let rows: Vec<MatrixF32> = work_units(slices)
+    let (thr, counters) = match efta_sweep_prologue(slices, thresholds, opts)? {
+        Some(state) => state,
+        None => return sweep_unprotected(slices, inj),
+    };
+    let tiles: Vec<MatrixF32> = tile_units(slices)
+        .into_par_iter()
+        .map(|(si, slot)| {
+            let s = &slices[si];
+            let base = s.base();
+            let q_chunk = s.q.slot_flat(slot).to_f32();
+            efta_decode_tile(
+                s.cache,
+                slot,
+                base + 1,
+                base,
+                &q_chunk,
+                inj,
+                &thr,
+                opts,
+                &counters[si],
+                s.window,
+            )
+        })
+        .collect();
+    let reports = counters.iter().map(FtCounters::snapshot).collect();
+    Ok(assemble(slices, tiles, reports, true))
+}
+
+/// Per-row oracle for [`sweep_efta`]: the original `(stream, row, slot)`
+/// fan-out through the single-row protected body. Every row re-verifies
+/// each attended cache block itself, so a resident cache fault is counted
+/// once per *attending row* in the stream's report — the row-granular
+/// attribution the fused sweep collapses to once per sweep. Output rows
+/// are bit-identical to [`sweep_efta`]; only the counting granularity
+/// (and the redundant re-verification cost) differ.
+pub fn sweep_efta_per_row(
+    slices: &[StreamSlice<'_>],
+    inj: &dyn FaultInjector,
+    thresholds: Option<Thresholds>,
+    opts: &EftaOptions,
+) -> Result<Vec<StreamSweepOutput>, BackendError> {
+    let (thr, counters) = match efta_sweep_prologue(slices, thresholds, opts)? {
+        Some(state) => state,
+        None => return sweep_unprotected_per_row(slices, inj),
+    };
+    let rows: Vec<MatrixF32> = row_work_units(slices)
         .into_par_iter()
         .map(|(si, row, slot)| {
             let s = &slices[si];
@@ -307,10 +395,48 @@ pub fn sweep_efta(
         })
         .collect();
     let reports = counters.iter().map(FtCounters::snapshot).collect();
-    Ok(assemble(slices, rows, reports, true))
+    let tiles = rows_to_tiles(slices, rows);
+    Ok(assemble(slices, tiles, reports, true))
 }
 
-/// Extract chunk row `row` of slot `slot` as an unscaled `1 × dim` f32 row.
+/// Shared entry checks of the protected sweeps: option fallbacks,
+/// validation, threshold resolution, and per-stream counters pre-seeded
+/// with each cache's window-scoped sticky poison count. Returns `None`
+/// when the options disable protection (callers degrade to their
+/// unprotected variant).
+#[allow(clippy::type_complexity)]
+fn efta_sweep_prologue(
+    slices: &[StreamSlice<'_>],
+    thresholds: Option<Thresholds>,
+    opts: &EftaOptions,
+) -> Result<Option<(Thresholds, Vec<FtCounters>)>, BackendError> {
+    if opts.gemm == GemmProtection::Unprotected && opts.softmax == SoftmaxProtection::Unprotected {
+        return Ok(None);
+    }
+    if opts.gemm == GemmProtection::Traditional {
+        return Err(BackendError::Unsupported(
+            "decode reuses the cache's strided append-time checksums; the traditional \
+             element scheme has no cached operands to reuse"
+                .into(),
+        ));
+    }
+    validate(slices);
+    let thr = thresholds.unwrap_or(opts.thresholds);
+    let counters: Vec<FtCounters> = slices.iter().map(|_| FtCounters::new()).collect();
+    for (s, c) in slices.iter().zip(&counters) {
+        // Sticky unrepairable damage is per stream: surface it in that
+        // stream's report every sweep, scoped to the blocks the stream's
+        // window can still attend (see `KvCache::poisoned_attended` — a
+        // mark behind the window cannot reach any future token, so it must
+        // not trip the engine's re-prefill trigger).
+        FtCounters::add(&c.cache_uncorrectable, s.cache.poisoned_attended(s.window));
+    }
+    Ok(Some((thr, counters)))
+}
+
+/// Extract chunk row `row` of slot `slot` as an unscaled `1 × dim` f32 row
+/// (per-row-oracle path only; the fused tiles convert each slot's whole
+/// chunk once instead of allocating per row).
 fn chunk_row(q: &Tensor4F16, slot: usize, row: usize) -> MatrixF32 {
     let m = q.slot_flat(slot);
     Matrix::from_fn(1, q.dim(), |_, j| m.get(row, j).to_f32())

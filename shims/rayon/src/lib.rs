@@ -5,8 +5,11 @@
 //! vectors, with `map`, `enumerate`, `collect`, `reduce` and `for_each`.
 //!
 //! Unlike upstream rayon's work-stealing pool, this implementation is an
-//! eager fork-join: `map` materialises its input, splits it into one chunk
-//! per available core, and runs the chunks on `std::thread::scope` threads.
+//! eager fork-join: `map` materialises its input, deals the items to one
+//! strided bucket per available core (worker `w` takes items
+//! `w, w + workers, …` — so neighbouring expensive items spread across
+//! workers instead of piling onto one contiguous chunk), and runs the
+//! buckets on `std::thread::scope` threads.
 //! Nested calls (a parallel region inside a worker thread) degrade to
 //! sequential execution instead of oversubscribing, which bounds the thread
 //! count to one level of fan-out — the same discipline rayon's shared pool
@@ -33,6 +36,15 @@ fn worker_count() -> usize {
 }
 
 /// Run `f` over `items` in parallel, preserving order.
+///
+/// Work is assigned to workers in a **strided** round-robin (worker `w`
+/// takes items `w, w + workers, w + 2·workers, …`), not in contiguous
+/// chunks. Serving sweeps order their work units by stream, so with
+/// contiguous chunking one long-cache stream's expensive neighbouring
+/// units all landed on a single worker while the workers holding short
+/// streams sat idle; striding interleaves every stream's units across all
+/// workers, which bounds the imbalance to one unit regardless of how
+/// ragged the per-unit costs are.
 fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
@@ -44,35 +56,40 @@ where
     if n <= 1 || workers <= 1 || IN_WORKER.with(Cell::get) {
         return items.into_iter().map(f).collect();
     }
-    let chunk_len = n.div_ceil(workers);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
-    let mut it = items.into_iter();
-    loop {
-        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        chunks.push(chunk);
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..workers)
+        .map(|_| Vec::with_capacity(n.div_ceil(workers)))
+        .collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % workers].push((i, item));
     }
     let f = &f;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
+        let handles: Vec<_> = buckets
             .into_iter()
-            .map(|chunk| {
+            .map(|bucket| {
                 scope.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
-                    chunk.into_iter().map(f).collect::<Vec<U>>()
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<(usize, U)>>()
                 })
             })
             .collect();
-        let mut out = Vec::with_capacity(n);
+        let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
         for handle in handles {
             match handle.join() {
-                Ok(part) => out.extend(part),
+                Ok(part) => {
+                    for (i, u) in part {
+                        out[i] = Some(u);
+                    }
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        out
+        out.into_iter()
+            .map(|u| u.expect("every index produced exactly once"))
+            .collect()
     })
 }
 
@@ -196,6 +213,48 @@ mod tests {
             })
             .collect();
         assert!(out.iter().all(|&n| n == 64));
+    }
+
+    #[test]
+    fn ragged_costs_spread_across_workers() {
+        // Pathological serving-sweep cost profile: one contiguous run of
+        // expensive items (a long-cache stream's work units) followed by
+        // near-free ones. Under the old contiguous chunking the expensive
+        // run was exactly worker 0's chunk; strided assignment must deal
+        // it across at least two workers. Deterministic by construction —
+        // no wall-clock measurement involved.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+        let workers = crate::worker_count();
+        if workers < 2 {
+            return; // single-core runner: nothing to spread
+        }
+        let n = 64usize;
+        // The contiguous-chunking chunk length: the old scheme put items
+        // 0..chunk_len all on the first worker. Floor of 2 so the spread
+        // assertion is meaningful even on very-many-core machines.
+        let chunk_len = n.div_ceil(workers.min(n)).max(2);
+        let expensive_threads: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let out: Vec<u64> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                if i < chunk_len {
+                    expensive_threads
+                        .lock()
+                        .unwrap()
+                        .insert(std::thread::current().id());
+                    (0..10_000u64).fold(i as u64, |a, b| a ^ b.wrapping_mul(31))
+                } else {
+                    i as u64
+                }
+            })
+            .collect();
+        assert_eq!(out.len(), n, "order-preserving output intact");
+        assert!(
+            expensive_threads.lock().unwrap().len() >= 2,
+            "the expensive contiguous run must be dealt across workers"
+        );
     }
 
     #[test]

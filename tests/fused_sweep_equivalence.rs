@@ -1,0 +1,252 @@
+//! Fused multi-row sweep equivalence suite.
+//!
+//! The contract of the tiled `(stream, slot)` sweep kernel: its output rows
+//! are **bit-identical** to the per-row oracle (the original
+//! `(stream, row, slot)` fan-out where every chunk row re-reads and, under
+//! EFTA, re-verifies its attended cache blocks itself) — for every backend
+//! in the registry, across ragged trailing blocks, mixed per-stream
+//! sliding windows, front-evicted caches, and mid-flight chunked prefill.
+//! Shared verification changes *accounting*, not arithmetic: a cache SEU
+//! in a block attended by the whole chunk is located, corrected, and
+//! attributed to the right stream's report exactly **once** per sweep by
+//! the fused path, where the per-row oracle re-detects it once per
+//! attending row.
+
+use ft_transformer_suite::attention::backend::{AttentionBackend, BackendKind};
+use ft_transformer_suite::attention::kv::KvCache;
+use ft_transformer_suite::attention::serve::{StreamId, StreamSlice};
+use ft_transformer_suite::num::rng::normal_tensor_f16;
+use ft_transformer_suite::num::Tensor4F16;
+use ft_transformer_suite::sim::{FaultInjector, FaultSite, NoFaults, OpCoord, SeuInjector};
+
+const HEADS: usize = 2;
+const DIM: usize = 16;
+const SCALE: f32 = 0.25; // 1/sqrt(16)
+
+/// Single-token K/V rows, deterministic per (seed, position).
+fn kv_row(seed: u64, t: usize) -> (Tensor4F16, Tensor4F16) {
+    (
+        normal_tensor_f16(seed + t as u64, 1, HEADS, 1, DIM, 0.6),
+        normal_tensor_f16(seed + 500 + t as u64, 1, HEADS, 1, DIM, 0.8),
+    )
+}
+
+/// Cache holding token rows `0..len`, appended one at a time exactly like
+/// incremental decode does (chunked prefill shares block contents with
+/// this, so the sweep geometry is all that varies).
+fn cache_over(seed: u64, len: usize, block: usize) -> KvCache {
+    let mut cache = KvCache::new(1, HEADS, DIM, block, 8, SCALE);
+    for t in 0..len {
+        let (k, v) = kv_row(seed, t);
+        assert!(cache.append(&k, &v).clean());
+    }
+    cache
+}
+
+/// Query chunk of `c` rows (the tail rows of the stream's sequence).
+fn q_chunk(seed: u64, c: usize) -> Tensor4F16 {
+    normal_tensor_f16(seed + 900, 1, HEADS, c, DIM, 0.6)
+}
+
+/// Fused tile sweep ≡ per-row oracle, bit-for-bit, on every backend — over
+/// a batch mixing decode (c = 1) with mid-flight chunked prefill (c > 1),
+/// ragged trailing blocks, a sliding window, and a front-evicted cache.
+#[test]
+fn fused_sweep_bit_matches_per_row_oracle_on_every_backend() {
+    // (len, block, chunk, window, evict_front): one stream per row.
+    let shapes: &[(usize, usize, usize, Option<usize>, usize)] = &[
+        (21, 8, 1, None, 0),     // plain decode, ragged tail
+        (13, 4, 4, None, 0),     // chunked prefill, ragged tail
+        (27, 8, 5, Some(10), 0), // chunk under a sliding window
+        (24, 8, 3, None, 1),     // exact block boundary, front-evicted
+        (9, 4, 2, Some(6), 0),   // short stream, tight window
+    ];
+    let mut caches = Vec::new();
+    let mut chunks = Vec::new();
+    for (i, &(len, block, c, _, evict)) in shapes.iter().enumerate() {
+        let seed = 7000 + i as u64 * 37;
+        let mut cache = cache_over(seed, len, block);
+        if evict > 0 {
+            assert_eq!(cache.evict_front(evict), evict);
+        }
+        caches.push(cache);
+        chunks.push(q_chunk(seed, c));
+    }
+    let slices: Vec<StreamSlice<'_>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, _, _, window, _))| StreamSlice {
+            stream: StreamId(i as u64 * 3),
+            cache: &caches[i],
+            q: &chunks[i],
+            window,
+        })
+        .collect();
+
+    for kind in BackendKind::all() {
+        let fused = kind
+            .try_decode_sweep(&slices, &NoFaults, None)
+            .unwrap_or_else(|e| panic!("{kind}: fused sweep failed: {e}"));
+        let per_row = kind
+            .try_decode_sweep_per_row(&slices, &NoFaults, None)
+            .unwrap_or_else(|e| panic!("{kind}: per-row sweep failed: {e}"));
+        assert_eq!(fused.len(), slices.len());
+        assert_eq!(per_row.len(), slices.len());
+        for (i, (f, p)) in fused.iter().zip(&per_row).enumerate() {
+            assert_eq!(f.stream, slices[i].stream);
+            assert_eq!(p.stream, slices[i].stream);
+            assert_eq!(
+                f.o.max_abs_diff(&p.o),
+                0.0,
+                "{kind} stream {i} {:?}: fused tile sweep drifted from the \
+                 per-row oracle",
+                shapes[i]
+            );
+            assert!(f.report.clean(), "{kind} stream {i}: {:?}", f.report);
+            // Both paths report the same analytic census (the shared
+            // per-row attended-prefix model), so stats stay comparable
+            // across fused and oracle runs.
+            assert_eq!(
+                f.timeline.total(),
+                p.timeline.total(),
+                "{kind} stream {i}: fused/per-row stats census diverged"
+            );
+        }
+    }
+}
+
+/// Regression test for the sweep-stats overcount: a c-row chunk's census
+/// must charge each row its *own* attended prefix and the checksum /
+/// payload read traffic once per attended-block union — strictly less
+/// than c× the full-cache single-row roofline the old census multiplied
+/// out (`per_row(len) * c`).
+#[test]
+fn chunk_sweep_census_is_less_than_c_times_the_single_row_roofline() {
+    let (len, block, c) = (24usize, 8usize, 6usize);
+    let seed = 8100;
+    let cache = cache_over(seed, len, block);
+    let chunk = q_chunk(seed, c);
+    let single = q_chunk(seed + 1, 1);
+    for kind in BackendKind::all() {
+        let chunk_out = kind
+            .try_decode_sweep(
+                &[StreamSlice {
+                    stream: StreamId(0),
+                    cache: &cache,
+                    q: &chunk,
+                    window: None,
+                }],
+                &NoFaults,
+                None,
+            )
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let single_out = kind
+            .try_decode_sweep(
+                &[StreamSlice {
+                    stream: StreamId(0),
+                    cache: &cache,
+                    q: &single,
+                    window: None,
+                }],
+                &NoFaults,
+                None,
+            )
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let chunk_stats = chunk_out[0].timeline.total();
+        let single_stats = single_out[0].timeline.total();
+        assert!(
+            chunk_stats.hbm_read < c as u64 * single_stats.hbm_read,
+            "{kind}: chunk census {} must undercut the c×roofline {}",
+            chunk_stats.hbm_read,
+            c as u64 * single_stats.hbm_read
+        );
+        assert!(
+            chunk_stats.tc_flops < c as u64 * single_stats.tc_flops,
+            "{kind}: chunk compute census must reflect per-row prefixes"
+        );
+    }
+}
+
+/// Shared-block verification fires once per sweep: a KV-cache SEU in a
+/// block attended by every row of the chunk is detected and corrected
+/// exactly once by the fused sweep (the tile verifies each block once),
+/// once *per attending row* by the per-row oracle — and is attributed to
+/// the faulted stream only. Outputs stay bit-identical between the two
+/// paths because both read the same corrected values.
+#[test]
+fn cache_seu_is_corrected_once_per_fused_sweep_and_attributed_to_its_stream() {
+    let (len, block, c) = (13usize, 4usize, 4usize);
+    let seed_a = 9200;
+    let seed_b = 9300;
+    let cache_a = cache_over(seed_a, len, block);
+    let mut cache_b = cache_over(seed_b, len, block);
+    // Flip one K-payload bit in stream B's block 0 (attended by all four
+    // chunk rows), head-slot 1.
+    let seu = SeuInjector::new(FaultSite::KvCache, OpCoord::new(1, 1, 3, 0), 14);
+    cache_b.expose(&seu, 0);
+    assert_eq!(seu.fired(), 1, "the cache SEU must land");
+
+    let qa = q_chunk(seed_a, c);
+    let qb = q_chunk(seed_b, c);
+    let slices = [
+        StreamSlice {
+            stream: StreamId(0),
+            cache: &cache_a,
+            q: &qa,
+            window: None,
+        },
+        StreamSlice {
+            stream: StreamId(5),
+            cache: &cache_b,
+            q: &qb,
+            window: None,
+        },
+    ];
+
+    for name in ["efta", "efta-o"] {
+        let kind: BackendKind = name.parse().unwrap();
+        let fused = kind.try_decode_sweep(&slices, &NoFaults, None).unwrap();
+        let per_row = kind
+            .try_decode_sweep_per_row(&slices, &NoFaults, None)
+            .unwrap();
+
+        // Attribution: stream A is untouched on both paths.
+        assert!(fused[0].report.clean(), "{name}: {:?}", fused[0].report);
+        assert!(per_row[0].report.clean(), "{name}: {:?}", per_row[0].report);
+
+        // The fused tile verifies B's damaged block exactly once per sweep.
+        assert_eq!(fused[1].stream, StreamId(5));
+        assert_eq!(
+            (
+                fused[1].report.cache_detected,
+                fused[1].report.cache_corrected
+            ),
+            (1, 1),
+            "{name}: shared verification must count the block fault once, \
+             got {:?}",
+            fused[1].report
+        );
+        assert_eq!(fused[1].report.cache_uncorrectable, 0);
+
+        // The per-row oracle re-verifies it once per attending row.
+        assert_eq!(
+            (
+                per_row[1].report.cache_detected,
+                per_row[1].report.cache_corrected
+            ),
+            (c as u64, c as u64),
+            "{name}: per-row oracle re-detects per attending row, got {:?}",
+            per_row[1].report
+        );
+
+        // Accounting differs; arithmetic must not.
+        for i in 0..slices.len() {
+            assert_eq!(
+                fused[i].o.max_abs_diff(&per_row[i].o),
+                0.0,
+                "{name} stream {i}: corrected reads must stay bit-identical \
+                 between fused and per-row sweeps"
+            );
+        }
+    }
+}
