@@ -16,6 +16,8 @@
 //! #                       ^ just the priority-scheduling latency sweep
 //! cargo run --release -p ft-bench --bin serve -- --smoke --fused-only
 //! #                       ^ just the fused multi-row sweep-kernel report
+//! cargo run --release -p ft-bench --bin serve -- --smoke --spec-only
+//! #                       ^ just the speculative draft/verify/rollback sweep
 //! ```
 //!
 //! Reported, per stream count, over a mixed-prompt-length workload:
@@ -38,6 +40,15 @@
 //! and a byte-budget session (`SchedulerConfig::memory_budget`) must
 //! throttle concurrency while still completing every stream.
 //!
+//! The speculative sweep (standalone via `--spec-only`) forces several
+//! draft accept rates with scripted draft sources built from the greedy
+//! oracle and reports tokens/sec versus plain scheduled decode and versus
+//! the sequential baseline. Hard asserts: emitted tokens bit-identical to
+//! plain decode at every rate, ≥ 1.3× plain scheduled decode at forced
+//! accept-rate ≥ 0.75, and the accept-rate-0 floor — zero-accept
+//! speculation (backoff converging to plain decode) must stay ≥ 1.0× the
+//! plain-decode baseline.
+//!
 //! The latency sweep (standalone via `--latency-only`) drives the
 //! push-based `Engine` with a bursty mixed-class trace — a wall of long
 //! `Batch` generations, then `Latency`/`Normal` arrivals mid-flight — and
@@ -55,8 +66,8 @@ use ft_num::rng::normal_tensor_f16;
 use ft_num::Tensor4F16;
 use ft_sim::{BerInjector, FaultInjector, FaultSite, NoFaults};
 use ft_transformer::{
-    BackendKind, Engine, EngineConfig, EngineEvent, FinishReason, GenerationRequest, ModelConfig,
-    Priority, RecoveryPolicy, SchedulerConfig, TransformerModel,
+    BackendKind, DraftSource, Engine, EngineConfig, EngineEvent, FinishReason, GenerationRequest,
+    ModelConfig, Priority, RecoveryPolicy, SchedulerConfig, SpeculationPolicy, TransformerModel,
 };
 use std::time::{Duration, Instant};
 
@@ -153,6 +164,10 @@ fn main() {
     }
     if has_flag("--fused-only") {
         fused_sweep(&model, &prompts_for, sched_cfg, new_tokens, smoke);
+        return;
+    }
+    if has_flag("--spec-only") {
+        spec_sweep(smoke);
         return;
     }
 
@@ -275,7 +290,174 @@ fn main() {
         recovery_sweep(&model, &prompts_for, sched_cfg, smoke);
         latency_sweep(&model, &prompts_for, smoke);
         fused_sweep(&model, &prompts_for, sched_cfg, new_tokens, smoke);
+        spec_sweep(smoke);
     }
+}
+
+/// Run `f` `reps` times, hard-asserting determinism, and return its result
+/// with the minimum wall time (min-of-reps filters scheduler noise).
+fn timed<R: PartialEq + std::fmt::Debug>(reps: u32, f: impl Fn() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    let mut best = t0.elapsed().as_secs_f64();
+    for _ in 1..reps {
+        let t0 = Instant::now();
+        let again = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(again, out, "timing reps must be deterministic");
+    }
+    (out, best)
+}
+
+/// The speculative-decoding sweep (standalone via `--spec-only`):
+/// draft-then-verify decode with checksum-protected rollback, at forced
+/// accept rates.
+///
+/// Greedy decode is deterministic, so the plain scheduled run doubles as
+/// the token oracle; a `DraftSource::Scripted` built from that oracle with
+/// an evenly-spaced fraction of entries corrupted forces each accept rate
+/// exactly. The model is sized to be verification-dominated (long history,
+/// modest vocab): the speedup mechanism is the fused multi-row sweep
+/// verifying each attended cache block once per tile, while the lazy
+/// per-row LM head keeps head cost per *emitted* token identical to plain
+/// decode.
+///
+/// Hard asserts:
+/// * emitted tokens bit-identical to plain decode at every forced rate
+///   (the rollback contract — rejected drafts leave no trace);
+/// * ≥ 1.3× plain scheduled decode at forced accept rates ≥ 0.75;
+/// * the accept-rate-0 floor: with every draft rejected, zero-accept
+///   backoff converges the stream to plain decode, which must stay
+///   ≥ 1.0× the plain-decode (sequential `decode_step`) baseline — the
+///   same-engine ratio is printed alongside, a few percent under 1.0 by
+///   exactly the pre-backoff verify sweeps' extra rows (the bounded,
+///   self-limiting cost of trying speculation on an adversarial stream).
+fn spec_sweep(smoke: bool) {
+    println!("\nspeculative decode (draft/verify/rollback, forced accept rates):");
+    // Generation-heavy split: the timed region covers the whole request,
+    // so the prefill (identical in both paths) must not dilute the
+    // decode-phase speedup being gated.
+    let (prompt_len, gen_tokens, reps) = if smoke { (96, 48, 2) } else { (192, 96, 3) };
+    let draft_len = 4usize;
+    // Verification-dominated geometry: long attended history, small vocab,
+    // ragged 16-row cache blocks (the rollback boundary case).
+    let cfg = ModelConfig {
+        name: "spec-bench",
+        layers: 2,
+        heads: 4,
+        hidden: 64,
+        ffn_dim: 96,
+        vocab: 131,
+        max_seq: 384,
+    };
+    let model = TransformerModel::random(21, cfg, BackendKind::Efta(EftaOptions::optimized()))
+        .with_causal(true)
+        .with_cache_block(16);
+    let prompt: Vec<u32> = (0..prompt_len)
+        .map(|t| ((t * 89 + 17) % cfg.vocab) as u32)
+        .collect();
+    let sched = SchedulerConfig {
+        max_active: 4,
+        prefill_chunk: 16,
+        ..Default::default()
+    };
+    let run_with = |speculation: Option<SpeculationPolicy>| {
+        let mut session = model.serve_with(sched);
+        let mut req = GenerationRequest::new(prompt.clone(), gen_tokens);
+        if let Some(policy) = speculation {
+            req = req.with_speculation(policy);
+        }
+        session.submit_request(req);
+        let f = session.run(&NoFaults).into_iter().next().expect("finished");
+        (f.tokens, f.spec_drafted, f.spec_accepted)
+    };
+
+    let ((plain_tokens, _, _), t_plain) = timed(reps, || run_with(None));
+    let oracle: Vec<u32> = plain_tokens[prompt_len..].to_vec();
+    let (seq_tokens, t_seq) = timed(reps, || sequential_generate(&model, &prompt, gen_tokens));
+    assert_eq!(
+        seq_tokens, plain_tokens,
+        "plain scheduled decode must match the sequential baseline"
+    );
+    let plain_tps = gen_tokens as f64 / t_plain;
+    let seq_tps = gen_tokens as f64 / t_seq;
+
+    let mut table = TextTable::new(&[
+        "forced accept",
+        "drafted",
+        "accepted",
+        "spec tok/s",
+        "plain tok/s",
+        "speedup",
+        "vs sequential",
+    ]);
+    let mut floor_ratio = None;
+    for &rate in &[0.0f64, 0.5, 0.75, 1.0] {
+        // Corrupt an evenly-spaced (1 - rate) fraction of the scripted
+        // drafts; a corrupted entry can never match the greedy sample, so
+        // the verify sweep rejects exactly there and rolls the rest back.
+        let script: Vec<u32> = oracle
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let q = 1.0 - rate;
+                let miss = ((i + 1) as f64 * q).floor() > (i as f64 * q).floor();
+                if miss {
+                    (t + 1 + (i % 7) as u32) % cfg.vocab as u32
+                } else {
+                    t
+                }
+            })
+            .collect();
+        let policy = SpeculationPolicy::new(draft_len)
+            .with_source(DraftSource::Scripted(script))
+            .with_backoff(Some(2));
+        let ((tokens, drafted, accepted), t_spec) = timed(reps, || run_with(Some(policy.clone())));
+        assert_eq!(
+            tokens, plain_tokens,
+            "forced accept {rate}: speculative decode must be bit-identical to plain decode"
+        );
+        let spec_tps = gen_tokens as f64 / t_spec;
+        let speedup = spec_tps / plain_tps;
+        if rate >= 0.75 {
+            assert!(
+                spec_tps >= 1.3 * plain_tps,
+                "forced accept {rate}: speculation must beat plain scheduled decode by >= 1.3x \
+                 (got {speedup:.2}x)"
+            );
+        }
+        if rate == 0.0 {
+            assert_eq!(accepted, 0, "rate 0: every draft must be rejected");
+            assert!(
+                spec_tps >= seq_tps,
+                "accept-rate-0 floor: zero-accept speculation ({spec_tps:.1} tok/s) must stay \
+                 >= 1.0x the plain-decode baseline ({seq_tps:.1} tok/s)"
+            );
+            floor_ratio = Some(speedup);
+        }
+        if rate == 1.0 {
+            assert_eq!(accepted, drafted, "rate 1: every draft must verify");
+        }
+        table.row(&[
+            format!("{rate:.2}"),
+            format!("{drafted}"),
+            format!("{accepted}"),
+            format!("{spec_tps:.1}"),
+            format!("{plain_tps:.1}"),
+            format!("{speedup:.2}x"),
+            format!("{:.2}x", spec_tps / seq_tps),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "draft_len {draft_len}, zero-accept backoff after 2 sweeps; prompt {prompt_len}, \
+         {gen_tokens} new tokens, min of {reps} reps"
+    );
+    println!(
+        "hard-asserted: bit-identity at every rate, >= 1.3x plain at accept >= 0.75, \
+         >= 1.0x plain-decode baseline at accept 0 (same-engine ratio {:.2}x)",
+        floor_ratio.expect("rate 0 measured")
+    );
 }
 
 /// The fused multi-row sweep report (standalone via `--fused-only`): the

@@ -293,6 +293,14 @@ pub trait AttentionBackend: Sync {
     /// per-slice sliding-window knob
     /// ([`StreamSlice::window`](crate::serve::StreamSlice::window)) and
     /// front-evicted caches.
+    ///
+    /// Implementations never learn whether a chunk row is a real token or
+    /// a speculative draft: the serving layer feeds provisional rows
+    /// through the same visible-length tiles and rolls rejected ones back
+    /// with [`KvCache::truncate_to`](crate::kv::KvCache::truncate_to)
+    /// afterwards. That neutrality is what pins speculative decode
+    /// bit-identical to plain decode on every backend in the registry
+    /// (`tests/speculative_equivalence.rs`).
     fn try_decode_sweep(
         &self,
         slices: &[crate::serve::StreamSlice<'_>],

@@ -29,6 +29,15 @@
 //! block (whose checksums are then re-encoded on the fly over the visible
 //! rows, exactly as the prefill kernel encodes per call).
 //!
+//! The same visible-length machinery is what makes speculative decoding
+//! ([`SpeculationPolicy`](crate::serve::SpeculationPolicy)) free at this
+//! layer: a draft/verify sweep is just a multi-row chunk whose trailing
+//! rows happen to be provisional. Each row attends exactly its own causal
+//! prefix, so the logits of the accepted rows are bit-identical to what a
+//! row-at-a-time decode would have produced, and rejected rows are undone
+//! by [`KvCache::truncate_to`] without this module ever knowing they were
+//! speculative.
+//!
 //! ```
 //! use ft_core::decode::{efta_decode, DecodeRequest};
 //! use ft_core::efta::EftaOptions;

@@ -38,6 +38,22 @@
 //! sliding-window policy on top: keep the most recent `window` rows
 //! resident (rounded up to a block boundary).
 //!
+//! # Rollback
+//!
+//! [`KvCache::checkpoint`] / [`KvCache::truncate_to`] mirror the same
+//! machinery at the *tail*: a [`CacheMark`] bookmarks a logical length,
+//! and truncating back to it drops whole tail blocks O(1) (checksums,
+//! max-norm, and poison marks retire with each dropped block, exactly as
+//! in front eviction) and re-encodes the one ragged boundary block over
+//! its surviving rows — the append path's still-filling re-encode run in
+//! reverse, verify-and-heal first so damage is never baked into the fresh
+//! checksums. The re-encoded block is bit-identical to what a cache that
+//! never grew past the mark would store, which is what lets speculative
+//! decode append provisional rows, verify them in one fused sweep, and
+//! roll back the rejected suffix without perturbing later tokens. A mark
+//! behind the eviction frontier is rejected (hard assert): those rows are
+//! gone and no truncation can restore them.
+//!
 //! Append, corrupt, and read back — the residency round-trip:
 //!
 //! ```
@@ -169,6 +185,38 @@ pub struct VerifiedBlock<'a> {
     pub k_report: KvReadReport,
     /// V verification outcome — to be attributed once per sweep.
     pub v_report: KvReadReport,
+}
+
+/// Position bookmark into a [`KvCache`]: the logical row count to restore
+/// with [`KvCache::truncate_to`]. Marks use *logical* (position-stable)
+/// coordinates, so they stay meaningful across front eviction — but a mark
+/// whose rows have since been evicted is dead, and `truncate_to` rejects
+/// it with a hard assert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheMark {
+    len: usize,
+}
+
+impl CacheMark {
+    /// Mark at an explicit logical row count. [`KvCache::checkpoint`] is
+    /// the usual constructor; this one lets recovery policies aim at a
+    /// computed boundary (e.g. the first row of the first poisoned
+    /// attended block).
+    pub fn at(len: usize) -> Self {
+        CacheMark { len }
+    }
+
+    /// The logical row count this mark restores.
+    pub fn position(&self) -> usize {
+        self.len
+    }
+
+    /// A mark `n` rows past this one — how a speculative verifier commits
+    /// an accepted prefix: checkpoint before drafting, then truncate to
+    /// `mark.advanced(accepted)` to keep exactly the verified rows.
+    pub fn advanced(&self, n: usize) -> Self {
+        CacheMark { len: self.len + n }
+    }
 }
 
 /// Checksum-protected per-(batch, head) K/V store for incremental decode.
@@ -458,6 +506,16 @@ impl KvCache {
             .sum()
     }
 
+    /// Sticky poison level of resident global block `b`, summed across
+    /// slots — the block-granular query a rollback planner uses to prove
+    /// that every block a truncated suffix will re-attend is clean (see
+    /// [`truncate_to`](KvCache::truncate_to)). Hard-asserts residency,
+    /// like every block-indexed read.
+    pub fn block_poisoned(&self, b: usize) -> u64 {
+        let i = self.resident_index(b);
+        self.slots.iter().map(|blocks| blocks[i].poisoned).sum()
+    }
+
     /// Drop the `n_blocks` oldest resident blocks from the front of every
     /// slot — O(1) bookkeeping per block: checksums, the max-norm
     /// snapshot, and sticky poison marks travel with each block, nothing
@@ -492,6 +550,114 @@ impl KvCache {
             return 0;
         }
         self.evict_front((resident - window) / self.block)
+    }
+
+    /// Bookmark the current logical length for a later
+    /// [`truncate_to`](KvCache::truncate_to) — O(1), captures no payload:
+    /// rollback re-derives everything from the blocks that survive.
+    pub fn checkpoint(&self) -> CacheMark {
+        CacheMark { len: self.len }
+    }
+
+    /// Roll the tail back to `mark`: drop every block past it O(1) and
+    /// re-encode the one ragged boundary block over its surviving rows —
+    /// the mirror image of [`evict_front`](KvCache::evict_front) at the
+    /// tail, and of the append path's still-filling re-encode in reverse.
+    ///
+    /// Contract, block by block:
+    /// * **whole tail blocks** are dropped with no re-encode; their
+    ///   checksums, max-norm snapshots, and sticky poison marks retire
+    ///   with them (damage confined to rolled-back rows leaves no trace —
+    ///   the rows it could have tainted no longer exist);
+    /// * the **ragged boundary block** (when `mark` lands mid-block) is
+    ///   verified and healed against its stored checksums *first*, then
+    ///   re-encoded over the surviving row prefix: checksums and the
+    ///   max-norm snapshot are recomputed over exactly those rows, so the
+    ///   block is bit-identical to one in a cache that never grew past the
+    ///   mark. Unlocatable damage found by the heal folds into the block's
+    ///   sticky poison mark before the evidence is destroyed, and an
+    ///   existing mark on the block survives: the damaged row cannot be
+    ///   located, so every surviving row stays suspect (conservative —
+    ///   see [`poisoned`](KvCache::poisoned));
+    /// * a mark behind the eviction frontier (`mark.position() <
+    ///   start()`) is **rejected with a hard assert**: those rows were
+    ///   evicted and no tail operation can restore them. Truncating
+    ///   forward (`mark.position() > len()`) is equally a logic error.
+    ///
+    /// Returns the boundary-block verification report (empty when the mark
+    /// lands on a block boundary or at the current length).
+    pub fn truncate_to(&mut self, mark: CacheMark) -> KvReadReport {
+        assert!(
+            mark.len <= self.len,
+            "cannot truncate forward: mark at row {} is past the cache length {}",
+            mark.len,
+            self.len,
+        );
+        assert!(
+            mark.len >= self.start,
+            "mark at row {} is behind the eviction frontier (start {}): its block was evicted",
+            mark.len,
+            self.start,
+        );
+        let mut report = KvReadReport::default();
+        if mark.len == self.len {
+            return report;
+        }
+        let keep_blocks = mark.len.div_ceil(self.block);
+        let keep_resident = keep_blocks - self.start_block();
+        let ragged = !mark.len.is_multiple_of(self.block);
+        // Rows surviving in the boundary block when the mark is ragged.
+        let boundary_rows = mark.len - keep_blocks.saturating_sub(1) * self.block;
+        let (stride, dim) = (self.stride, self.dim);
+        for blocks in &mut self.slots {
+            blocks.truncate(keep_resident);
+            if !ragged {
+                continue;
+            }
+            let last = blocks.last_mut().expect("ragged boundary block resident");
+            if last.k.rows() <= boundary_rows {
+                continue;
+            }
+            // Mirror of the append path's ragged re-encode: verify and
+            // heal the whole stored block against the old checksums, keep
+            // the surviving row prefix, re-encode checksums and max-norm
+            // over exactly those rows (the stride adapts via
+            // `KvBlock::encode`, matching what a never-extended cache
+            // would store), and fold unlocatable damage into the sticky
+            // poison mark before the re-encode destroys its evidence.
+            let mut kf = last.k.to_f32();
+            let mut vf = last.v.to_f32();
+            let heal = verify_rows(&mut kf, &last.k_cs).merged(&verify_cols(&mut vf, &last.v_cs));
+            report = report.merged(&heal);
+            let k_keep = kf.to_f16().block(0, 0, boundary_rows, dim);
+            let v_keep = vf.to_f16().block(0, 0, boundary_rows, dim);
+            let poisoned = last.poisoned + heal.uncorrectable;
+            *last = KvBlock::encode(&k_keep, &v_keep, stride);
+            last.poisoned = poisoned;
+        }
+        self.len = mark.len;
+        report
+    }
+
+    /// Global index of the first *attended* block (under `window`, at the
+    /// current length) carrying a sticky poison mark, if any — the rollback
+    /// target locator for partial re-prefill recovery: truncating to
+    /// `CacheMark::at(b * block())` drops the first poisoned attended
+    /// block and everything after it (whole-block drops, marks retiring
+    /// with their blocks) while keeping the clean prefix resident.
+    pub fn first_poisoned_attended_block(&self, window: Option<usize>) -> Option<usize> {
+        let b0 = self.attended_start_block_at(self.len, window);
+        let start = self.start_block();
+        self.slots
+            .iter()
+            .flat_map(|blocks| {
+                blocks
+                    .iter()
+                    .enumerate()
+                    .filter(move |&(bi, b)| b.poisoned > 0 && start + bi >= b0)
+                    .map(move |(bi, _)| start + bi)
+            })
+            .min()
     }
 
     /// Unverified f32 copy of K block `b` in slot `slot` (the unprotected
@@ -746,14 +912,49 @@ mod tests {
     use ft_num::rng::normal_tensor_f16;
     use ft_sim::{BerInjector, NoFaults, SeuInjector};
 
+    fn append_token(cache: &mut KvCache, t: usize) -> KvReadReport {
+        let k = normal_tensor_f16(100 + t as u64, 1, 2, 1, 16, 0.6);
+        let v = normal_tensor_f16(500 + t as u64, 1, 2, 1, 16, 0.8);
+        cache.append(&k, &v)
+    }
+
     fn filled_cache(tokens: usize, block: usize) -> KvCache {
         let mut cache = KvCache::new(1, 2, 16, block, 8, 0.25);
         for t in 0..tokens {
-            let k = normal_tensor_f16(100 + t as u64, 1, 2, 1, 16, 0.6);
-            let v = normal_tensor_f16(500 + t as u64, 1, 2, 1, 16, 0.8);
-            cache.append(&k, &v);
+            append_token(&mut cache, t);
         }
         cache
+    }
+
+    /// Bit-identical comparison of everything a block stores: payload,
+    /// both checksum families, and the max-norm snapshot.
+    fn assert_caches_identical(a: &KvCache, b: &KvCache) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.start(), b.start());
+        assert_eq!(a.num_blocks(), b.num_blocks());
+        for slot in 0..a.num_slots() {
+            for blk in a.start_block()..a.num_blocks() {
+                assert_eq!(
+                    a.read_k_raw(slot, blk),
+                    b.read_k_raw(slot, blk),
+                    "K s{slot} b{blk}"
+                );
+                assert_eq!(
+                    a.read_v_raw(slot, blk),
+                    b.read_v_raw(slot, blk),
+                    "V s{slot} b{blk}"
+                );
+                assert_eq!(a.k_checksums(slot, blk).w1, b.k_checksums(slot, blk).w1);
+                assert_eq!(a.k_checksums(slot, blk).w2, b.k_checksums(slot, blk).w2);
+                assert_eq!(a.v_checksums(slot, blk).w1, b.v_checksums(slot, blk).w1);
+                assert_eq!(a.v_checksums(slot, blk).w2, b.v_checksums(slot, blk).w2);
+                assert_eq!(
+                    a.k_max_norm(slot, blk).to_bits(),
+                    b.k_max_norm(slot, blk).to_bits(),
+                    "max-norm s{slot} b{blk}",
+                );
+            }
+        }
     }
 
     #[test]
@@ -1125,5 +1326,152 @@ mod tests {
         }
         let ratio = cache.checksum_bytes() as f64 / cache.size_bytes() as f64;
         assert!(ratio < 0.6, "checksum overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn truncate_to_is_bit_identical_to_a_never_extended_cache() {
+        // 21 rows @ block 8 → blocks of 8, 8, 5. Truncating to 13 drops the
+        // ragged tail block whole and re-encodes block 1 over 5 surviving
+        // rows; everything must match a cache that only ever saw 13 rows.
+        let mut cache = filled_cache(21, 8);
+        let rep = cache.truncate_to(CacheMark::at(13));
+        assert!(rep.clean(), "{rep:?}");
+        assert_eq!(cache.len(), 13);
+        assert_eq!(cache.num_blocks(), 2);
+        assert_eq!(cache.block_rows(1), 5);
+        assert_caches_identical(&cache, &filled_cache(13, 8));
+        // Block-boundary mark: whole-block drop only, no re-encode path.
+        let mut cache = filled_cache(21, 8);
+        cache.truncate_to(CacheMark::at(8));
+        assert_caches_identical(&cache, &filled_cache(8, 8));
+        // Truncate-to-here is a no-op; truncate-to-zero empties the cache.
+        let mut cache = filled_cache(21, 8);
+        let mark = cache.checkpoint();
+        cache.truncate_to(mark);
+        assert_caches_identical(&cache, &filled_cache(21, 8));
+        cache.truncate_to(CacheMark::at(0));
+        assert!(cache.is_empty());
+        assert_eq!(cache.num_blocks(), 0);
+    }
+
+    #[test]
+    fn truncate_then_continue_matches_never_speculated_cache() {
+        // Speculation shape: checkpoint, append provisional rows, roll
+        // back, then append the real continuation — storage must be
+        // bit-identical to a cache that never speculated.
+        let mut cache = filled_cache(13, 8);
+        let mark = cache.checkpoint();
+        for t in 0..4 {
+            append_token(&mut cache, 900 + t); // provisional rows
+        }
+        assert!(cache.truncate_to(mark).clean());
+        for t in 13..18 {
+            append_token(&mut cache, t); // committed continuation
+        }
+        assert_caches_identical(&cache, &filled_cache(18, 8));
+    }
+
+    #[test]
+    fn rolled_back_rows_are_no_longer_a_fault_surface() {
+        // An injector aimed at a global row inside the rolled-back range
+        // must never fire again after truncation: the rows are gone, so a
+        // campaign there leaves no trace in any subsequent report.
+        let mut cache = filled_cache(21, 8);
+        cache.truncate_to(CacheMark::at(13));
+        let inj = SeuInjector::new(FaultSite::KvCache, OpCoord::new(0, 15, 3, 0), 13);
+        cache.expose(&inj, 0);
+        assert_eq!(inj.fired(), 0);
+        assert!(cache.scrub().clean());
+    }
+
+    #[test]
+    fn truncate_heals_boundary_damage_instead_of_baking_it_in() {
+        // A correctable SEU in a surviving row of the boundary block: the
+        // truncate-time verify repairs it before re-encoding, so the fresh
+        // checksums cover clean data.
+        let mut cache = filled_cache(21, 8);
+        let inj = SeuInjector::new(FaultSite::KvCache, OpCoord::new(0, 12, 5, 0), 13);
+        cache.expose(&inj, 0);
+        assert_eq!(inj.fired(), 1);
+        let rep = cache.truncate_to(CacheMark::at(13));
+        assert_eq!((rep.detected, rep.corrected, rep.uncorrectable), (1, 1, 0));
+        assert_caches_identical(&cache, &filled_cache(13, 8));
+        assert_eq!(cache.poisoned(), 0);
+    }
+
+    #[test]
+    fn poison_mark_survives_partial_truncation_and_retires_with_whole_block_drop() {
+        // Aliased damage in rows 0 and 8 of a 12-row ragged block (block
+        // 16, stride 8) is unlocatable; the next append launders it into
+        // the block's sticky mark. Rolling the tail back *within* the
+        // block keeps damaged rows resident, so the mark must survive —
+        // while truncating the whole block away retires the mark with it
+        // (satellite regression for the attended-boundary audit).
+        let mut cache = filled_cache(12, 16);
+        let mut k16 = cache.read_k_raw(0, 0);
+        let d = 2.0f32;
+        k16.set(0, 4, k16.get(0, 4) + d);
+        k16.set(8, 4, k16.get(8, 4) + d);
+        cache.slots[0][0].k = k16.to_f16();
+        append_token(&mut cache, 12); // launder: poison lands on block 0
+        assert!(cache.poisoned() >= 1);
+        let poisoned = cache.poisoned();
+
+        // Partial truncation (13 → 10 rows): damaged rows 0 and 8 survive.
+        let mut partial = cache.clone();
+        partial.truncate_to(CacheMark::at(10));
+        assert_eq!(
+            partial.poisoned(),
+            poisoned,
+            "mark must survive surviving rows"
+        );
+        assert_eq!(partial.poisoned_attended(None), poisoned);
+        // The attended scope still sees the mark at the new, shorter
+        // length (truncation must not desynchronise the boundary math).
+        assert_eq!(partial.attended_start_block_at(partial.len(), Some(8)), 0);
+        assert_eq!(partial.poisoned_attended(Some(8)), poisoned);
+
+        // Whole-block drop (→ 0 rows): the mark retires with its block.
+        let mut dropped = cache.clone();
+        dropped.truncate_to(CacheMark::at(0));
+        assert_eq!(dropped.poisoned(), 0, "mark retires with its block");
+    }
+
+    #[test]
+    fn first_poisoned_attended_block_locates_the_rollback_target() {
+        // Poison block 0 (rows 0..16), then grow to 40 rows (blocks 0, 1,
+        // 2 with a ragged 8-row tail).
+        let mut cache = filled_cache(12, 16);
+        let mut k16 = cache.read_k_raw(0, 0);
+        let d = 2.0f32;
+        k16.set(0, 4, k16.get(0, 4) + d);
+        k16.set(8, 4, k16.get(8, 4) + d);
+        cache.slots[0][0].k = k16.to_f16();
+        for t in 12..40 {
+            append_token(&mut cache, t);
+        }
+        assert!(cache.poisoned() >= 1);
+        assert_eq!(cache.first_poisoned_attended_block(None), Some(0));
+        // A window of 8 over 40 rows attends from block (40−8)/16 = 2:
+        // the damage has slid behind the window, so there is no target.
+        assert_eq!(cache.first_poisoned_attended_block(Some(8)), None);
+        // A window of 32 attends from block (40−32)/16 = 0: visible again.
+        assert_eq!(cache.first_poisoned_attended_block(Some(32)), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the eviction frontier")]
+    fn truncating_to_an_evicted_mark_panics() {
+        let mut cache = filled_cache(32, 8);
+        let mark = CacheMark::at(8);
+        cache.evict_front(2); // start = 16: rows 0..16 are gone
+        cache.truncate_to(mark);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate forward")]
+    fn truncating_forward_panics() {
+        let mut cache = filled_cache(8, 8);
+        cache.truncate_to(CacheMark::at(9));
     }
 }

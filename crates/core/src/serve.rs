@@ -494,6 +494,100 @@ pub enum RecoveryPolicy {
         /// Re-prefill attempts before the stream is aborted.
         max_attempts: u32,
     },
+    /// Like [`ReprefillBounded`](RecoveryPolicy::ReprefillBounded), but
+    /// exploit the per-block sticky poison marks to *locate* the damage
+    /// first: truncate the cache to the last clean block boundary before
+    /// the first poisoned attended block (`KvCache::truncate_to` — whole
+    /// tail blocks drop O(1), poison marks retiring with them) and
+    /// re-prefill only the history suffix, so recovery cost is
+    /// proportional to the attended window rather than the whole emitted
+    /// history. Falls back to the full re-prefill when the damage cannot
+    /// be exploited partially — the poisoned block is the first attended
+    /// block, the suffix's own attention windows would reach behind the
+    /// eviction frontier, or the sweep saw unrepairable damage that no
+    /// sticky block mark localises. Either way a successful recovery is
+    /// bit-identical to an undamaged run.
+    ReprefillPartial {
+        /// Recovery attempts (partial or fallback-full) before the stream
+        /// is aborted.
+        max_attempts: u32,
+    },
+}
+
+/// Where a speculating stream's provisional tokens come from.
+///
+/// The contract of speculative decode here is the commit/rollback
+/// machinery, not draft quality: any deterministic guess source is sound,
+/// because the verify sweep commits exactly the prefix the plain decode
+/// path would have emitted and rolls the rest back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DraftSource {
+    /// Self-drafting greedy reuse: find the most recent earlier occurrence
+    /// of the history's trailing `n`-gram and replay the tokens that
+    /// followed it, repeating the last token when there is none — free and
+    /// model-less, effective on repetitive traffic.
+    NGram {
+        /// Suffix gram length matched against the history (clamped ≥ 1).
+        n: usize,
+    },
+    /// Scripted continuation: `script[i]` is the draft for the stream's
+    /// `i`-th sampled token. Benches and tests force exact accept rates by
+    /// scripting the plain-decode oracle tokens (or deliberate
+    /// mismatches); positions past the script repeat the last token.
+    Scripted(Vec<u32>),
+}
+
+/// Speculative-decoding knob of a [`GenerationRequest`]: draft-then-verify
+/// multi-token decode over the checksum-protected cache.
+///
+/// Each decode sweep feeds the last sampled token *plus* up to `draft_len`
+/// provisional tokens from the draft source as one fused multi-row chunk
+/// (PR 7's visible-length tiles — each row attends exactly its own causal
+/// prefix). Row `i`'s logits are sampled with the plain position-keyed
+/// rule and compared against draft `i + 1`: the accepted prefix plus one
+/// corrected/bonus token is committed, and `KvCache::truncate_to` rolls
+/// the rejected rows back before the next sweep. The emitted stream is
+/// **bit-identical to plain decode by construction** — speculation moves
+/// throughput, never tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpeculationPolicy {
+    /// Provisional tokens drafted per decode sweep (≥ 1; each sweep clamps
+    /// it so the committed run cannot overshoot the token budget).
+    pub draft_len: usize,
+    /// Stop speculating for the stream after this many *consecutive*
+    /// verify sweeps that accepted zero drafts (`None` = never back off).
+    /// With the backoff engaged, a hostile accept rate degrades to plain
+    /// decode instead of paying draft-width sweeps forever — this is what
+    /// pins the serve bench's ≥ 1.0× floor at forced accept-rate 0.
+    pub backoff_after: Option<u32>,
+    /// Draft source.
+    pub source: DraftSource,
+}
+
+impl SpeculationPolicy {
+    /// Draft `draft_len` tokens per sweep by bigram self-drafting
+    /// ([`DraftSource::NGram`] with `n = 2`), backing off after 2
+    /// consecutive zero-accept sweeps.
+    pub fn new(draft_len: usize) -> Self {
+        assert!(draft_len > 0, "a zero-token draft cannot speculate");
+        SpeculationPolicy {
+            draft_len,
+            backoff_after: Some(2),
+            source: DraftSource::NGram { n: 2 },
+        }
+    }
+
+    /// Replace the draft source.
+    pub fn with_source(mut self, source: DraftSource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Replace the zero-accept backoff threshold (`None` disables).
+    pub fn with_backoff(mut self, backoff_after: Option<u32>) -> Self {
+        self.backoff_after = backoff_after;
+        self
+    }
 }
 
 /// Scheduling class of a generation stream. Ordered: `Batch < Normal <
@@ -536,14 +630,44 @@ fn aged_score(priority: Priority, waited: u64, aging: Option<u64>) -> u64 {
     }
 }
 
+/// `k` provisional continuation tokens for `history` from a draft source.
+/// `generated` is how many sampled tokens the history already contains —
+/// the script cursor of [`DraftSource::Scripted`]. Deterministic, and
+/// always exactly `k` tokens (short sources pad by repeating the last
+/// history token).
+fn draft_tokens(source: &DraftSource, history: &[u32], generated: usize, k: usize) -> Vec<u32> {
+    let pad = *history.last().expect("a decoding stream has history");
+    let mut out = Vec::with_capacity(k);
+    match source {
+        DraftSource::NGram { n } => {
+            let len = history.len();
+            let n = (*n).clamp(1, len);
+            let gram = &history[len - n..];
+            // Most recent *earlier* occurrence of the trailing gram; the
+            // tokens that followed it are the draft.
+            if let Some(j) = (0..len - n).rev().find(|&j| &history[j..j + n] == gram) {
+                out.extend_from_slice(&history[j + n..len.min(j + n + k)]);
+            }
+        }
+        DraftSource::Scripted(script) => {
+            out.extend(script.iter().skip(generated).take(k).copied());
+        }
+    }
+    while out.len() < k {
+        out.push(pad);
+    }
+    out
+}
+
 /// Why a stream retired.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FinishReason {
     /// The token budget (`max_new_tokens`, possibly clamped by the model's
     /// `max_seq`) was met without any recovery.
     MaxTokens,
-    /// The token budget was met after one or more
-    /// [`RecoveryPolicy::ReprefillBounded`] re-prefills.
+    /// The token budget was met after one or more re-prefill recoveries
+    /// ([`RecoveryPolicy::ReprefillBounded`] or
+    /// [`RecoveryPolicy::ReprefillPartial`]).
     Recovered,
     /// Unrepairable cache damage persisted through `attempts` re-prefills
     /// and the bounded policy gave up; the token history may be wrong from
@@ -597,6 +721,8 @@ pub struct GenerationRequest {
     pub recovery: RecoveryPolicy,
     /// Scheduling class (run-queue ordering, preemption, aging).
     pub priority: Priority,
+    /// Speculative draft-then-verify decode (`None` = plain decode).
+    pub speculation: Option<SpeculationPolicy>,
 }
 
 impl GenerationRequest {
@@ -610,6 +736,7 @@ impl GenerationRequest {
             sampling: SamplingMode::default(),
             recovery: RecoveryPolicy::default(),
             priority: Priority::default(),
+            speculation: None,
         }
     }
 
@@ -636,6 +763,15 @@ impl GenerationRequest {
     /// Scheduling class for this stream.
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Speculative draft-then-verify decode for this stream: each decode
+    /// sweep drafts provisional tokens, verifies them in one fused
+    /// multi-row sweep, commits the accepted prefix, and rolls the rest
+    /// back — emitted tokens bit-identical to plain decode.
+    pub fn with_speculation(mut self, speculation: SpeculationPolicy) -> Self {
+        self.speculation = Some(speculation);
         self
     }
 }
@@ -853,6 +989,20 @@ pub struct StreamState {
     /// Times this stream was parked (preemption or backpressure) and had
     /// to re-enter the run queue.
     pub preemptions: u32,
+    /// Speculative-decode policy, as resolved at submission (`None` =
+    /// plain decode).
+    pub speculation: Option<SpeculationPolicy>,
+    /// Provisional tokens drafted for this stream across every verify
+    /// sweep (speculation efficiency numerator is
+    /// [`spec_accepted`](StreamState::spec_accepted)).
+    pub spec_drafted: u64,
+    /// Drafted tokens that verified and were committed.
+    pub spec_accepted: u64,
+    /// History tokens scheduled for re-feeding by recovery requeues (full
+    /// re-prefills count the whole history; partial re-prefills only the
+    /// suffix past the truncation point — the measurable saving of
+    /// [`RecoveryPolicy::ReprefillPartial`]).
+    pub recovery_fed: usize,
     /// Leading tokens of [`tokens`](StreamState::tokens) treated as prefill
     /// for the current cache: the prompt length on a fresh submission, the
     /// whole emitted history after a recovery requeue.
@@ -868,6 +1018,12 @@ pub struct StreamState {
     /// Backpressure hold: the stream keeps its slot and cache but is not
     /// fed (its consumer cannot absorb more events right now).
     held: bool,
+    /// Consecutive verify sweeps that accepted zero drafts (the backoff
+    /// clock of [`SpeculationPolicy::backoff_after`]).
+    spec_zero_streak: u32,
+    /// The zero-accept backoff tripped: this stream decodes plain from
+    /// here on.
+    spec_off: bool,
 }
 
 impl StreamState {
@@ -925,6 +1081,13 @@ pub struct PlanItem {
     /// [`GenerationRequest`]): the driver applies it to storage eviction
     /// and to the sweep's [`StreamSlice::window`].
     pub window: Option<usize>,
+    /// Trailing tokens of [`feed`](PlanItem::feed) that are *provisional*
+    /// drafts (0 = plain decode / prefill). When set, the driver verifies
+    /// them against the sweep's per-row logits, commits the accepted
+    /// prefix plus the corrected/bonus token via
+    /// [`DecodeScheduler::record_speculative`], and truncates the cache
+    /// back to the committed length.
+    pub speculate: usize,
 }
 
 /// Continuous-batching slot table: admits streams, plans one chunk per
@@ -1026,11 +1189,17 @@ impl DecodeScheduler {
             report: FtReport::default(),
             priority: req.priority,
             preemptions: 0,
+            speculation: req.speculation,
+            spec_drafted: 0,
+            spec_accepted: 0,
+            recovery_fed: 0,
             prefill_len,
             inflight: false,
             queued_at: self.tick,
             parked: false,
             held: false,
+            spec_zero_streak: 0,
+            spec_off: false,
         });
         id
     }
@@ -1213,7 +1382,7 @@ impl DecodeScheduler {
             if s.inflight || s.held {
                 continue;
             }
-            let (feed, sample) = if s.prefilling() {
+            let (feed, sample, speculate) = if s.prefilling() {
                 // Prefill source: the leading `prefill_len` tokens of the
                 // history — the prompt on a fresh stream, prompt + emitted
                 // tokens after a recovery requeue.
@@ -1221,13 +1390,32 @@ impl DecodeScheduler {
                 let n = (s.prefill_len - s.fed).min(chunk);
                 let feed = src[s.fed..s.fed + n].to_vec();
                 s.fed += n;
-                (feed, s.fed == s.prefill_len)
+                (feed, s.fed == s.prefill_len, 0)
             } else {
                 let t = *s
                     .generated
                     .last()
                     .expect("a decoding stream has sampled at least once");
-                (vec![t], true)
+                let mut feed = vec![t];
+                let mut speculate = 0;
+                if let Some(sp) = &s.speculation {
+                    if !s.spec_off {
+                        // A verify sweep commits at most `speculate + 1`
+                        // tokens (accepted prefix + bonus), so clamp the
+                        // draft to the remaining budget.
+                        let remaining = s.max_total - s.total();
+                        speculate = sp.draft_len.min(remaining.saturating_sub(1));
+                        if speculate > 0 {
+                            feed.extend(draft_tokens(
+                                &sp.source,
+                                &s.tokens(),
+                                s.generated.len(),
+                                speculate,
+                            ));
+                        }
+                    }
+                }
+                (feed, true, speculate)
             };
             s.inflight = true;
             items.push(PlanItem {
@@ -1235,6 +1423,7 @@ impl DecodeScheduler {
                 feed,
                 sample,
                 window: s.window,
+                speculate,
             });
         }
         items
@@ -1246,13 +1435,48 @@ impl DecodeScheduler {
     /// ([`FinishReason::MaxTokens`], or [`FinishReason::Recovered`] when it
     /// came back from a re-prefill).
     pub fn record(&mut self, stream: StreamId, sampled: Option<u32>, report: &FtReport) {
+        match sampled {
+            Some(t) => self.record_speculative(stream, &[t], 0, 0, report),
+            None => self.record_speculative(stream, &[], 0, 0, report),
+        }
+    }
+
+    /// Multi-token variant of [`record`](DecodeScheduler::record) for a
+    /// speculative verify sweep: `emitted` is the committed token run (the
+    /// accepted draft prefix plus the corrected/bonus token), `drafted`
+    /// how many provisional tokens the plan speculated, `accepted` how
+    /// many of them verified. Tracks the per-stream draft-efficiency
+    /// counters ([`StreamState::spec_drafted`] /
+    /// [`StreamState::spec_accepted`]) and the zero-accept backoff streak
+    /// of [`SpeculationPolicy::backoff_after`].
+    pub fn record_speculative(
+        &mut self,
+        stream: StreamId,
+        emitted: &[u32],
+        drafted: usize,
+        accepted: usize,
+        report: &FtReport,
+    ) {
         let idx = self.active_index(stream);
         let s = &mut self.active[idx];
         assert!(s.inflight, "{stream}: record without a planned sweep");
+        debug_assert!(accepted <= drafted, "cannot accept more than was drafted");
         s.inflight = false;
         s.report = s.report.merged(report);
-        if let Some(t) = sampled {
-            s.generated.push(t);
+        s.generated.extend_from_slice(emitted);
+        if drafted > 0 {
+            s.spec_drafted += drafted as u64;
+            s.spec_accepted += accepted as u64;
+            if accepted == 0 {
+                s.spec_zero_streak += 1;
+                if let Some(limit) = s.speculation.as_ref().and_then(|sp| sp.backoff_after) {
+                    if s.spec_zero_streak >= limit {
+                        s.spec_off = true;
+                    }
+                }
+            } else {
+                s.spec_zero_streak = 0;
+            }
         }
         if s.done() {
             s.finish = Some(s.finish_reason());
@@ -1272,13 +1496,29 @@ impl DecodeScheduler {
     /// The sweep's fault report is still merged: the detection that
     /// triggered the recovery is part of the stream's history.
     pub fn requeue(&mut self, stream: StreamId, report: &FtReport) -> u32 {
+        self.requeue_suffix(stream, report, 0)
+    }
+
+    /// Partial-recovery variant of [`requeue`](DecodeScheduler::requeue):
+    /// the engine rolled the stream's cache back to `keep` rows (a clean
+    /// block boundary before the first poisoned attended block — see
+    /// [`RecoveryPolicy::ReprefillPartial`]), so only the history suffix
+    /// `keep..` needs re-feeding; the kept prefix stays materialized.
+    /// `keep = 0` is exactly the full requeue. Returns the 1-based attempt
+    /// number.
+    pub fn requeue_suffix(&mut self, stream: StreamId, report: &FtReport, keep: usize) -> u32 {
         let idx = self.active_index(stream);
         let s = &mut self.active[idx];
         assert!(s.inflight, "{stream}: requeue without a planned sweep");
+        assert!(
+            keep <= s.total(),
+            "cannot keep more rows than the history holds"
+        );
         s.inflight = false;
         s.report = s.report.merged(report);
-        s.fed = 0;
+        s.fed = keep;
         s.prefill_len = s.total();
+        s.recovery_fed += s.prefill_len - keep;
         s.recoveries += 1;
         s.recoveries
     }
@@ -2037,5 +2277,97 @@ mod tests {
         let mut sched = DecodeScheduler::new(SchedulerConfig::default());
         sched.submit_request_with_id(GenerationRequest::new(vec![1], 1), StreamId(4));
         sched.submit_request_with_id(GenerationRequest::new(vec![2], 1), StreamId(4));
+    }
+
+    #[test]
+    fn speculative_plan_drafts_scripted_tokens_and_clamps_to_budget() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig::default());
+        let a = sched.submit_request(GenerationRequest::new(vec![1, 2, 3], 4).with_speculation(
+            SpeculationPolicy::new(4).with_source(DraftSource::Scripted(vec![10, 11, 12, 13])),
+        ));
+        // Prefill never speculates.
+        let plan = sched.plan();
+        assert_eq!(
+            (plan[0].feed.clone(), plan[0].speculate),
+            (vec![1, 2, 3], 0)
+        );
+        sched.record(a, Some(10), &FtReport::default());
+        // Decode: 3 tokens of budget remain, so at most 2 drafts ride along
+        // (a verify sweep commits up to speculate + 1 tokens). The script
+        // cursor sits at generated = 1: drafts are script[1..3].
+        let plan = sched.plan();
+        assert_eq!(plan[0].feed, vec![10, 11, 12]);
+        assert_eq!(plan[0].speculate, 2);
+        // Both drafts verified; the bonus token finishes the stream.
+        sched.record_speculative(a, &[11, 12, 77], 2, 2, &FtReport::default());
+        let done = sched.take_finished();
+        assert_eq!(done[0].tokens(), vec![1, 2, 3, 10, 11, 12, 77]);
+        assert_eq!((done[0].spec_drafted, done[0].spec_accepted), (2, 2));
+        assert_eq!(done[0].finish, Some(FinishReason::MaxTokens));
+    }
+
+    #[test]
+    fn zero_accept_streak_backs_off_to_plain_decode() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig::default());
+        let a = sched.submit_request(
+            GenerationRequest::new(vec![1, 2], 16)
+                .with_speculation(SpeculationPolicy::new(2).with_backoff(Some(2))),
+        );
+        sched.plan();
+        sched.record(a, Some(9), &FtReport::default());
+        for _ in 0..2 {
+            let plan = sched.plan();
+            assert_eq!(plan[0].speculate, 2, "still speculating");
+            sched.record_speculative(a, &[8], 2, 0, &FtReport::default());
+        }
+        // Two consecutive zero-accept sweeps: speculation is off for good.
+        let plan = sched.plan();
+        assert_eq!(plan[0].speculate, 0, "backoff tripped");
+        assert_eq!(plan[0].feed.len(), 1);
+        sched.record(a, Some(7), &FtReport::default());
+        assert_eq!(sched.plan()[0].speculate, 0, "backoff is permanent");
+    }
+
+    #[test]
+    fn ngram_drafts_replay_the_last_match_continuation() {
+        // History …5 6 7 5 6: the trailing bigram [5, 6] last occurred at
+        // the start, followed by 7 5 6 — the draft replays that, padding
+        // with the last token once the history runs out.
+        let h = [5, 6, 7, 5, 6];
+        assert_eq!(
+            draft_tokens(&DraftSource::NGram { n: 2 }, &h, 0, 4),
+            vec![7, 5, 6, 6],
+        );
+        // No earlier occurrence: pad by repeating the last token.
+        assert_eq!(
+            draft_tokens(&DraftSource::NGram { n: 2 }, &[1, 2, 3], 0, 2),
+            vec![3, 3],
+        );
+    }
+
+    #[test]
+    fn requeue_suffix_feeds_only_the_kept_tail() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig {
+            prefill_chunk: 8,
+            ..Default::default()
+        });
+        let a = sched.submit_request(GenerationRequest::new(vec![1, 2, 3, 4, 5, 6], 4));
+        sched.plan();
+        sched.record(a, Some(50), &FtReport::default());
+        // Poison located late: keep 4 rows, re-feed rows 4..7 only.
+        sched.plan();
+        let attempt = sched.requeue_suffix(a, &FtReport::default(), 4);
+        assert_eq!(attempt, 1);
+        let plan = sched.plan();
+        assert_eq!(plan[0].feed, vec![5, 6, 50]);
+        assert!(plan[0].sample, "suffix re-prefill completes in one chunk");
+        let s = sched.active_stream(a).unwrap();
+        assert_eq!(s.recovery_fed, 3, "only the suffix counts as re-fed");
+        sched.record(a, Some(51), &FtReport::default());
+        // Full requeue for comparison: the whole history re-feeds.
+        sched.plan();
+        sched.requeue(a, &FtReport::default());
+        let s = sched.active_stream(a).unwrap();
+        assert_eq!(s.recovery_fed, 3 + 8, "full requeue re-feeds everything");
     }
 }

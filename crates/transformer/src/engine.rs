@@ -43,6 +43,13 @@
 //!   still-stuck consumer while others wait for a slot, *parked* — the
 //!   slot and cache bytes go to streams whose consumers are keeping up.
 //!
+//! Speculative decoding composes transparently with all three: a request
+//! carrying a [`SpeculationPolicy`](ft_core::serve::SpeculationPolicy)
+//! has its drafts verified inside the worker's ordinary sweeps, so a
+//! handle simply observes several [`EngineEvent::TokenEmitted`] events
+//! per sweep (the commit) while rejected drafts are rolled back before
+//! anything reaches the channel — consumers never see a retracted token.
+//!
 //! No async runtime: plain `std::thread` + `std::sync::mpsc`, per the
 //! repo's no-new-dependencies policy.
 

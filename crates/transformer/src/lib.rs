@@ -54,8 +54,8 @@ pub use embed::Embedding;
 pub use engine::{Engine, EngineConfig, StreamHandle, StreamOutcome};
 pub use ffn::FeedForward;
 pub use ft_core::serve::{
-    EngineEvent, FinishReason, GenerationRequest, Priority, RecoveryPolicy, SamplingMode,
-    SchedulerConfig, StreamId,
+    DraftSource, EngineEvent, FinishReason, GenerationRequest, Priority, RecoveryPolicy,
+    SamplingMode, SchedulerConfig, SpeculationPolicy, StreamId,
 };
 pub use linear::{Linear, LinearProtection};
 pub use mha::{BackendKind, KvCache, MhaReport, MultiHeadAttention};

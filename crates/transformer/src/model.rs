@@ -7,6 +7,7 @@ use crate::linear::{Linear, LinearProtection};
 use crate::mha::{BackendKind, KvCache};
 use crate::norm::LayerNorm;
 use ft_abft::thresholds::Thresholds;
+use ft_core::kv::{CacheMark, KvReadReport};
 use ft_core::serve::{
     DecodeScheduler, EngineEvent, FinishReason, GenerationRequest, RecoveryPolicy, SamplingMode,
     SchedulerConfig, StreamId,
@@ -126,6 +127,84 @@ impl ModelKvCache {
             .iter()
             .map(|c| c.poisoned_attended(window))
             .sum()
+    }
+
+    /// Checkpoint the current length for a later
+    /// [`truncate_to`](ModelKvCache::truncate_to) — every layer shares the
+    /// same logical length, so one [`CacheMark`] covers them all.
+    pub fn checkpoint(&self) -> CacheMark {
+        CacheMark::at(self.positions)
+    }
+
+    /// Roll every layer's cache back to `mark` (see
+    /// [`KvCache::truncate_to`]) and rewind `positions` to match. The
+    /// merged boundary-heal report is returned for callers that audit it;
+    /// the serving engine discards it — correction evidence was already
+    /// counted when the rows were read, and anything unlocatable is
+    /// carried by the surviving blocks' sticky poison marks.
+    pub fn truncate_to(&mut self, mark: CacheMark) -> KvReadReport {
+        let mut report = KvReadReport::default();
+        for c in &mut self.layers {
+            report = report.merged(&c.truncate_to(mark));
+        }
+        self.positions = mark.position();
+        report
+    }
+
+    /// Earliest attended block carrying a sticky poison mark in *any*
+    /// layer (see [`KvCache::first_poisoned_attended_block`]) — the
+    /// damage-localization query behind
+    /// [`RecoveryPolicy::ReprefillPartial`]. Layers share geometry,
+    /// length, and eviction schedule, so block indices are comparable
+    /// across them.
+    pub fn first_poisoned_attended_block(&self, window: Option<usize>) -> Option<usize> {
+        self.layers
+            .iter()
+            .filter_map(|c| c.first_poisoned_attended_block(window))
+            .min()
+    }
+
+    /// Partial-recovery rollback target: the row count `p` to
+    /// [`truncate_to`](ModelKvCache::truncate_to) so that the first
+    /// poisoned attended block is dropped and re-prefilling rows
+    /// `p..` rebuilds a provably clean suffix. `upper` bounds the target
+    /// at the last row the caller can re-feed (the emitted history's
+    /// final row — anything past it is provisional speculation state).
+    ///
+    /// Returns `None` — fall back to a full re-prefill — when any of the
+    /// viability conditions fail:
+    /// * no layer localizes the damage to a block (live uncorrectable
+    ///   reads without a sticky mark cannot be rolled back surgically),
+    /// * the target would keep nothing (the poisoned block is the first
+    ///   attended block, or sits at the eviction frontier),
+    /// * the first re-fed row's attention window reaches behind the
+    ///   eviction frontier (the rows it must attend no longer exist), or
+    /// * a block the rebuilt suffix will attend is itself poisoned
+    ///   (partial recovery would re-trigger forever on the same mark).
+    pub fn rollback_target(&self, window: Option<usize>, upper: usize) -> Option<usize> {
+        let lc = self.layers.first()?;
+        let (block, start) = (lc.block(), lc.start());
+        let fpb = self.first_poisoned_attended_block(window)?;
+        let p = (fpb * block).min(upper);
+        if p == 0 || p <= start {
+            return None;
+        }
+        // First re-fed row (position p, visible length p + 1): every row
+        // it attends must still be resident after the truncation.
+        let r0 = match window {
+            Some(w) if p + 1 > w => p + 1 - w,
+            _ => 0,
+        };
+        if r0 < start {
+            return None;
+        }
+        // Every block any re-fed row can attend must be clean — windows
+        // only move forward, so length p + 1 attends the earliest set.
+        let kept = p.div_ceil(block);
+        if (r0 / block..kept).any(|b| self.layers.iter().any(|c| c.block_poisoned(b) > 0)) {
+            return None;
+        }
+        Some(p)
     }
 }
 
@@ -429,10 +508,14 @@ impl TransformerModel {
     /// LM head on the rows that sample a token.
     ///
     /// `feeds[i]` must pair with `caches[i]`. Returns, per stream, the
-    /// `1 × vocab` logits row of the sampled position (if the feed asked
-    /// for one — the *engine* owns token selection, per the stream's
-    /// [`SamplingMode`]), the sweep's model-level report, and the
-    /// attention-level [`FtReport`] attributed to that stream alone.
+    /// final-normed hidden rows of the feed's last `sample_rows` positions
+    /// (`sample_rows × hidden`, if the feed asked for any), the sweep's
+    /// model-level report, and the attention-level [`FtReport`] attributed
+    /// to that stream alone. The vocab-wide LM head is deliberately *not*
+    /// run here: the engine evaluates it lazily, row by row, stopping at
+    /// the first rejected draft — under speculation the head cost per
+    /// *emitted* token then matches plain decode exactly, and only the
+    /// attention/FFN sweep is amortized across the drafted rows.
     fn run_sweep<I: FaultInjector>(
         &self,
         feeds: &[SweepFeed],
@@ -488,23 +571,20 @@ impl TransformerModel {
             .iter()
             .enumerate()
             .map(|(i, f)| {
-                let logits = if f.sample {
-                    // Only the chunk's final row feeds the sampler; the
-                    // interior prefill rows never pay the vocab-wide head.
+                let rows = if f.sample_rows > 0 {
+                    // Only the chunk's trailing sample rows are normed and
+                    // handed to the engine's lazy head loop; the interior
+                    // prefill rows never pay the vocab-wide head.
                     let h = &hs[i];
-                    let last = h.rows() - 1;
-                    let mut row = Matrix::from_fn(1, h.cols(), |_, j| h.get(last, j));
-                    self.final_norm.forward(&mut row);
-                    let (logits, head_rep) =
-                        self.lm_head
-                            .forward(&row, inj, usize::MAX / 2, &self.thresholds);
-                    reports[i].total_detected += head_rep.detected;
-                    reports[i].total_repaired += head_rep.corrected + head_rep.recomputed;
-                    Some(logits)
+                    debug_assert!(f.sample_rows <= h.rows(), "more sample rows than fed rows");
+                    let base = h.rows() - f.sample_rows;
+                    let mut m = Matrix::from_fn(f.sample_rows, h.cols(), |r, j| h.get(base + r, j));
+                    self.final_norm.forward(&mut m);
+                    Some(m)
                 } else {
                     None
                 };
-                (logits, reports[i], attn_reports[i])
+                (rows, reports[i], attn_reports[i])
             })
             .collect()
     }
@@ -515,7 +595,14 @@ impl TransformerModel {
 struct SweepFeed {
     stream: StreamId,
     tokens: Vec<u32>,
-    sample: bool,
+    /// Trailing rows of the feed whose normed hidden states the engine
+    /// will sample from: 0 for interior prefill chunks, 1 for plain
+    /// decode, `1 + speculate` for a draft-verify sweep.
+    sample_rows: usize,
+    /// Trailing tokens of the feed that are provisional drafts (the last
+    /// `speculate` of `tokens`), to be verified against the engine's own
+    /// samples and rolled back past the first mismatch.
+    speculate: usize,
     window: Option<usize>,
 }
 
@@ -568,6 +655,19 @@ pub struct FinishedStream {
     /// resumed through re-prefill. Not a fault: a preempted-and-resumed
     /// stream's tokens are bit-identical to an uninterrupted run.
     pub preemptions: u32,
+    /// History tokens the recovery requeues scheduled for re-feeding: full
+    /// re-prefills count the whole history, partial re-prefills only the
+    /// suffix past the truncation point — the measurable saving of
+    /// [`RecoveryPolicy::ReprefillPartial`].
+    pub recovery_fed: usize,
+    /// Provisional tokens drafted across the stream's verify sweeps
+    /// (zero unless the request carried a
+    /// [`SpeculationPolicy`](ft_core::serve::SpeculationPolicy)).
+    pub spec_drafted: u64,
+    /// Drafted tokens that verified against the engine's own samples and
+    /// were committed — `spec_accepted / spec_drafted` is the stream's
+    /// realized acceptance rate.
+    pub spec_accepted: u64,
 }
 
 /// A continuous-batching serving session over one [`TransformerModel`]:
@@ -755,7 +855,8 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
                 feeds.push(SweepFeed {
                     stream: *id,
                     tokens: item.feed.clone(),
-                    sample: item.sample,
+                    sample_rows: if item.sample { 1 + item.speculate } else { 0 },
+                    speculate: item.speculate,
                     window: item.window,
                 });
                 cache_refs.push(cache);
@@ -765,7 +866,7 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
         let results = self.model.borrow().run_sweep(&feeds, &mut cache_refs, inj);
         let n = feeds.len();
         self.peak_cache_bytes = self.peak_cache_bytes.max(self.cache_bytes());
-        for (feed, (logits, rep, attn)) in feeds.iter().zip(results) {
+        for (feed, (rows, rep, attn)) in feeds.iter().zip(results) {
             let id = feed.stream;
             let entry = self
                 .reports
@@ -838,19 +939,110 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
                         slot.1 = self.model.borrow().new_cache();
                     }
                 }
+                RecoveryPolicy::ReprefillPartial { max_attempts } if poisoned > 0 => {
+                    // Same discard rule as the bounded policy — whatever
+                    // this sweep produced was computed over damaged state —
+                    // but the rollback primitive localizes the damage:
+                    // truncate to the last clean boundary before the first
+                    // poisoned attended block and replay only the suffix,
+                    // O(window) recovery cost instead of O(history).
+                    if attempts >= max_attempts {
+                        self.scheduler
+                            .abort(id, &attn, FinishReason::AbortedPoisoned { attempts });
+                    } else {
+                        let slot = self
+                            .caches
+                            .iter_mut()
+                            .find(|(cid, _)| *cid == id)
+                            .expect("planned stream has a cache");
+                        let target = slot
+                            .1
+                            .rollback_target(feed.window, position.saturating_sub(1));
+                        let attempt = if let Some(p) = target {
+                            // The boundary-heal report is discarded:
+                            // read-time verification already counted the
+                            // evidence, and surviving marks stay sticky.
+                            let _ = slot.1.truncate_to(CacheMark::at(p));
+                            self.scheduler.requeue_suffix(id, &attn, p)
+                        } else {
+                            // Damage not block-localized, or the rebuilt
+                            // suffix would attend evicted or still-poisoned
+                            // rows: fall back to the full replay.
+                            slot.1 = self.model.borrow().new_cache();
+                            self.scheduler.requeue(id, &attn)
+                        };
+                        self.recoveries += 1;
+                        self.events.push(EngineEvent::Recovering {
+                            stream: id,
+                            attempt,
+                        });
+                    }
+                }
                 _ => {
-                    let sampled = if feed.sample {
-                        let logits = logits.expect("sampling feed returns logits");
-                        let t = sample_token(sampling, &logits, id, position);
+                    if feed.sample_rows == 0 {
+                        self.scheduler.record(id, None, &attn);
+                        continue;
+                    }
+                    let rows = rows.expect("sampling feed returns hidden rows");
+                    let drafts = &feed.tokens[feed.tokens.len() - feed.speculate..];
+                    let model = self.model.borrow();
+                    let mut head_rep = ModelReport::default();
+                    let mut emitted: Vec<u32> = Vec::with_capacity(feed.sample_rows);
+                    let mut accepted = 0usize;
+                    for j in 0..feed.sample_rows {
+                        // Lazy vocab-wide head: one row per *emitted* token,
+                        // stopping at the first rejected draft — under
+                        // speculation the head cost per emitted token is
+                        // exactly plain decode's, and only the fused
+                        // attention/FFN sweep is amortized across rows.
+                        let row = Matrix::from_fn(1, rows.cols(), |_, c| rows.get(j, c));
+                        let (logits, hr) =
+                            model
+                                .lm_head
+                                .forward(&row, inj, usize::MAX / 2, &model.thresholds);
+                        head_rep.total_detected += hr.detected;
+                        head_rep.total_repaired += hr.corrected + hr.recomputed;
+                        let t = sample_token(sampling, &logits, id, position + j);
+                        emitted.push(t);
                         self.events.push(EngineEvent::TokenEmitted {
                             stream: id,
                             token: t,
                         });
-                        Some(t)
+                        if j < drafts.len() && t == drafts[j] {
+                            accepted += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if accepted < feed.speculate {
+                        // Roll the rejected provisional rows back so the
+                        // cache again trails the emitted history by exactly
+                        // one row — by construction the next sweep starts
+                        // from state bit-identical to plain decode's.
+                        let slot = self
+                            .caches
+                            .iter_mut()
+                            .find(|(cid, _)| *cid == id)
+                            .expect("planned stream has a cache");
+                        let _ = slot.1.truncate_to(CacheMark::at(position + accepted));
+                    }
+                    let entry = self
+                        .reports
+                        .iter_mut()
+                        .find(|(rid, _)| *rid == id)
+                        .expect("report entry exists for every planned stream");
+                    entry.1.accumulate(&head_rep);
+                    if feed.speculate == 0 {
+                        self.scheduler.record(id, Some(emitted[0]), &attn);
                     } else {
-                        None
-                    };
-                    self.scheduler.record(id, sampled, &attn);
+                        self.scheduler.record_speculative(
+                            id,
+                            &emitted,
+                            feed.speculate,
+                            accepted,
+                            &attn,
+                        );
+                    }
                 }
             }
         }
@@ -991,6 +1183,9 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
                 finish: reason,
                 recoveries: s.recoveries,
                 preemptions: s.preemptions,
+                recovery_fed: s.recovery_fed,
+                spec_drafted: s.spec_drafted,
+                spec_accepted: s.spec_accepted,
             });
         }
     }

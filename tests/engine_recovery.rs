@@ -13,7 +13,12 @@
 //! * poison whose block is retired by sliding-window eviction (or that
 //!   sits behind the attended window) triggers **no** recovery;
 //! * `RecoveryPolicy::None` preserves the pre-lifecycle behavior: the
-//!   damage stays on the report, nothing acts on it.
+//!   damage stays on the report, nothing acts on it;
+//! * `RecoveryPolicy::ReprefillPartial` exploits the sticky block marks to
+//!   roll back to the last clean boundary and re-feed only the suffix —
+//!   bit-identical to the full re-prefill with strictly fewer re-fed
+//!   tokens when the poison sits near the tail, and falling back to the
+//!   full replay when the poisoned block is the first attended one.
 
 mod common;
 
@@ -42,6 +47,14 @@ impl PairInjector {
     /// Alias rows 0 and 8 of column `col` in slot 0 of the K payload
     /// exposed at step `step` (stride-8 checksums: same lane).
     fn aliased_k(step: u64, col: usize) -> Self {
+        Self::aliased_k_rows(step, col, 0)
+    }
+
+    /// Same aliasing aimed at global rows `base` and `base + 8` — both in
+    /// the block at `base / block` when the block holds ≥ 9 rows past
+    /// `base`, sharing a stride-8 lane there. This is how the partial-
+    /// recovery tests poison a *late* block while leaving the prefix clean.
+    fn aliased_k_rows(step: u64, col: usize, base: usize) -> Self {
         let coord = |row: usize| OpCoord {
             slot: 0,
             i: row as u64,
@@ -49,8 +62,8 @@ impl PairInjector {
             k: 2 * step, // `which` = 0: the K payload
         };
         PairInjector(
-            SeuInjector::new(FaultSite::KvCache, coord(0), 13),
-            SeuInjector::new(FaultSite::KvCache, coord(8), 13),
+            SeuInjector::new(FaultSite::KvCache, coord(base), 13),
+            SeuInjector::new(FaultSite::KvCache, coord(base + 8), 13),
         )
     }
 }
@@ -388,4 +401,111 @@ fn neighbor_streams_are_undisturbed_by_a_recovery() {
             assert_eq!(e.stream(), victim, "{e:?}");
         }
     }
+}
+
+/// `ReprefillPartial` with poison near the tail: the sticky block marks
+/// localize the damage, so recovery truncates to the last clean block
+/// boundary and re-feeds only the suffix. The recovered stream is
+/// bit-identical to both the undamaged run and the full re-prefill twin —
+/// and its `recovery_fed` (history tokens scheduled for re-feeding) is
+/// strictly lower, the measurable O(window)-vs-O(history) saving.
+#[test]
+fn partial_reprefill_matches_full_and_clean_and_feeds_strictly_less() {
+    let model = TransformerModel::random(46, tiny(96), BackendKind::Efta(EftaOptions::optimized()))
+        .with_causal(true)
+        .with_cache_block(16);
+    let cfg = SchedulerConfig {
+        max_active: 2,
+        prefill_chunk: 16,
+        ..Default::default()
+    };
+    let p = prompt(44, 5);
+    let new_tokens = 6;
+    let request = |recovery| GenerationRequest::new(p.clone(), new_tokens).with_recovery(recovery);
+    // First decode sweep (base position 44): 44 rows resident, block 2
+    // ragged with rows 32..44 — global rows 32 and 40 share a stride-8
+    // lane there, and the prefill exposures (bases 0/16/32) never see
+    // them, so the prefix blocks 0 and 1 stay clean.
+    let step = serve_expose_step(StreamId(0), 44, 2, 0);
+
+    let mut clean_session = model.serve_with(cfg);
+    clean_session.submit_request(request(RecoveryPolicy::ReprefillPartial {
+        max_attempts: 3,
+    }));
+    let (clean, clean_events) = run_with_events(&mut clean_session, &NoFaults);
+    assert_eq!(count_recovering(&clean_events), 0);
+
+    let run = |recovery| {
+        let inj = PairInjector::aliased_k_rows(step, 3, 32);
+        let mut session = model.serve_with(cfg);
+        let id = session.submit_request(request(recovery));
+        let (finished, events) = run_with_events(&mut session, &inj);
+        assert_eq!(inj.fired(), 2, "both aliased flips must land");
+        assert_eq!(count_recovering(&events), 1, "{events:?}");
+        finished.into_iter().find(|f| f.id == id).unwrap()
+    };
+    let partial = run(RecoveryPolicy::ReprefillPartial { max_attempts: 3 });
+    let full = run(RecoveryPolicy::ReprefillBounded { max_attempts: 3 });
+
+    for (label, f) in [("partial", &partial), ("full", &full)] {
+        assert_eq!(f.tokens, clean[0].tokens, "{label} diverged from clean");
+        assert_eq!(f.finish, FinishReason::Recovered, "{label}");
+        assert_eq!(f.recoveries, 1, "{label}");
+    }
+    // History at recovery time: 44 prompt rows + 1 committed token. The
+    // full twin replays all 45; the partial rollback keeps blocks 0 and 1
+    // (32 rows) materialized and re-feeds only the 13-row suffix.
+    assert_eq!(full.recovery_fed, 45);
+    assert_eq!(partial.recovery_fed, 45 - 32);
+    assert!(
+        partial.recovery_fed < full.recovery_fed,
+        "partial re-prefill must schedule strictly fewer re-fed tokens"
+    );
+}
+
+/// `ReprefillPartial` with poison in the *first attended* block: there is
+/// no clean prefix to keep, so the policy must fall back to the full
+/// re-prefill — same re-fed token count as the bounded twin, still
+/// bit-identical to the undamaged run.
+#[test]
+fn partial_reprefill_falls_back_to_full_when_first_attended_block_is_poisoned() {
+    let model = TransformerModel::random(41, tiny(64), BackendKind::Efta(EftaOptions::optimized()))
+        .with_causal(true)
+        .with_cache_block(16);
+    let p = prompt(13, 0);
+    let new_tokens = 6;
+    let request = |recovery| GenerationRequest::new(p.clone(), new_tokens).with_recovery(recovery);
+    // Damage rows 0 and 8 of block 0 — the first attended block of an
+    // unwindowed stream — at decode base 15 (15-row ragged block).
+    let step = serve_expose_step(StreamId(0), 15, 2, 0);
+
+    let mut clean_session = model.serve();
+    clean_session.submit_request(request(RecoveryPolicy::ReprefillPartial {
+        max_attempts: 3,
+    }));
+    let (clean, _) = run_with_events(&mut clean_session, &NoFaults);
+
+    let run = |recovery| {
+        let inj = PairInjector::aliased_k(step, 3);
+        let mut session = model.serve();
+        let id = session.submit_request(request(recovery));
+        let (finished, events) = run_with_events(&mut session, &inj);
+        assert_eq!(inj.fired(), 2);
+        assert_eq!(count_recovering(&events), 1, "{events:?}");
+        finished.into_iter().find(|f| f.id == id).unwrap()
+    };
+    let partial = run(RecoveryPolicy::ReprefillPartial { max_attempts: 3 });
+    let full = run(RecoveryPolicy::ReprefillBounded { max_attempts: 3 });
+
+    assert_eq!(partial.tokens, clean[0].tokens);
+    assert_eq!(partial.finish, FinishReason::Recovered);
+    assert_eq!(partial.recoveries, 1);
+    assert_eq!(
+        partial.recovery_fed, full.recovery_fed,
+        "no clean prefix to exploit: the fallback must replay the whole history"
+    );
+    assert!(
+        partial.recovery_fed > p.len(),
+        "full history = prompt + committed tokens"
+    );
 }
