@@ -84,7 +84,7 @@ impl HarnessArgs {
                 // `has_flag`); listed here so the shared parser does not
                 // warn about them.
                 "--bounded-only" | "--recovery-only" | "--latency-only" | "--fused-only"
-                | "--spec-only" => {}
+                | "--spec-only" | "--shard-only" => {}
                 other => {
                     eprintln!("ignoring unknown argument {other}");
                 }

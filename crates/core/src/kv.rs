@@ -1474,4 +1474,15 @@ mod tests {
         let mut cache = filled_cache(8, 8);
         cache.truncate_to(CacheMark::at(9));
     }
+
+    #[test]
+    fn cache_state_is_send() {
+        // Fleet workers own their caches on shard threads, and migration
+        // rebuilds (never ships) them — but the owning session must still
+        // cross a thread boundary at spawn. Compile-time pin.
+        fn assert_send<T: Send>() {}
+        assert_send::<KvCache>();
+        assert_send::<CacheMark>();
+        assert_send::<KvReadReport>();
+    }
 }

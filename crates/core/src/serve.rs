@@ -1204,17 +1204,6 @@ impl DecodeScheduler {
         id
     }
 
-    /// Positional-shim submission: `prompt` followed by up to
-    /// `max_new_tokens` greedy continuations with default request knobs.
-    /// Delegates to [`submit_request`](DecodeScheduler::submit_request).
-    #[deprecated(
-        since = "0.6.0",
-        note = "build a typed GenerationRequest and use submit_request instead"
-    )]
-    pub fn submit(&mut self, prompt: Vec<u32>, max_new_tokens: usize) -> StreamId {
-        self.submit_request(GenerationRequest::new(prompt, max_new_tokens))
-    }
-
     /// The live (slot-holding) state of `stream`, if it is active.
     pub fn active_stream(&self, stream: StreamId) -> Option<&StreamState> {
         self.active.iter().find(|s| s.id == stream)
@@ -1633,6 +1622,52 @@ impl DecodeScheduler {
     /// Drain the retired streams (token history + per-stream fault report).
     pub fn take_finished(&mut self) -> Vec<StreamState> {
         std::mem::take(&mut self.finished)
+    }
+
+    /// Ids of the streams waiting in the run queue, in queue order. Parked
+    /// streams appear here too — they wait for re-admission exactly like
+    /// fresh submissions.
+    pub fn pending_ids(&self) -> Vec<StreamId> {
+        self.pending.iter().map(|s| s.id).collect()
+    }
+
+    /// Ids of the streams currently holding decode slots, in admission
+    /// order.
+    pub fn active_ids(&self) -> Vec<StreamId> {
+        self.active.iter().map(|s| s.id).collect()
+    }
+
+    /// Remove a *pending* stream so another scheduler can adopt it (work
+    /// migration between shards). Only queued streams can be extracted —
+    /// an active stream must be [`park`](DecodeScheduler::park)ed first,
+    /// which resets its prefill bookkeeping so the whole emitted history
+    /// replays through chunked re-prefill on the adopting shard. The
+    /// extracted state carries every ledger (tokens, recoveries,
+    /// preemptions, speculation counters, fault report), so attribution
+    /// follows the stream. Returns `None` when the stream is not pending.
+    pub fn extract_pending(&mut self, stream: StreamId) -> Option<StreamState> {
+        let i = self.pending.iter().position(|s| s.id == stream)?;
+        self.pending.remove(i)
+    }
+
+    /// Adopt a stream extracted from another scheduler (the receiving half
+    /// of [`extract_pending`](DecodeScheduler::extract_pending)). The id
+    /// must be unknown here — fleet-wide unique ids are the router's job —
+    /// and the local id allocator is bumped past it so local submissions
+    /// can never collide. Queue aging restarts on the local tick; if the
+    /// stream was parked on the donor, its re-admission here still logs a
+    /// resume.
+    pub fn adopt_pending(&mut self, mut s: StreamState) {
+        let id = s.id;
+        assert!(
+            !self.active.iter().any(|a| a.id == id)
+                && !self.pending.iter().any(|p| p.id == id)
+                && !self.finished.iter().any(|f| f.id == id),
+            "{id} already known to this scheduler"
+        );
+        self.next_id = self.next_id.max(id.0 + 1);
+        s.queued_at = self.tick;
+        self.pending.push_back(s);
     }
 }
 
@@ -2369,5 +2404,65 @@ mod tests {
         sched.requeue(a, &FtReport::default());
         let s = sched.active_stream(a).unwrap();
         assert_eq!(s.recovery_fed, 3 + 8, "full requeue re-feeds everything");
+    }
+
+    #[test]
+    fn scheduler_state_is_send() {
+        // The fleet ships StreamState between shard threads and each worker
+        // owns its DecodeScheduler; both must stay Send. Compile-time pin.
+        fn assert_send<T: Send>() {}
+        assert_send::<StreamState>();
+        assert_send::<DecodeScheduler>();
+    }
+
+    #[test]
+    fn extract_and_adopt_move_a_pending_stream_between_schedulers() {
+        let one_slot = SchedulerConfig {
+            max_active: 1,
+            preempt: true,
+            ..Default::default()
+        };
+        let mut donor = DecodeScheduler::new(one_slot);
+        let a = donor.submit_request(GenerationRequest::new(vec![1, 2], 2));
+        let b = donor.submit_request(GenerationRequest::new(vec![3, 4, 5], 2));
+        donor.plan();
+        donor.record(a, Some(9), &FtReport::default());
+        assert!(donor.extract_pending(a).is_none(), "active ≠ extractable");
+        assert_eq!(donor.pending_ids(), vec![b]);
+        assert_eq!(donor.active_ids(), vec![a]);
+
+        let moved = donor.extract_pending(b).expect("b is queued");
+        assert_eq!(donor.pending_len(), 0);
+        let mut thief = DecodeScheduler::new(one_slot);
+        thief.adopt_pending(moved);
+        assert_eq!(thief.pending_ids(), vec![b]);
+        // The local allocator skipped past the adopted id.
+        let c = thief.submit_request(GenerationRequest::new(vec![6], 1));
+        assert!(c.0 > b.0, "adoption bumps the id allocator");
+        // The adopted stream runs to completion on the thief.
+        while !thief.idle() {
+            for feed in thief.plan() {
+                let last = *feed.feed.last().unwrap();
+                let tok = if feed.sample { Some(last + 1) } else { None };
+                thief.record(feed.stream, tok, &FtReport::default());
+            }
+        }
+        let done = thief.take_finished();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].id, b);
+        assert_eq!(done[0].tokens(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already known")]
+    fn adopting_a_known_id_panics() {
+        let mut sched = DecodeScheduler::new(SchedulerConfig::default());
+        let a = sched.submit_request(GenerationRequest::new(vec![1], 1));
+        let mut other = DecodeScheduler::new(SchedulerConfig::default());
+        let id = other.submit_request(GenerationRequest::new(vec![2], 1));
+        // Force the same id as `a` to provoke the collision guard.
+        let mut moved = other.extract_pending(id).unwrap();
+        moved.id = a;
+        sched.adopt_pending(moved);
     }
 }

@@ -50,28 +50,34 @@
 //! per sweep (the commit) while rejected drafts are rolled back before
 //! anything reaches the channel — consumers never see a retracted token.
 //!
+//! Since the shard-parallel refactor, `Engine` is the `workers = 1`
+//! special case of the [`Fleet`](crate::Fleet): same worker loop, same
+//! handles, one shard, no migration. Multi-core serving wants
+//! [`Fleet::spawn`](crate::Fleet::spawn) instead.
+//!
 //! No async runtime: plain `std::thread` + `std::sync::mpsc`, per the
 //! repo's no-new-dependencies policy.
 
-use crate::model::{ServeSession, TransformerModel};
+use crate::fleet::{Fleet, FleetConfig, RouterPolicy};
+use crate::model::TransformerModel;
 use ft_core::serve::{
     EngineEvent, FinishReason, GenerationRequest, Priority, SchedulerConfig, StreamId,
 };
 use ft_sim::{FaultInjector, NoFaults};
-use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError, TrySendError};
-use std::sync::{mpsc, Arc};
-use std::thread;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Sizing and policy knobs of an [`Engine`].
+/// Sizing and policy knobs of an [`Engine`] (and of each shard of a
+/// [`Fleet`](crate::Fleet)).
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Scheduler sizing handed to the worker's [`ServeSession`]. The
     /// engine default turns preemption on and ages queued streams one
     /// class per 64 plan ticks (a plain [`SchedulerConfig::default`]
     /// leaves both off for pull-mode compatibility).
+    ///
+    /// [`ServeSession`]: crate::model::ServeSession
     pub scheduler: SchedulerConfig,
     /// Bound of each stream's event channel. A full channel parks events
     /// in a worker-side outbox (and eventually the stream itself) instead
@@ -95,16 +101,6 @@ impl Default for EngineConfig {
             park_after_held_sweeps: 4,
         }
     }
-}
-
-/// A request plus the submitting side's pre-allocated id and event sender,
-/// as shipped over the submission channel.
-enum Command {
-    Submit {
-        id: StreamId,
-        req: GenerationRequest,
-        events: SyncSender<EngineEvent>,
-    },
 }
 
 /// Handle to a serving loop running on its own worker thread.
@@ -141,10 +137,7 @@ enum Command {
 /// }
 /// ```
 pub struct Engine {
-    tx: Option<Sender<Command>>,
-    next_id: AtomicU64,
-    capacity: usize,
-    worker: Option<thread::JoinHandle<()>>,
+    fleet: Fleet,
 }
 
 impl Engine {
@@ -163,18 +156,20 @@ impl Engine {
         cfg: EngineConfig,
         inj: Arc<dyn FaultInjector + Send + Sync>,
     ) -> Engine {
-        assert!(cfg.channel_capacity > 0, "a stream needs event capacity");
-        let (tx, rx) = mpsc::channel();
-        let capacity = cfg.channel_capacity;
-        let worker = thread::Builder::new()
-            .name("ft-serve-worker".into())
-            .spawn(move || worker_loop(model, cfg, inj, rx))
-            .expect("spawn serving worker thread");
         Engine {
-            tx: Some(tx),
-            next_id: AtomicU64::new(0),
-            capacity,
-            worker: Some(worker),
+            fleet: Fleet::spawn_with(
+                model,
+                FleetConfig {
+                    workers: 1,
+                    router: RouterPolicy::LeastLoaded,
+                    engine: cfg,
+                    steal: false,
+                    // One worker is the whole fleet: its sweeps may use
+                    // every core, exactly as before the shard refactor.
+                    shard_threads: Some(0),
+                },
+                inj,
+            ),
         }
     }
 
@@ -182,46 +177,24 @@ impl Engine {
     /// own [`GenerationRequest::priority`] is honored; `max_new_tokens`
     /// clamping and model-default window resolution happen on the worker,
     /// exactly as in [`ServeSession::submit_request`].
+    ///
+    /// [`ServeSession::submit_request`]: crate::model::ServeSession::submit_request
     pub fn submit(&self, req: GenerationRequest) -> StreamHandle {
-        let id = StreamId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let priority = req.priority;
-        let (events, rx) = mpsc::sync_channel(self.capacity);
-        self.tx
-            .as_ref()
-            .expect("submission channel open while the engine is alive")
-            .send(Command::Submit { id, req, events })
-            .expect("serving worker alive while the engine is alive");
-        StreamHandle {
-            id,
-            priority,
-            events: rx,
-        }
+        self.fleet.submit(req)
     }
 
     /// [`submit`](Engine::submit) with an explicit priority class
     /// (overrides whatever the request carried).
     pub fn submit_with_priority(&self, req: GenerationRequest, priority: Priority) -> StreamHandle {
-        self.submit(req.with_priority(priority))
+        self.fleet.submit_with_priority(req, priority)
     }
 
     /// Hang up the submission channel and wait for the worker to finish
     /// every stream it already has. Only call after draining (or dropping)
     /// all handles — a blocked consumer would leave the worker, and hence
     /// this join, waiting on it.
-    pub fn shutdown(mut self) {
-        self.tx = None;
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
-        }
-    }
-}
-
-impl Drop for Engine {
-    /// Hang up the submission channel and detach: the worker finishes its
-    /// remaining streams in the background (handles stay valid) and exits.
-    fn drop(&mut self) {
-        self.tx = None;
-        drop(self.worker.take());
+    pub fn shutdown(self) {
+        self.fleet.shutdown();
     }
 }
 
@@ -234,6 +207,16 @@ pub struct StreamHandle {
 }
 
 impl StreamHandle {
+    /// Bind a handle to its worker-side event channel — the
+    /// router/engine submission path's half of the pair.
+    pub(crate) fn attach(id: StreamId, priority: Priority, events: Receiver<EngineEvent>) -> Self {
+        StreamHandle {
+            id,
+            priority,
+            events,
+        }
+    }
+
     /// The stream's identity (allocated at submission, before the worker
     /// ran anything).
     pub fn id(&self) -> StreamId {
@@ -313,179 +296,4 @@ pub struct StreamOutcome {
     pub preemptions: u32,
     /// The full ordered event log.
     pub events: Vec<EngineEvent>,
-}
-
-/// Worker-side event queue of one stream: everything the bounded channel
-/// could not absorb yet.
-struct Outbox {
-    tx: SyncSender<EngineEvent>,
-    buf: VecDeque<EngineEvent>,
-    held_sweeps: u32,
-    finished: bool,
-    dead: bool,
-}
-
-impl Outbox {
-    /// Push as much buffered backlog into the channel as fits.
-    fn flush(&mut self) {
-        while let Some(&ev) = self.buf.front() {
-            match self.tx.try_send(ev) {
-                Ok(()) => {
-                    self.buf.pop_front();
-                }
-                Err(TrySendError::Full(_)) => return,
-                Err(TrySendError::Disconnected(_)) => {
-                    // Consumer dropped its handle: discard the backlog and
-                    // stop routing to this stream.
-                    self.dead = true;
-                    self.buf.clear();
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Undelivered events remain and the consumer is still attached.
-    fn blocked(&self) -> bool {
-        !self.dead && !self.buf.is_empty()
-    }
-
-    fn push(&mut self, ev: EngineEvent) {
-        if self.dead {
-            return;
-        }
-        if matches!(ev, EngineEvent::Finished { .. }) {
-            self.finished = true;
-        }
-        self.buf.push_back(ev);
-        self.flush();
-    }
-}
-
-/// The serving loop proper. Runs until the submission channel is hung up
-/// *and* every accepted stream has finished with its events delivered (or
-/// its consumer gone).
-fn worker_loop(
-    model: TransformerModel,
-    cfg: EngineConfig,
-    inj: Arc<dyn FaultInjector + Send + Sync>,
-    rx: Receiver<Command>,
-) {
-    let mut session = model.into_serve(cfg.scheduler);
-    let inj: &(dyn FaultInjector + Send + Sync) = &*inj;
-    let mut outboxes: BTreeMap<u64, Outbox> = BTreeMap::new();
-    let mut open = true;
-    let accept = |cmd: Command,
-                  session: &mut ServeSession<TransformerModel>,
-                  outboxes: &mut BTreeMap<u64, Outbox>| {
-        let Command::Submit { id, req, events } = cmd;
-        session.submit_request_with_id(req, id);
-        outboxes.insert(
-            id.0,
-            Outbox {
-                tx: events,
-                buf: VecDeque::new(),
-                held_sweeps: 0,
-                finished: false,
-                dead: false,
-            },
-        );
-    };
-    loop {
-        // Drain submissions without blocking the sweep cadence.
-        while open {
-            match rx.try_recv() {
-                Ok(cmd) => accept(cmd, &mut session, &mut outboxes),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => open = false,
-            }
-        }
-        // Retry blocked backlogs; consumers that caught up get their
-        // stream fed again.
-        let mut caught_up = Vec::new();
-        for (id, ob) in outboxes.iter_mut() {
-            ob.flush();
-            if !ob.blocked() && ob.held_sweeps > 0 {
-                ob.held_sweeps = 0;
-                caught_up.push(StreamId(*id));
-            }
-        }
-        for id in caught_up {
-            session.release_stream(id);
-        }
-        // Finished-and-delivered (or abandoned) streams need no routing.
-        outboxes.retain(|_, ob| !(ob.dead || (ob.finished && ob.buf.is_empty())));
-        if session.idle() {
-            if outboxes.is_empty() {
-                if !open {
-                    return;
-                }
-                // Nothing to do until the next submission arrives.
-                match rx.recv() {
-                    Ok(cmd) => accept(cmd, &mut session, &mut outboxes),
-                    Err(_) => return,
-                }
-                continue;
-            }
-            // All streams retired but some consumers have not absorbed
-            // their final events yet: wait on them (and on new work).
-            if open {
-                match rx.recv_timeout(Duration::from_millis(1)) {
-                    Ok(cmd) => accept(cmd, &mut session, &mut outboxes),
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => open = false,
-                }
-            } else {
-                thread::sleep(Duration::from_millis(1));
-            }
-            continue;
-        }
-        // Backpressure park: a stream whose consumer has been stuck for
-        // enough sweeps gives its slot (and cache bytes) to waiting work.
-        if session.pending_streams() > 0 {
-            let stuck: Vec<StreamId> = outboxes
-                .iter()
-                .filter(|(_, ob)| {
-                    ob.blocked() && !ob.finished && ob.held_sweeps >= cfg.park_after_held_sweeps
-                })
-                .map(|(&id, _)| StreamId(id))
-                .collect();
-            for id in stuck {
-                if session.park_stream(id) {
-                    if let Some(ob) = outboxes.get_mut(&id.0) {
-                        ob.held_sweeps = 0;
-                    }
-                }
-            }
-        }
-        let events = session.sweep_events(&inj);
-        let swept = !events.is_empty();
-        for ev in events {
-            if let Some(ob) = outboxes.get_mut(&ev.stream().0) {
-                ob.push(ev);
-            }
-        }
-        // Streams whose consumers still lag get held: slot and cache stay,
-        // but no further tokens are generated for them.
-        let mut lagging = Vec::new();
-        for (id, ob) in outboxes.iter_mut() {
-            if ob.blocked() && !ob.finished {
-                ob.held_sweeps += 1;
-                lagging.push(StreamId(*id));
-            }
-        }
-        for id in lagging {
-            // Tolerant no-op when the stream is pending (parked) or
-            // already retired.
-            session.hold_stream(id);
-        }
-        // The worker never reads FinishedStream records — outcomes travel
-        // as events — so drain them to free their token histories.
-        session.take_finished();
-        if !swept {
-            // Every feedable stream is held or awaiting its consumer:
-            // yield briefly instead of spinning on empty plans.
-            thread::sleep(Duration::from_micros(200));
-        }
-    }
 }

@@ -1,0 +1,962 @@
+//! Shard-parallel serving fleet: N worker threads, each owning its own
+//! [`DecodeScheduler`](ft_core::serve::DecodeScheduler) + [`ServeSession`]
+//! over one shared [`TransformerModel`], behind a shared admission router.
+//!
+//! ```text
+//!  caller threads                router                 shard workers
+//!  ──────────────        ─────────────────────          ──────────────────
+//!  Fleet::submit ──▶ alloc global StreamId (atomic)     shard0: scheduler+
+//!                    project cache bytes                  session, sweeps
+//!                    pick shard:                        shard1:    "
+//!                      LeastLoaded (projected bytes)      ⋮
+//!                      ConsistentHash (prompt affinity) shardN-1:  "
+//!                 ──▶ per-shard mpsc ────────────────▶  chosen shard
+//!  StreamHandle ◀── bounded per-stream channel ◀──────  event routing
+//!
+//!  ragged tails: an idle shard posts "hungry"; a loaded shard parks one
+//!  stream, routes its Preempted event, and ships scheduler state +
+//!  report + outbox over the migration board; the thief re-admits it
+//!  through chunked re-prefill (bit-identical to a never-migrated run).
+//! ```
+//!
+//! Design invariants:
+//!
+//! * **Same handle API.** [`Fleet::submit`] returns the exact
+//!   [`StreamHandle`] the single-worker [`Engine`](crate::Engine) hands
+//!   out — callers cannot tell how many shards serve them. `Engine` *is*
+//!   the `workers = 1` fleet.
+//! * **Fleet-unique ids.** One shared atomic allocator hands out
+//!   [`StreamId`]s before routing, so ids are unique across shards and a
+//!   migrated stream keeps its identity.
+//! * **Bit-identical migration.** Only *pending* (queued or parked)
+//!   streams migrate; a parked stream has no cache, so the move ships
+//!   scheduler state + accumulated report and the thief rebuilds the
+//!   cache by chunked re-prefill — the same machinery preemption uses,
+//!   already pinned bit-identical by the preemption suite.
+//! * **Lossless roll-up.** Every token, detection, repair, recovery,
+//!   park, and speculation count lands in exactly one
+//!   [`ShardReport`]; [`FleetReport::total`] is a plain sum. Event-level
+//!   counters (tokens, recoveries, parks) are attributed to the shard
+//!   where they happened; stream-level ledgers (fault reports,
+//!   speculation) to the shard that retired the stream.
+//! * **Composable parallelism.** Each shard thread caps the rayon-shim
+//!   fan-out of its own sweeps to `cores / workers` (override:
+//!   [`FleetConfig::shard_threads`], or the `FT_RAYON_WORKERS`
+//!   environment variable process-wide), so shards × sweep-workers stays
+//!   at about one thread per core instead of multiplying.
+
+use crate::engine::{EngineConfig, StreamHandle};
+use crate::model::{ModelReport, ServeSession, TransformerModel};
+use ft_core::serve::{EngineEvent, GenerationRequest, Priority, StreamId, StreamState};
+use ft_sim::{FaultInjector, NoFaults};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Identity of one fleet shard (worker thread). Displays as `shardN`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub usize);
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// Admission routing policy of a [`Fleet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Route each request to the shard with the smallest projected cache
+    /// footprint (sum of the admission-projection bytes of the streams it
+    /// owns). Best aggregate balance; no placement affinity.
+    LeastLoaded,
+    /// Route by consistent hash of the prompt tokens: identical prompts
+    /// land on the same shard (prefix/session affinity), and adding
+    /// shards only remaps `1/N` of the keyspace. Load can be ragged —
+    /// work stealing covers the tails.
+    ConsistentHash,
+}
+
+/// Sizing and policy knobs of a [`Fleet`].
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Shard worker threads. The default is the machine's available
+    /// parallelism; `1` reproduces the classic [`Engine`](crate::Engine).
+    pub workers: usize,
+    /// Admission routing policy.
+    pub router: RouterPolicy,
+    /// Per-shard serving-loop knobs (scheduler sizing, channel capacity,
+    /// backpressure park threshold) — every shard runs the same config.
+    pub engine: EngineConfig,
+    /// Allow idle shards to steal parked/queued streams from loaded ones.
+    /// Migration is bit-identical (park + chunked re-prefill); disable it
+    /// to pin streams to their routed shard.
+    pub steal: bool,
+    /// Rayon-shim worker cap set on each shard thread for its sweeps.
+    /// `None` derives `max(1, cores / workers)` so the fleet does not
+    /// oversubscribe; CI containers can also cap process-wide via the
+    /// `FT_RAYON_WORKERS` environment variable.
+    pub shard_threads: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: thread::available_parallelism().map_or(1, |n| n.get()),
+            router: RouterPolicy::LeastLoaded,
+            engine: EngineConfig::default(),
+            steal: true,
+            shard_threads: None,
+        }
+    }
+}
+
+/// One shard's serving ledger. Event-level counters (tokens, recoveries,
+/// parks, migrations) count where they *happened*; stream-level ledgers
+/// (fault totals, speculation, finished ids) count on the shard that
+/// *retired* the stream — recovery of a migrated stream is therefore
+/// attributed to the shard that owned it when the fault hit.
+#[derive(Clone, Debug, Default)]
+pub struct ShardReport {
+    /// Which shard (or the synthetic total row — see
+    /// [`FleetReport::total`]).
+    pub shard: ShardId,
+    /// Streams retired on this shard.
+    pub streams_finished: u64,
+    /// Tokens emitted by this shard's sweeps (migrated streams count the
+    /// tokens emitted here only — re-prefill replays are not re-emitted).
+    pub tokens_emitted: u64,
+    /// Re-prefill recovery attempts started on this shard.
+    pub recoveries: u64,
+    /// Park transitions (preemption, backpressure, or migration export)
+    /// executed on this shard.
+    pub preemptions: u64,
+    /// Streams adopted from the migration board.
+    pub migrations_in: u64,
+    /// Streams shipped to the migration board.
+    pub migrations_out: u64,
+    /// Sum of retired streams' detected fault counts (model-wide).
+    pub detected: u64,
+    /// Sum of retired streams' repaired fault counts (model-wide).
+    pub repaired: u64,
+    /// Sum of retired streams' uncorrectable cache detections.
+    pub cache_uncorrectable: u64,
+    /// History tokens re-fed by retired streams' recoveries.
+    pub recovery_fed: u64,
+    /// Speculative tokens drafted by retired streams.
+    pub spec_drafted: u64,
+    /// Speculative tokens committed by retired streams.
+    pub spec_accepted: u64,
+    /// Peak resident cache bytes of this shard's session.
+    pub peak_cache_bytes: u64,
+    /// Ids of the streams that retired here, in retirement order.
+    pub finished_streams: Vec<StreamId>,
+}
+
+impl ShardReport {
+    fn fold_finished(&mut self, f: &crate::model::FinishedStream) {
+        self.streams_finished += 1;
+        self.detected += f.report.total_detected;
+        self.repaired += f.report.total_repaired;
+        self.cache_uncorrectable += f.report.cache_uncorrectable;
+        self.recovery_fed += f.recovery_fed as u64;
+        self.spec_drafted += f.spec_drafted;
+        self.spec_accepted += f.spec_accepted;
+        self.finished_streams.push(f.id);
+    }
+
+    fn absorb(&mut self, other: &ShardReport) {
+        self.streams_finished += other.streams_finished;
+        self.tokens_emitted += other.tokens_emitted;
+        self.recoveries += other.recoveries;
+        self.preemptions += other.preemptions;
+        self.migrations_in += other.migrations_in;
+        self.migrations_out += other.migrations_out;
+        self.detected += other.detected;
+        self.repaired += other.repaired;
+        self.cache_uncorrectable += other.cache_uncorrectable;
+        self.recovery_fed += other.recovery_fed;
+        self.spec_drafted += other.spec_drafted;
+        self.spec_accepted += other.spec_accepted;
+        self.peak_cache_bytes += other.peak_cache_bytes;
+        self.finished_streams
+            .extend_from_slice(&other.finished_streams);
+    }
+}
+
+impl fmt::Display for ShardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} streams, {} tok, {} recoveries, {} parks, {} in/{} out, \
+             det {} rep {} unc {}, spec {}/{}, peak {} B",
+            self.shard,
+            self.streams_finished,
+            self.tokens_emitted,
+            self.recoveries,
+            self.preemptions,
+            self.migrations_in,
+            self.migrations_out,
+            self.detected,
+            self.repaired,
+            self.cache_uncorrectable,
+            self.spec_accepted,
+            self.spec_drafted,
+            self.peak_cache_bytes,
+        )
+    }
+}
+
+/// Per-shard ledgers of one fleet run, plus the fleet-level admission
+/// count. The roll-up is lossless: [`total`](FleetReport::total) is a
+/// plain per-counter sum over [`shards`](FleetReport::shards).
+#[derive(Clone, Debug, Default)]
+pub struct FleetReport {
+    /// One ledger per shard, indexed by [`ShardId`].
+    pub shards: Vec<ShardReport>,
+    /// Streams admitted through the router.
+    pub streams_submitted: u64,
+}
+
+impl FleetReport {
+    /// Sum the per-shard ledgers into one fleet-level row. The synthetic
+    /// row carries `ShardId(shards.len())`; `peak_cache_bytes` is the sum
+    /// of per-shard peaks (an upper bound on the fleet-wide peak, since
+    /// shards do not peak simultaneously), and `finished_streams` is the
+    /// concatenation sorted by id.
+    pub fn total(&self) -> ShardReport {
+        let mut out = ShardReport {
+            shard: ShardId(self.shards.len()),
+            ..ShardReport::default()
+        };
+        for s in &self.shards {
+            out.absorb(s);
+        }
+        out.finished_streams.sort_unstable();
+        out
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fleet: {} streams submitted", self.streams_submitted)?;
+        for s in &self.shards {
+            writeln!(f, "  {s}")?;
+        }
+        write!(f, "  total: {}", self.total())
+    }
+}
+
+/// A request plus the router's pre-allocated id, event sender, and
+/// projected cache footprint, as shipped over a shard's submission
+/// channel.
+enum Command {
+    Submit {
+        id: StreamId,
+        req: GenerationRequest,
+        events: SyncSender<EngineEvent>,
+        projection: u64,
+    },
+}
+
+/// Worker-side event queue of one stream: everything the bounded channel
+/// could not absorb yet, plus the stream's routing projection (released
+/// when it retires or migrates). Migration ships the whole outbox, so
+/// buffered events stay ordered across the move.
+struct Outbox {
+    tx: SyncSender<EngineEvent>,
+    buf: VecDeque<EngineEvent>,
+    held_sweeps: u32,
+    finished: bool,
+    dead: bool,
+    projection: u64,
+}
+
+impl Outbox {
+    /// Push as much buffered backlog into the channel as fits.
+    fn flush(&mut self) {
+        while let Some(&ev) = self.buf.front() {
+            match self.tx.try_send(ev) {
+                Ok(()) => {
+                    self.buf.pop_front();
+                }
+                Err(TrySendError::Full(_)) => return,
+                Err(TrySendError::Disconnected(_)) => {
+                    // Consumer dropped its handle: discard the backlog and
+                    // stop routing to this stream. The outbox itself stays
+                    // until the stream retires — it carries the projection.
+                    self.dead = true;
+                    self.buf.clear();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Undelivered events remain and the consumer is still attached.
+    fn blocked(&self) -> bool {
+        !self.dead && !self.buf.is_empty()
+    }
+
+    fn push(&mut self, ev: EngineEvent) {
+        if self.dead {
+            return;
+        }
+        if matches!(ev, EngineEvent::Finished { .. }) {
+            self.finished = true;
+        }
+        self.buf.push_back(ev);
+        self.flush();
+    }
+}
+
+/// A parked/queued stream in flight between shards: scheduler state (the
+/// full ledger — tokens, recoveries, priority, speculation counters),
+/// the accumulated model report, and the consumer's outbox. No cache —
+/// the thief rebuilds it by chunked re-prefill.
+struct Migrant {
+    state: StreamState,
+    report: ModelReport,
+    outbox: Outbox,
+}
+
+/// State shared by the router and every shard worker.
+struct FleetShared {
+    /// Projected cache bytes per shard (admission-time projections, held
+    /// until the stream retires or migrates away).
+    loads: Vec<AtomicU64>,
+    /// Idle shards currently advertising for work (advisory — donors
+    /// check it before parking anything).
+    hungry: AtomicUsize,
+    /// The migration board: parked streams awaiting adoption. Any idle
+    /// worker (including the donor, if the thief left) claims from here,
+    /// so no migrant is ever stranded.
+    board: Mutex<VecDeque<Migrant>>,
+    /// Live per-shard ledgers, refreshed every worker-loop iteration —
+    /// the source of [`Fleet::report`] snapshots.
+    live: Vec<Mutex<ShardReport>>,
+}
+
+/// Handle to a sharded serving fleet: N worker threads behind one
+/// admission router. Same submission/consumption contract as
+/// [`Engine`](crate::Engine) — see the module docs for the invariants.
+///
+/// ```no_run
+/// use ft_transformer::{
+///     BackendKind, Fleet, FleetConfig, GenerationRequest, ModelConfig, TransformerModel,
+/// };
+///
+/// let cfg = ModelConfig {
+///     name: "doc",
+///     layers: 1,
+///     heads: 2,
+///     hidden: 16,
+///     ffn_dim: 32,
+///     vocab: 31,
+///     max_seq: 32,
+/// };
+/// let model = TransformerModel::random(7, cfg, BackendKind::Flash).with_causal(true);
+/// let fleet = Fleet::spawn(model, FleetConfig { workers: 4, ..Default::default() });
+/// let handles: Vec<_> = (0..64)
+///     .map(|i| fleet.submit(GenerationRequest::new(vec![1, 2, i], 8)))
+///     .collect();
+/// let outcomes: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+/// let report = fleet.shutdown(); // per-shard attribution + lossless total
+/// println!("{report}");
+/// ```
+pub struct Fleet {
+    txs: Vec<Option<Sender<Command>>>,
+    workers: Vec<Option<thread::JoinHandle<ShardReport>>>,
+    shared: Arc<FleetShared>,
+    next_id: Arc<AtomicU64>,
+    submitted: AtomicU64,
+    capacity: usize,
+    router: RouterPolicy,
+    ring: Vec<(u64, usize)>,
+    bytes_per_token: u64,
+    window_slack: usize,
+    max_seq: usize,
+    default_window: Option<usize>,
+}
+
+/// Hash points per shard on the consistent-hash ring. Enough that the
+/// keyspace split stays within a few percent of even.
+const VNODES: usize = 16;
+
+impl Fleet {
+    /// Spawn the fleet over an owned model with no fault injection.
+    pub fn spawn(model: TransformerModel, cfg: FleetConfig) -> Fleet {
+        Fleet::spawn_with(model, cfg, Arc::new(NoFaults))
+    }
+
+    /// Spawn the fleet with a shared fault injector: every shard's sweeps
+    /// expose cache-resident state and kernel operations to `inj`, and
+    /// per-request recovery runs unchanged on whichever shard owns the
+    /// stream when the damage is attended.
+    pub fn spawn_with(
+        model: TransformerModel,
+        cfg: FleetConfig,
+        inj: Arc<dyn FaultInjector + Send + Sync>,
+    ) -> Fleet {
+        assert!(cfg.workers > 0, "a fleet needs at least one shard");
+        assert!(
+            cfg.engine.channel_capacity > 0,
+            "a stream needs event capacity"
+        );
+        // The whole point of the refactor: the model, the sessions, and
+        // the injector all cross thread boundaries. Pin it at compile
+        // time so a future field can't silently break the fleet.
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<TransformerModel>();
+        assert_send::<ServeSession<Arc<TransformerModel>>>();
+        assert_send::<Migrant>();
+
+        let model = Arc::new(model);
+        let bytes_per_token = (4 * model.config.hidden * model.config.layers) as u64;
+        let window_slack = model.blocks.first().map_or(0, |b| b.mha.cache_block);
+        let shared = Arc::new(FleetShared {
+            loads: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
+            hungry: AtomicUsize::new(0),
+            board: Mutex::new(VecDeque::new()),
+            live: (0..cfg.workers)
+                .map(|s| {
+                    Mutex::new(ShardReport {
+                        shard: ShardId(s),
+                        ..ShardReport::default()
+                    })
+                })
+                .collect(),
+        });
+        let cores = thread::available_parallelism().map_or(1, |n| n.get());
+        let sweep_workers = cfg
+            .shard_threads
+            .unwrap_or_else(|| (cores / cfg.workers).max(1));
+        let mut txs = Vec::with_capacity(cfg.workers);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for s in 0..cfg.workers {
+            let (tx, rx) = mpsc::channel();
+            let model = Arc::clone(&model);
+            let inj = Arc::clone(&inj);
+            let shared = Arc::clone(&shared);
+            let steal = cfg.steal && cfg.workers > 1;
+            let engine_cfg = cfg.engine;
+            let worker = thread::Builder::new()
+                .name(format!("ft-serve-{}", ShardId(s)))
+                .spawn(move || {
+                    rayon::set_thread_workers(sweep_workers);
+                    worker_loop(ShardId(s), model, engine_cfg, steal, inj, rx, shared)
+                })
+                .expect("spawn shard worker thread");
+            txs.push(Some(tx));
+            workers.push(Some(worker));
+        }
+        let mut ring: Vec<(u64, usize)> = (0..cfg.workers)
+            .flat_map(|s| (0..VNODES).map(move |v| (mix64((s as u64) << 32 | v as u64), s)))
+            .collect();
+        ring.sort_unstable();
+        Fleet {
+            txs,
+            workers,
+            shared,
+            next_id: Arc::new(AtomicU64::new(0)),
+            submitted: AtomicU64::new(0),
+            capacity: cfg.engine.channel_capacity,
+            router: cfg.router,
+            ring,
+            bytes_per_token,
+            window_slack,
+            max_seq: model.config.max_seq,
+            default_window: model.window(),
+        }
+    }
+
+    /// Shards in the fleet.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Submit a request and get the stream's event handle — the same
+    /// [`StreamHandle`] the single-worker engine returns. The router
+    /// allocates a fleet-unique [`StreamId`], projects the request's
+    /// cache footprint, and forwards to the chosen shard.
+    pub fn submit(&self, req: GenerationRequest) -> StreamHandle {
+        let id = StreamId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let priority = req.priority;
+        let projection = self.project(&req);
+        let shard = match self.router {
+            RouterPolicy::LeastLoaded => self.least_loaded(),
+            RouterPolicy::ConsistentHash => self.hash_shard(&req.prompt),
+        };
+        self.shared.loads[shard].fetch_add(projection, Ordering::Relaxed);
+        let (events, handle_rx) = mpsc::sync_channel(self.capacity);
+        self.txs[shard]
+            .as_ref()
+            .expect("submission channels open while the fleet is alive")
+            .send(Command::Submit {
+                id,
+                req,
+                events,
+                projection,
+            })
+            .expect("shard worker alive while the fleet is alive");
+        StreamHandle::attach(id, priority, handle_rx)
+    }
+
+    /// [`submit`](Fleet::submit) with an explicit priority class
+    /// (overrides whatever the request carried).
+    pub fn submit_with_priority(&self, req: GenerationRequest, priority: Priority) -> StreamHandle {
+        self.submit(req.with_priority(priority))
+    }
+
+    /// Admission projection: the same FP16 K+V payload estimate the
+    /// shard schedulers use for memory budgeting, capped by the stream's
+    /// sliding window (plus one evictable block of slack) when it has
+    /// one.
+    fn project(&self, req: &GenerationRequest) -> u64 {
+        let prompt = req.prompt.len().min(self.max_seq);
+        let rows = prompt + req.max_new_tokens.min(self.max_seq - prompt);
+        let rows = match req.window.or(self.default_window) {
+            Some(w) => rows.min(w + self.window_slack),
+            None => rows,
+        };
+        (rows as u64).max(1) * self.bytes_per_token
+    }
+
+    fn least_loaded(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_load = u64::MAX;
+        for (s, load) in self.shared.loads.iter().enumerate() {
+            let l = load.load(Ordering::Relaxed);
+            if l < best_load {
+                best_load = l;
+                best = s;
+            }
+        }
+        best
+    }
+
+    fn hash_shard(&self, prompt: &[u32]) -> usize {
+        let mut key = 0xA076_1D64_78BD_642Fu64;
+        for &t in prompt {
+            key = mix64(key ^ t as u64);
+        }
+        let i = self.ring.partition_point(|&(p, _)| p < key);
+        self.ring[i % self.ring.len()].1
+    }
+
+    /// Snapshot the live per-shard ledgers without stopping the fleet.
+    /// Counters are monotone; a snapshot taken mid-sweep lags that sweep.
+    pub fn report(&self) -> FleetReport {
+        FleetReport {
+            shards: self
+                .shared
+                .live
+                .iter()
+                .map(|m| m.lock().unwrap().clone())
+                .collect(),
+            streams_submitted: self.submitted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hang up the submission channels, wait for every shard to finish
+    /// the streams it owns, and fold the final per-shard ledgers into the
+    /// fleet report. Only call after draining (or dropping) all handles —
+    /// a blocked consumer would leave its shard, and hence this join,
+    /// waiting on it.
+    pub fn shutdown(mut self) -> FleetReport {
+        for tx in &mut self.txs {
+            *tx = None;
+        }
+        let shards = self
+            .workers
+            .iter_mut()
+            .map(|w| {
+                w.take()
+                    .expect("worker joined once")
+                    .join()
+                    .unwrap_or_else(|p| std::panic::resume_unwind(p))
+            })
+            .collect();
+        FleetReport {
+            shards,
+            streams_submitted: self.submitted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Fleet {
+    /// Hang up the submission channels and detach: shards finish their
+    /// remaining streams in the background (handles stay valid) and exit.
+    fn drop(&mut self) {
+        for tx in &mut self.txs {
+            *tx = None;
+        }
+        for w in &mut self.workers {
+            drop(w.take());
+        }
+    }
+}
+
+/// SplitMix64 — the same mixer the deterministic sampler uses, local so
+/// the router cannot drift from a private helper elsewhere.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One shard's serving loop. The single-worker case (`steal = false`)
+/// is exactly the classic engine loop; with stealing on, an idle shard
+/// advertises on `shared.hungry`, loaded shards export one pending or
+/// parked stream at a time over `shared.board`, and every idle shard —
+/// donor included — adopts from the board, so a migrant is never
+/// stranded. Runs until the submission channel is hung up, every owned
+/// stream has finished with its events delivered (or its consumer gone),
+/// and the board is empty.
+fn worker_loop(
+    me: ShardId,
+    model: Arc<TransformerModel>,
+    cfg: EngineConfig,
+    steal: bool,
+    inj: Arc<dyn FaultInjector + Send + Sync>,
+    rx: Receiver<Command>,
+    shared: Arc<FleetShared>,
+) -> ShardReport {
+    let mut session: ServeSession<Arc<TransformerModel>> = ServeSession::new(model, cfg.scheduler);
+    let inj: &(dyn FaultInjector + Send + Sync) = &*inj;
+    let mut outboxes: BTreeMap<u64, Outbox> = BTreeMap::new();
+    let mut report = ShardReport {
+        shard: me,
+        ..ShardReport::default()
+    };
+    let mut open = true;
+    let mut hungry_marked = false;
+    let accept = |cmd: Command,
+                  session: &mut ServeSession<Arc<TransformerModel>>,
+                  outboxes: &mut BTreeMap<u64, Outbox>| {
+        let Command::Submit {
+            id,
+            req,
+            events,
+            projection,
+        } = cmd;
+        session.submit_request_with_id(req, id);
+        outboxes.insert(
+            id.0,
+            Outbox {
+                tx: events,
+                buf: VecDeque::new(),
+                held_sweeps: 0,
+                finished: false,
+                dead: false,
+                projection,
+            },
+        );
+    };
+    loop {
+        // Drain submissions without blocking the sweep cadence.
+        while open {
+            match rx.try_recv() {
+                Ok(cmd) => accept(cmd, &mut session, &mut outboxes),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => open = false,
+            }
+        }
+        // Retry blocked backlogs; consumers that caught up get their
+        // stream fed again.
+        let mut caught_up = Vec::new();
+        for (id, ob) in outboxes.iter_mut() {
+            ob.flush();
+            if !ob.blocked() && ob.held_sweeps > 0 {
+                ob.held_sweeps = 0;
+                caught_up.push(StreamId(*id));
+            }
+        }
+        for id in caught_up {
+            session.release_stream(id);
+        }
+        // Retired-and-delivered (or abandoned) streams need no routing.
+        // An abandoned (dead) outbox stays until its stream retires — it
+        // still carries the stream's routing projection.
+        outboxes.retain(|_, ob| !(ob.finished && (ob.dead || ob.buf.is_empty())));
+        if session.idle() {
+            // Idle shard: adopt a migrant if one is posted. Any idle
+            // worker claims — including a donor whose thief already left
+            // — so the board always drains.
+            if steal {
+                let migrant = shared.board.lock().unwrap().pop_front();
+                if let Some(m) = migrant {
+                    if hungry_marked {
+                        shared.hungry.fetch_sub(1, Ordering::Relaxed);
+                        hungry_marked = false;
+                    }
+                    shared.loads[me.0].fetch_add(m.outbox.projection, Ordering::Relaxed);
+                    report.migrations_in += 1;
+                    outboxes.insert(m.state.id.0, m.outbox);
+                    session.adopt_stream(m.state, m.report);
+                    publish(&shared, me, &report);
+                    continue;
+                }
+            }
+            if outboxes.is_empty() {
+                if !open {
+                    if hungry_marked {
+                        shared.hungry.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    report.peak_cache_bytes = session.peak_cache_bytes();
+                    publish(&shared, me, &report);
+                    return report;
+                }
+                if steal {
+                    // Advertise for work, then poll submissions and the
+                    // board together (a board post cannot wake a blocked
+                    // recv).
+                    if !hungry_marked {
+                        shared.hungry.fetch_add(1, Ordering::Relaxed);
+                        hungry_marked = true;
+                    }
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(cmd) => accept(cmd, &mut session, &mut outboxes),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => open = false,
+                    }
+                } else {
+                    // Single-shard fleet (the classic engine): nothing can
+                    // migrate, so block until the next submission.
+                    match rx.recv() {
+                        Ok(cmd) => accept(cmd, &mut session, &mut outboxes),
+                        Err(_) => {
+                            report.peak_cache_bytes = session.peak_cache_bytes();
+                            publish(&shared, me, &report);
+                            return report;
+                        }
+                    }
+                }
+                continue;
+            }
+            // All streams retired but some consumers have not absorbed
+            // their final events yet: wait on them (and on new work).
+            if open {
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(cmd) => accept(cmd, &mut session, &mut outboxes),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => open = false,
+                }
+            } else {
+                thread::sleep(Duration::from_millis(1));
+            }
+            continue;
+        }
+        if hungry_marked {
+            shared.hungry.fetch_sub(1, Ordering::Relaxed);
+            hungry_marked = false;
+        }
+        // Work export: a hungry shard exists and the board is clear —
+        // park one stream (queue tail first; else the newest active
+        // stream) and post it. Keep at least one stream for ourselves.
+        if steal
+            && shared.hungry.load(Ordering::Relaxed) > 0
+            && session.active_streams() + session.pending_streams() >= 2
+            && shared.board.lock().unwrap().is_empty()
+        {
+            donate(me, &mut session, &mut outboxes, &mut report, &shared);
+        }
+        // Backpressure park: a stream whose consumer has been stuck for
+        // enough sweeps gives its slot (and cache bytes) to waiting work.
+        if session.pending_streams() > 0 {
+            let stuck: Vec<StreamId> = outboxes
+                .iter()
+                .filter(|(_, ob)| {
+                    ob.blocked() && !ob.finished && ob.held_sweeps >= cfg.park_after_held_sweeps
+                })
+                .map(|(&id, _)| StreamId(id))
+                .collect();
+            for id in stuck {
+                if session.park_stream(id) {
+                    if let Some(ob) = outboxes.get_mut(&id.0) {
+                        ob.held_sweeps = 0;
+                    }
+                }
+            }
+        }
+        let events = session.sweep_events(&inj);
+        let swept = !events.is_empty();
+        route(events, &mut outboxes, &mut report);
+        // Streams whose consumers still lag get held: slot and cache stay,
+        // but no further tokens are generated for them.
+        let mut lagging = Vec::new();
+        for (id, ob) in outboxes.iter_mut() {
+            if ob.blocked() && !ob.finished {
+                ob.held_sweeps += 1;
+                lagging.push(StreamId(*id));
+            }
+        }
+        for id in lagging {
+            // Tolerant no-op when the stream is pending (parked) or
+            // already retired.
+            session.hold_stream(id);
+        }
+        // Fold retirements into the shard ledger and release their
+        // routing projections.
+        for f in session.take_finished() {
+            if let Some(ob) = outboxes.get_mut(&f.id.0) {
+                shared.loads[me.0].fetch_sub(ob.projection, Ordering::Relaxed);
+                ob.projection = 0;
+                // A dead outbox never sees its Finished event; mark it
+                // done here so the retain above can drop it.
+                ob.finished = true;
+            }
+            report.fold_finished(&f);
+        }
+        report.peak_cache_bytes = session.peak_cache_bytes();
+        publish(&shared, me, &report);
+        if !swept {
+            // Every feedable stream is held or awaiting its consumer:
+            // yield briefly instead of spinning on empty plans.
+            thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Export one stream to the migration board: pick a victim (queue tail
+/// first — it has no cache to drop — else park the newest active
+/// stream), route the park's `Preempted` event to the victim's own
+/// outbox *before* the move, and ship scheduler state + model report +
+/// outbox.
+fn donate(
+    me: ShardId,
+    session: &mut ServeSession<Arc<TransformerModel>>,
+    outboxes: &mut BTreeMap<u64, Outbox>,
+    report: &mut ShardReport,
+    shared: &FleetShared,
+) {
+    let victim = match session.pending_stream_ids().last() {
+        Some(&id) => Some(id),
+        None => session
+            .active_stream_ids()
+            .iter()
+            .rev()
+            .copied()
+            .find(|&id| session.park_stream(id)),
+    };
+    let Some(victim) = victim else { return };
+    // The park (if any) queued a Preempted event; route it into the
+    // victim's outbox so it travels with the stream, in order.
+    route(session.drain_events(), outboxes, report);
+    let Some((state, model_report)) = session.extract_stream(victim) else {
+        return;
+    };
+    let Some(outbox) = outboxes.remove(&victim.0) else {
+        // Unreachable in practice: every accepted stream has an outbox
+        // until it retires. Re-adopt rather than lose the stream.
+        session.adopt_stream(state, model_report);
+        return;
+    };
+    shared.loads[me.0].fetch_sub(outbox.projection, Ordering::Relaxed);
+    report.migrations_out += 1;
+    shared.board.lock().unwrap().push_back(Migrant {
+        state,
+        report: model_report,
+        outbox,
+    });
+}
+
+/// Route a batch of session events into the per-stream outboxes and count
+/// the event-level ledgers (tokens, recoveries, parks) for this shard.
+fn route(events: Vec<EngineEvent>, outboxes: &mut BTreeMap<u64, Outbox>, report: &mut ShardReport) {
+    for ev in events {
+        match ev {
+            EngineEvent::TokenEmitted { .. } => report.tokens_emitted += 1,
+            EngineEvent::Recovering { .. } => report.recoveries += 1,
+            EngineEvent::Preempted { .. } => report.preemptions += 1,
+            _ => {}
+        }
+        if let Some(ob) = outboxes.get_mut(&ev.stream().0) {
+            ob.push(ev);
+        }
+    }
+}
+
+/// Refresh this shard's live ledger snapshot (the [`Fleet::report`]
+/// source).
+fn publish(shared: &FleetShared, me: ShardId, report: &ShardReport) {
+    *shared.live[me.0].lock().unwrap() = report.clone();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_and_report_display() {
+        assert_eq!(format!("{}", ShardId(3)), "shard3");
+        let mut fr = FleetReport {
+            shards: vec![
+                ShardReport {
+                    shard: ShardId(0),
+                    streams_finished: 2,
+                    tokens_emitted: 10,
+                    ..ShardReport::default()
+                },
+                ShardReport {
+                    shard: ShardId(1),
+                    streams_finished: 1,
+                    tokens_emitted: 5,
+                    recoveries: 1,
+                    ..ShardReport::default()
+                },
+            ],
+            streams_submitted: 3,
+        };
+        fr.shards[0].finished_streams = vec![StreamId(2), StreamId(0)];
+        fr.shards[1].finished_streams = vec![StreamId(1)];
+        let total = fr.total();
+        assert_eq!(total.shard, ShardId(2), "synthetic total row");
+        assert_eq!(total.streams_finished, 3);
+        assert_eq!(total.tokens_emitted, 15);
+        assert_eq!(total.recoveries, 1);
+        assert_eq!(
+            total.finished_streams,
+            vec![StreamId(0), StreamId(1), StreamId(2)],
+            "total concatenates sorted by id"
+        );
+        let text = format!("{fr}");
+        assert!(text.contains("shard0:"), "{text}");
+        assert!(text.contains("shard1:"), "{text}");
+        assert!(text.contains("3 streams submitted"), "{text}");
+        assert!(text.contains("total:"), "{text}");
+    }
+
+    #[test]
+    fn consistent_hash_ring_is_stable_and_complete() {
+        // Every shard owns part of the keyspace, identical prompts map to
+        // identical shards, and different prompts spread.
+        let mut ring: Vec<(u64, usize)> = (0..4usize)
+            .flat_map(|s| (0..VNODES).map(move |v| (mix64((s as u64) << 32 | v as u64), s)))
+            .collect();
+        ring.sort_unstable();
+        let fleet_shards = |prompt: &[u32]| {
+            let mut key = 0xA076_1D64_78BD_642Fu64;
+            for &t in prompt {
+                key = mix64(key ^ t as u64);
+            }
+            let i = ring.partition_point(|&(p, _)| p < key);
+            ring[i % ring.len()].1
+        };
+        let mut hit = [false; 4];
+        for p in 0..256u32 {
+            let prompt = [p, p.wrapping_mul(7), 3];
+            let s = fleet_shards(&prompt);
+            assert_eq!(s, fleet_shards(&prompt), "stable routing");
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "every shard owns keyspace: {hit:?}");
+    }
+}

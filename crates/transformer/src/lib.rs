@@ -33,6 +33,14 @@
 //! the bit-identical re-prefill path, and bounded per-stream event
 //! channels ([`StreamHandle`]) with backpressure that holds or parks slow
 //! consumers' streams instead of stalling the sweep.
+//!
+//! For multi-core serving, [`Fleet`] ([`crate::fleet`]) shards that loop:
+//! N worker threads each own a scheduler + session over one shared model,
+//! behind an admission router (least-loaded or consistent-hash) that
+//! allocates fleet-unique stream ids and returns the same
+//! [`StreamHandle`]s; idle shards steal parked streams bit-identically,
+//! and per-shard [`ShardReport`]s roll up losslessly into a
+//! [`FleetReport`]. [`Engine`] is the `workers = 1` case.
 
 #![warn(missing_docs)]
 
@@ -42,6 +50,7 @@ pub mod configs;
 pub mod embed;
 pub mod engine;
 pub mod ffn;
+pub mod fleet;
 pub mod linear;
 pub mod mha;
 pub mod model;
@@ -53,6 +62,7 @@ pub use configs::ModelConfig;
 pub use embed::Embedding;
 pub use engine::{Engine, EngineConfig, StreamHandle, StreamOutcome};
 pub use ffn::FeedForward;
+pub use fleet::{Fleet, FleetConfig, FleetReport, RouterPolicy, ShardId, ShardReport};
 pub use ft_core::serve::{
     DraftSource, EngineEvent, FinishReason, GenerationRequest, Priority, RecoveryPolicy,
     SamplingMode, SchedulerConfig, SpeculationPolicy, StreamId,

@@ -10,7 +10,7 @@ use ft_abft::thresholds::Thresholds;
 use ft_core::kv::{CacheMark, KvReadReport};
 use ft_core::serve::{
     DecodeScheduler, EngineEvent, FinishReason, GenerationRequest, RecoveryPolicy, SamplingMode,
-    SchedulerConfig, StreamId,
+    SchedulerConfig, StreamId, StreamState,
 };
 use ft_core::types::FtReport;
 use ft_num::{Matrix, MatrixF32};
@@ -785,17 +785,6 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
         req
     }
 
-    /// Positional-shim submission: `prompt` plus up to `max_new_tokens`
-    /// greedy continuations with default request knobs. Delegates to
-    /// [`submit_request`](ServeSession::submit_request).
-    #[deprecated(
-        since = "0.6.0",
-        note = "build a typed GenerationRequest and use submit_request instead"
-    )]
-    pub fn submit(&mut self, prompt: &[u32], max_new_tokens: usize) -> StreamId {
-        self.submit_request(GenerationRequest::new(prompt.to_vec(), max_new_tokens))
-    }
-
     /// Run one batched sweep and return its typed [`EngineEvent`]s: plan
     /// (admitting pending streams), feed every active stream its next
     /// chunk through the shared fan-out, sample where due (per-stream
@@ -806,19 +795,14 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
         std::mem::take(&mut self.events)
     }
 
-    /// Legacy sweep shim: one batched sweep, returning only the number of
-    /// streams that took part (the sweep's events are discarded — use
-    /// [`sweep_events`](ServeSession::sweep_events) to observe them).
-    /// Recovery policies still run; their outcomes remain visible through
-    /// [`FinishedStream::finish`] and [`ServeSession::recoveries`].
-    #[deprecated(
-        since = "0.6.0",
-        note = "use sweep_events and observe the typed EngineEvent lifecycle instead"
-    )]
-    pub fn sweep<I: FaultInjector>(&mut self, inj: &I) -> usize {
-        let n = self.sweep_inner(inj);
-        self.events.clear();
-        n
+    /// Drain the events queued since the last
+    /// [`sweep_events`](ServeSession::sweep_events) without sweeping —
+    /// park/resume transitions driven from outside a sweep (backpressure,
+    /// work migration) queue their events here, and the serving loop must
+    /// route them before shipping a stream elsewhere.
+    pub fn drain_events(&mut self) -> Vec<EngineEvent> {
+        self.absorb_park_resume();
+        std::mem::take(&mut self.events)
     }
 
     fn sweep_inner<I: FaultInjector>(&mut self, inj: &I) -> usize {
@@ -1092,6 +1076,51 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
     /// its record — parked and retired streams are not active).
     pub fn is_active(&self, stream: StreamId) -> bool {
         self.scheduler.active_stream(stream).is_some()
+    }
+
+    /// Ids of the streams waiting for a slot, in queue order.
+    pub fn pending_stream_ids(&self) -> Vec<StreamId> {
+        self.scheduler.pending_ids()
+    }
+
+    /// Ids of the streams holding slots, in admission order.
+    pub fn active_stream_ids(&self) -> Vec<StreamId> {
+        self.scheduler.active_ids()
+    }
+
+    /// Remove a *pending* stream for adoption by another session (work
+    /// migration between fleet shards). Active streams must be
+    /// [`park_stream`](ServeSession::park_stream)ed first — a parked
+    /// stream has no cache, so only scheduler state and the accumulated
+    /// [`ModelReport`] travel; the adopting shard rebuilds the cache by
+    /// chunked re-prefill, bit-identical to a never-migrated run. Route
+    /// [`drain_events`](ServeSession::drain_events) before extracting so
+    /// the park's `Preempted` event is not lost with the stream.
+    pub fn extract_stream(&mut self, stream: StreamId) -> Option<(StreamState, ModelReport)> {
+        let state = self.scheduler.extract_pending(stream)?;
+        debug_assert!(
+            !self.caches.iter().any(|(id, _)| *id == stream),
+            "a pending stream cannot hold a cache"
+        );
+        let report = self
+            .reports
+            .iter()
+            .position(|(id, _)| *id == stream)
+            .map(|i| self.reports.remove(i).1)
+            .unwrap_or_default();
+        Some((state, report))
+    }
+
+    /// Adopt a stream extracted from another session: the receiving half
+    /// of [`extract_stream`](ServeSession::extract_stream). The stream
+    /// joins the queue and re-prefills its history on the next planned
+    /// sweep; if it was parked on the donor, admission here emits the
+    /// [`EngineEvent::Resumed`] the park promised.
+    pub fn adopt_stream(&mut self, state: StreamState, report: ModelReport) {
+        let id = state.id;
+        self.scheduler.adopt_pending(state);
+        debug_assert!(!self.reports.iter().any(|(rid, _)| *rid == id));
+        self.reports.push((id, report));
     }
 
     /// Total park transitions (preemption + backpressure) across the

@@ -27,12 +27,46 @@ pub mod prelude {
 
 thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    static THREAD_WORKERS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Cap the fan-out of parallel regions entered **from this thread** to at
+/// most `n` workers (`0` removes the cap). A sharded serving fleet sets
+/// this on each shard thread to `cores / shards`, so N shards each running
+/// parallel sweeps compose to roughly one worker per core instead of N ×
+/// cores oversubscription. Scope threads spawned by a parallel region do
+/// not inherit the cap — they run nested regions sequentially anyway.
+pub fn set_thread_workers(n: usize) {
+    THREAD_WORKERS.with(|w| w.set(n));
+}
+
+/// Process-wide default worker cap from the `FT_RAYON_WORKERS` environment
+/// variable, read once. `0`, unset, or unparsable means "no cap" (use
+/// every available core). CI's small containers set this to keep the
+/// bench's fleet workers × sweep workers within their cpuset.
+fn env_workers() -> usize {
+    use std::sync::OnceLock;
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("FT_RAYON_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
 }
 
 fn worker_count() -> usize {
-    std::thread::available_parallelism()
+    let cores = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    let capped = match env_workers() {
+        0 => cores,
+        env => cores.min(env),
+    };
+    match THREAD_WORKERS.with(Cell::get) {
+        0 => capped,
+        cap => capped.min(cap),
+    }
 }
 
 /// Run `f` over `items` in parallel, preserving order.
@@ -255,6 +289,39 @@ mod tests {
             expensive_threads.lock().unwrap().len() >= 2,
             "the expensive contiguous run must be dealt across workers"
         );
+    }
+
+    #[test]
+    fn thread_worker_cap_degrades_to_sequential() {
+        // A cap of 1 must force sequential execution on this thread (no
+        // scope threads at all) while leaving other threads uncapped.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        crate::set_thread_workers(1);
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                i + 1
+            })
+            .collect();
+        crate::set_thread_workers(0);
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        assert_eq!(
+            seen.lock().unwrap().len(),
+            1,
+            "capped region must stay on the calling thread"
+        );
+        // The cap is thread-local: a fresh thread is uncapped.
+        let other = std::thread::spawn(|| {
+            let out: Vec<usize> = (0..8usize).into_par_iter().map(|i| i).collect();
+            out.len()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 8);
     }
 
     #[test]

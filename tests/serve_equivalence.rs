@@ -157,48 +157,6 @@ fn cache_fault_is_attributed_to_the_hit_stream_only() {
     );
 }
 
-/// The old positional `submit` is a pure shim over the typed
-/// `GenerationRequest` path: the same workload submitted both ways is
-/// token-bit-identical, and every cleanly finished stream carries
-/// `FinishReason::MaxTokens` with zero recoveries. (The shim is
-/// deprecated; this test is its one sanctioned caller.)
-#[test]
-#[allow(deprecated)]
-fn typed_requests_match_positional_shim_submissions() {
-    use ft_transformer_suite::transformer::FinishReason;
-    let lens = [18usize, 7, 25];
-    let new_tokens = 4;
-    let model = TransformerModel::random(25, tiny(96), BackendKind::Efta(EftaOptions::optimized()))
-        .with_causal(true);
-    let cfg = SchedulerConfig {
-        max_active: 3,
-        prefill_chunk: 8,
-        ..Default::default()
-    };
-    let mut shim = model.serve_with(cfg);
-    let shim_ids: Vec<_> = lens
-        .iter()
-        .enumerate()
-        .map(|(i, &len)| shim.submit(&prompt(len, i), new_tokens))
-        .collect();
-    let shim_finished = shim.run(&NoFaults);
-    let mut typed = model.serve_with(cfg);
-    let typed_ids: Vec<_> = lens
-        .iter()
-        .enumerate()
-        .map(|(i, &len)| typed.submit_request(GenerationRequest::new(prompt(len, i), new_tokens)))
-        .collect();
-    let typed_finished = typed.run(&NoFaults);
-    for (s_id, t_id) in shim_ids.iter().zip(&typed_ids) {
-        let s = shim_finished.iter().find(|f| f.id == *s_id).unwrap();
-        let t = typed_finished.iter().find(|f| f.id == *t_id).unwrap();
-        assert_eq!(s.tokens, t.tokens, "shim and typed submissions diverged");
-        assert_eq!(t.finish, FinishReason::MaxTokens);
-        assert_eq!(s.finish, FinishReason::MaxTokens);
-        assert_eq!(t.recoveries, 0);
-    }
-}
-
 /// `generate` is the one-stream special case of the serving session: same
 /// tokens, and a session with one stream reports the same totals.
 #[test]
