@@ -73,14 +73,15 @@ use ft_bench::{banner, has_flag, HarnessArgs, TextTable};
 use ft_core::backend::AttentionBackend;
 use ft_core::efta::EftaOptions;
 use ft_core::kv::KvCache;
+use ft_core::protect::DEFAULT_APPROX_TOL;
 use ft_core::serve::{StreamId, StreamSlice};
 use ft_num::rng::normal_tensor_f16;
 use ft_num::Tensor4F16;
 use ft_sim::{BerInjector, FaultInjector, FaultSite, NoFaults};
 use ft_transformer::{
     BackendKind, DraftSource, Engine, EngineConfig, EngineEvent, FinishReason, Fleet, FleetConfig,
-    FleetReport, GenerationRequest, ModelConfig, Priority, RecoveryPolicy, RouterPolicy,
-    SchedulerConfig, SpeculationPolicy, TransformerModel,
+    FleetReport, GenerationRequest, ModelConfig, Priority, ProtectionLevel, RecoveryPolicy,
+    RouterPolicy, SchedulerConfig, SpeculationPolicy, TransformerModel,
 };
 use std::time::{Duration, Instant};
 
@@ -255,36 +256,53 @@ fn main() {
         );
     }
 
-    // Per-stream fault attribution: cache-resident BER over a small batch;
-    // every stream keeps its own detected/corrected ledger and the EFTA
-    // sweep corrects the corruption, so tokens still match the clean run.
-    println!("\nper-stream fault attribution (cache-resident BER):");
+    // Per-stream fault attribution: cache-resident BER over a small batch
+    // with a different graded protection level per stream; every stream
+    // keeps its own detected/corrected/tolerated ledger, and tokens match
+    // the (same-level) clean run wherever verification still corrects.
+    println!("\nper-stream fault attribution (cache-resident BER, mixed protection):");
     let n = 4;
     let prompts = prompts_for(n);
+    let mix = [
+        ProtectionLevel::Full,
+        ProtectionLevel::Lazy,
+        ProtectionLevel::Approximate {
+            tol: DEFAULT_APPROX_TOL,
+        },
+        ProtectionLevel::Raw,
+    ];
     let mut clean_session = model.serve_with(sched_cfg);
-    for p in &prompts {
-        clean_session.submit_request(GenerationRequest::new(p.clone(), new_tokens));
+    for (i, p) in prompts.iter().enumerate() {
+        clean_session.submit_request(
+            GenerationRequest::new(p.clone(), new_tokens).with_protection(mix[i % mix.len()]),
+        );
     }
     let clean = clean_session.run(&NoFaults);
     let ber = if smoke { 2e-4 } else { 5e-5 };
     let inj = BerInjector::new(4242, ber).with_sites(&[FaultSite::KvCache]);
     let mut session = model.serve_with(sched_cfg);
-    for p in &prompts {
-        session.submit_request(GenerationRequest::new(p.clone(), new_tokens));
+    for (i, p) in prompts.iter().enumerate() {
+        session.submit_request(
+            GenerationRequest::new(p.clone(), new_tokens).with_protection(mix[i % mix.len()]),
+        );
     }
     let finished = session.run(&inj);
     let mut table = TextTable::new(&[
         "stream",
+        "protection",
         "cache detected",
         "corrected",
+        "tolerated",
         "finish",
         "tokens ok",
     ]);
     for (f, c) in finished.iter().zip(&clean) {
         table.row(&[
             format!("{}", f.id),
+            format!("{}", f.protection),
             format!("{}", f.attention.cache_detected),
             format!("{}", f.attention.cache_corrected),
+            format!("{}", f.attention.cache_tolerated),
             format!("{:?}", f.finish),
             format!("{}", f.tokens == c.tokens),
         ]);
@@ -926,24 +944,44 @@ fn bounded_memory_sweep(
             .map(|f| f.attention.cache_evicted_blocks)
             .sum();
         assert_eq!(finished.len(), prompts.len(), "every stream completes");
-        (dt, session.peak_cache_bytes(), evicted, max_active)
+        // Peak footprint split into FP16 payload vs FP32 protection
+        // metadata — the checksum side of the byte budget is visible, not
+        // folded into one number.
+        (
+            dt,
+            session.peak_cache_bytes(),
+            evicted,
+            max_active,
+            session.peak_cache_breakdown(),
+        )
     };
 
-    let (t_unb, peak_unb, ev_unb, _) = run(&base, None);
-    let (t_win, peak_win, ev_win, _) = run(&windowed, None);
+    let (t_unb, peak_unb, ev_unb, _, split_unb) = run(&base, None);
+    let (t_win, peak_win, ev_win, _, split_win) = run(&windowed, None);
     assert_eq!(ev_unb, 0, "unbounded serving never evicts");
     assert!(ev_win > 0, "the windowed run must actually evict blocks");
 
-    let mut table = TextTable::new(&["policy", "peak cache bytes", "tok/s", "evicted blocks"]);
+    let mut table = TextTable::new(&[
+        "policy",
+        "peak cache bytes",
+        "payload B",
+        "metadata B",
+        "tok/s",
+        "evicted blocks",
+    ]);
     table.row(&[
         "unbounded".to_string(),
         format!("{peak_unb}"),
+        format!("{}", split_unb.payload_bytes),
+        format!("{}", split_unb.metadata_bytes()),
         format!("{:.1}", generated as f64 / t_unb),
         "0".to_string(),
     ]);
     table.row(&[
         format!("window {window} (block {cache_block})"),
         format!("{peak_win}"),
+        format!("{}", split_win.payload_bytes),
+        format!("{}", split_win.metadata_bytes()),
         format!("{:.1}", generated as f64 / t_win),
         format!("{ev_win}"),
     ]);
@@ -967,7 +1005,7 @@ fn bounded_memory_sweep(
     // peak — pending streams queue for reclaimed bytes instead of growing
     // the footprint, and every stream still finishes.
     let budget = peak_win / 8;
-    let (t_bud, peak_bud, _, max_active) = run(&windowed, Some(budget));
+    let (t_bud, peak_bud, _, max_active, _) = run(&windowed, Some(budget));
     println!(
         "byte-budget {budget}: peak {peak_bud}, max concurrent {max_active} \
          of {n} streams, {:.1} tok/s",

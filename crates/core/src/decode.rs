@@ -483,6 +483,7 @@ pub(crate) fn efta_decode_tile(
             FtCounters::add(&counters.cache_detected, rep.detected);
             FtCounters::add(&counters.cache_corrected, rep.corrected);
             FtCounters::add(&counters.cache_uncorrectable, rep.uncorrectable);
+            FtCounters::add(&counters.cache_tolerated, rep.tolerated);
         }
         let block_damaged = vb.k_report.uncorrectable + vb.v_report.uncorrectable > 0;
 
@@ -830,6 +831,12 @@ pub fn efta_decode(
     opts: &EftaOptions,
 ) -> Result<AttentionOutput, BackendError> {
     if opts.gemm == GemmProtection::Unprotected && opts.softmax == SoftmaxProtection::Unprotected {
+        return reference_decode(req);
+    }
+    if !req.cache.protection().encodes_metadata() {
+        // A Raw cache stores no checksum operands, so the protected tile
+        // has nothing to verify against (and no GEMM checksum operands to
+        // reuse): the stream opted out — read it unprotected.
         return reference_decode(req);
     }
     if opts.gemm == GemmProtection::Traditional {

@@ -85,6 +85,7 @@ pub mod dmr;
 pub mod efta;
 pub mod flash;
 pub mod kv;
+pub mod protect;
 pub mod reference;
 pub mod serve;
 pub mod snvr;
@@ -105,6 +106,7 @@ pub use efta::{
     VerifyMode,
 };
 pub use kv::{KvCache, KvReadReport};
+pub use protect::ProtectionLevel;
 pub use serve::{
     DecodeScheduler, PlanItem, SchedulerConfig, StreamId, StreamSlice, StreamState,
     StreamSweepOutput,

@@ -88,6 +88,7 @@ use crate::decode::{
 };
 use crate::efta::{EftaOptions, GemmProtection, SoftmaxProtection};
 use crate::kv::KvCache;
+use crate::protect::ProtectionLevel;
 use crate::types::{FtCounters, FtReport};
 use ft_abft::thresholds::Thresholds;
 use ft_num::{Matrix, MatrixF32, Tensor4F16, Tensor4F32};
@@ -339,6 +340,20 @@ pub fn sweep_efta(
             let s = &slices[si];
             let base = s.base();
             let q_chunk = s.q.slot_flat(slot).to_f32();
+            if !s.cache.protection().encodes_metadata() {
+                // A Raw stream's cache stores no checksum operands, so the
+                // protected tile has nothing to verify or reuse: that
+                // slice (alone) reads unprotected inside the same sweep.
+                return reference_decode_tile(
+                    s.cache,
+                    slot,
+                    base + 1,
+                    base,
+                    &q_chunk,
+                    inj,
+                    s.window,
+                );
+            }
             efta_decode_tile(
                 s.cache,
                 slot,
@@ -380,6 +395,18 @@ pub fn sweep_efta_per_row(
             let s = &slices[si];
             let base = s.base();
             let q_raw = chunk_row(s.q, slot, row);
+            if !s.cache.protection().encodes_metadata() {
+                // Raw slices read unprotected (see `sweep_efta`).
+                return reference_decode_slot(
+                    s.cache,
+                    slot,
+                    base + row + 1,
+                    base + row,
+                    &q_raw,
+                    inj,
+                    s.window,
+                );
+            }
             efta_decode_slot(
                 s.cache,
                 slot,
@@ -723,6 +750,9 @@ pub struct GenerationRequest {
     pub priority: Priority,
     /// Speculative draft-then-verify decode (`None` = plain decode).
     pub speculation: Option<SpeculationPolicy>,
+    /// Graded KV-cache protection level for this stream's caches (see
+    /// [`ProtectionLevel`]; defaults to `Full`, the legacy behavior).
+    pub protection: ProtectionLevel,
 }
 
 impl GenerationRequest {
@@ -737,6 +767,7 @@ impl GenerationRequest {
             recovery: RecoveryPolicy::default(),
             priority: Priority::default(),
             speculation: None,
+            protection: ProtectionLevel::default(),
         }
     }
 
@@ -772,6 +803,16 @@ impl GenerationRequest {
     /// back — emitted tokens bit-identical to plain decode.
     pub fn with_speculation(mut self, speculation: SpeculationPolicy) -> Self {
         self.speculation = Some(speculation);
+        self
+    }
+
+    /// Graded KV-cache protection for this stream: every cache the engine
+    /// creates for it — at admission, re-prefill recovery, or migration
+    /// re-adoption — is built at this level. `Full` (the default) is
+    /// bit-identical to the pre-lattice behavior; see [`ProtectionLevel`]
+    /// for the weaker rungs and what each trades away.
+    pub fn with_protection(mut self, protection: ProtectionLevel) -> Self {
+        self.protection = protection;
         self
     }
 }
@@ -974,6 +1015,11 @@ pub struct StreamState {
     pub sampling: SamplingMode,
     /// Poisoned-cache recovery policy.
     pub recovery: RecoveryPolicy,
+    /// Graded protection level of this stream's caches (from its
+    /// [`GenerationRequest`]). Travels with the stream through parking,
+    /// preemption, migration, and recovery: every cache rebuilt for the
+    /// stream is created at this level.
+    pub protection: ProtectionLevel,
     /// Re-prefill recovery *attempts* so far (every requeue counts — a
     /// stream that later aborts still carries the attempts it consumed;
     /// whether they ultimately succeeded is what
@@ -1088,6 +1134,10 @@ pub struct PlanItem {
     /// [`DecodeScheduler::record_speculative`], and truncates the cache
     /// back to the committed length.
     pub speculate: usize,
+    /// The stream's graded protection level: the driver applies it to any
+    /// cache it creates for the stream this sweep (fresh admission or a
+    /// recovery re-prefill).
+    pub protection: ProtectionLevel,
 }
 
 /// Continuous-batching slot table: admits streams, plans one chunk per
@@ -1184,6 +1234,7 @@ impl DecodeScheduler {
             window: req.window,
             sampling: req.sampling,
             recovery: req.recovery,
+            protection: req.protection,
             recoveries: 0,
             finish: None,
             report: FtReport::default(),
@@ -1413,6 +1464,7 @@ impl DecodeScheduler {
                 sample,
                 window: s.window,
                 speculate,
+                protection: s.protection,
             });
         }
         items

@@ -40,6 +40,11 @@ pub struct FtCounters {
     /// data is gone — unlike GEMM faults there is nothing to recompute
     /// from, so these are surfaced for the serving layer to re-prefill).
     pub cache_uncorrectable: AtomicU64,
+    /// Cache-resident checksum residuals absorbed without correction
+    /// under [`ProtectionLevel::Approximate`](crate::protect::ProtectionLevel):
+    /// above the read-check floor but within the stream's tolerance, so
+    /// no locate/correct ran and nothing was poisoned.
+    pub cache_tolerated: AtomicU64,
 }
 
 impl FtCounters {
@@ -65,6 +70,7 @@ impl FtCounters {
             cache_detected: self.cache_detected.load(Ordering::Relaxed),
             cache_corrected: self.cache_corrected.load(Ordering::Relaxed),
             cache_uncorrectable: self.cache_uncorrectable.load(Ordering::Relaxed),
+            cache_tolerated: self.cache_tolerated.load(Ordering::Relaxed),
             // Eviction is a storage policy executed by the cache owner
             // (the attention module), not by the kernels these counters
             // instrument; it lands in reports via field updates upstream.
@@ -111,6 +117,13 @@ pub struct FtReport {
     pub cache_corrected: u64,
     /// Cache-resident mismatches that could not be located.
     pub cache_uncorrectable: u64,
+    /// Checksum residuals tolerated (absorbed uncorrected) under
+    /// approximate protection. Deliberate policy, not a repair: like
+    /// eviction these do not count toward
+    /// [`total_detected`](FtReport::total_detected) and do not dirty
+    /// [`clean`](FtReport::clean) — a stream that opted into tolerance
+    /// is behaving as configured.
+    pub cache_tolerated: u64,
     /// KV-cache blocks evicted by the sliding-window storage policy.
     /// An *event* count, not a fault count: eviction is deliberate
     /// bounded-memory bookkeeping, so it does not dirty
@@ -168,6 +181,7 @@ impl FtReport {
             cache_detected: self.cache_detected + other.cache_detected,
             cache_corrected: self.cache_corrected + other.cache_corrected,
             cache_uncorrectable: self.cache_uncorrectable + other.cache_uncorrectable,
+            cache_tolerated: self.cache_tolerated + other.cache_tolerated,
             cache_evicted_blocks: self.cache_evicted_blocks + other.cache_evicted_blocks,
         }
     }

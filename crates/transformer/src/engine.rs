@@ -1,7 +1,9 @@
-//! Push-based serving loop: a [`ServeSession`] on a dedicated worker
-//! thread, driven by submissions instead of polled sweeps.
+//! Push-based serving loop: a [`ServeSession`](crate::model::ServeSession)
+//! on a dedicated worker thread, driven by submissions instead of polled
+//! sweeps.
 //!
-//! The pull-mode [`ServeSession`] makes the *caller* the event loop: it
+//! The pull-mode [`ServeSession`](crate::model::ServeSession) makes the
+//! *caller* the event loop: it
 //! must call `sweep_events` in a loop and dispatch the events itself, and
 //! every stream it submitted advances in lock step with that loop. This
 //! module inverts the control flow — [`Engine::spawn`] moves an owned
@@ -51,7 +53,7 @@
 //! anything reaches the channel — consumers never see a retracted token.
 //!
 //! Since the shard-parallel refactor, `Engine` is the `workers = 1`
-//! special case of the [`Fleet`](crate::Fleet): same worker loop, same
+//! special case of the [`Fleet`]: same worker loop, same
 //! handles, one shard, no migration. Multi-core serving wants
 //! [`Fleet::spawn`](crate::Fleet::spawn) instead.
 //!
@@ -69,7 +71,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Sizing and policy knobs of an [`Engine`] (and of each shard of a
-/// [`Fleet`](crate::Fleet)).
+/// [`Fleet`]).
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Scheduler sizing handed to the worker's [`ServeSession`]. The

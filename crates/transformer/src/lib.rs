@@ -63,6 +63,8 @@ pub use embed::Embedding;
 pub use engine::{Engine, EngineConfig, StreamHandle, StreamOutcome};
 pub use ffn::FeedForward;
 pub use fleet::{Fleet, FleetConfig, FleetReport, RouterPolicy, ShardId, ShardReport};
+pub use ft_core::kv::SizeBreakdown;
+pub use ft_core::protect::ProtectionLevel;
 pub use ft_core::serve::{
     DraftSource, EngineEvent, FinishReason, GenerationRequest, Priority, RecoveryPolicy,
     SamplingMode, SchedulerConfig, SpeculationPolicy, StreamId,

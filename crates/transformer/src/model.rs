@@ -7,7 +7,8 @@ use crate::linear::{Linear, LinearProtection};
 use crate::mha::{BackendKind, KvCache};
 use crate::norm::LayerNorm;
 use ft_abft::thresholds::Thresholds;
-use ft_core::kv::{CacheMark, KvReadReport};
+use ft_core::kv::{CacheMark, KvReadReport, SizeBreakdown};
+use ft_core::protect::ProtectionLevel;
 use ft_core::serve::{
     DecodeScheduler, EngineEvent, FinishReason, GenerationRequest, RecoveryPolicy, SamplingMode,
     SchedulerConfig, StreamId, StreamState,
@@ -104,6 +105,25 @@ impl ModelKvCache {
     /// Total FP32 checksum-metadata bytes across layers.
     pub fn checksum_bytes(&self) -> u64 {
         self.layers.iter().map(KvCache::checksum_bytes).sum()
+    }
+
+    /// Byte footprint split into payload vs protection metadata, summed
+    /// across layers (see [`KvCache::size_breakdown`]).
+    pub fn size_breakdown(&self) -> SizeBreakdown {
+        self.layers
+            .iter()
+            .map(KvCache::size_breakdown)
+            .fold(SizeBreakdown::default(), |acc, b| acc.merged(&b))
+    }
+
+    /// The graded protection level this stream's caches were created at
+    /// (every layer shares it — see
+    /// [`TransformerModel::new_cache_with`]).
+    pub fn protection(&self) -> ProtectionLevel {
+        self.layers
+            .first()
+            .map(|c| c.protection())
+            .unwrap_or_default()
     }
 
     /// Sticky unrepairable-damage count across layers (see
@@ -322,8 +342,20 @@ impl TransformerModel {
 
     /// Fresh decode state: one empty checksummed KV cache per block.
     pub fn new_cache(&self) -> ModelKvCache {
+        self.new_cache_with(ProtectionLevel::Full)
+    }
+
+    /// Fresh decode state at a graded protection level: one empty KV cache
+    /// per block, each created at `level` (see [`ProtectionLevel`]).
+    /// [`new_cache`](TransformerModel::new_cache) is the `Full` case —
+    /// bit-identical to the pre-lattice behavior.
+    pub fn new_cache_with(&self, level: ProtectionLevel) -> ModelKvCache {
         ModelKvCache {
-            layers: self.blocks.iter().map(|b| b.mha.new_cache()).collect(),
+            layers: self
+                .blocks
+                .iter()
+                .map(|b| b.mha.new_cache().with_protection(level))
+                .collect(),
             positions: 0,
         }
     }
@@ -426,8 +458,8 @@ impl TransformerModel {
 
     /// Open a continuous-batching serving session with the default
     /// [`SchedulerConfig`]. Submit typed requests with
-    /// [`ServeSession::submit_request`] (or the positional
-    /// [`ServeSession::submit`] shim) and drive them with
+    /// [`ServeSession::submit_request`] (or, with a caller-allocated id,
+    /// [`ServeSession::submit_request_with_id`]) and drive them with
     /// [`ServeSession::sweep_events`] — each sweep emits the typed
     /// [`EngineEvent`] lifecycle — or fire-and-forget with
     /// [`ServeSession::run`].
@@ -604,6 +636,10 @@ struct SweepFeed {
     /// samples and rolled back past the first mismatch.
     speculate: usize,
     window: Option<usize>,
+    /// The stream's graded protection level: any cache (re)built for the
+    /// stream this sweep — including recovery re-prefills — is created at
+    /// this level.
+    protection: ProtectionLevel,
 }
 
 /// Cache-exposure step namespace for serving. Exposure steps are drawn
@@ -668,6 +704,10 @@ pub struct FinishedStream {
     /// were committed — `spec_accepted / spec_drafted` is the stream's
     /// realized acceptance rate.
     pub spec_accepted: u64,
+    /// The graded cache-protection level the stream ran at — every cache
+    /// the engine built for it (admission, recovery re-prefill, migration
+    /// re-adoption) was created at this level.
+    pub protection: ProtectionLevel,
 }
 
 /// A continuous-batching serving session over one [`TransformerModel`]:
@@ -711,6 +751,7 @@ pub struct ServeSession<M: core::borrow::Borrow<TransformerModel> = TransformerM
     recoveries: u64,
     preemptions: u64,
     peak_cache_bytes: u64,
+    peak_cache_breakdown: SizeBreakdown,
 }
 
 impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
@@ -747,6 +788,7 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
             recoveries: 0,
             preemptions: 0,
             peak_cache_bytes: 0,
+            peak_cache_breakdown: SizeBreakdown::default(),
         }
     }
     /// Submit a typed [`GenerationRequest`]. `max_new_tokens` is clamped to
@@ -822,8 +864,10 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
             // resuming from a park gets a fresh cache but keeps the model
             // report it accumulated before parking.
             if !self.caches.iter().any(|(id, _)| *id == item.stream) {
-                self.caches
-                    .push((item.stream, self.model.borrow().new_cache()));
+                self.caches.push((
+                    item.stream,
+                    self.model.borrow().new_cache_with(item.protection),
+                ));
             }
             if !self.reports.iter().any(|(id, _)| *id == item.stream) {
                 self.reports.push((item.stream, ModelReport::default()));
@@ -842,6 +886,7 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
                     sample_rows: if item.sample { 1 + item.speculate } else { 0 },
                     speculate: item.speculate,
                     window: item.window,
+                    protection: item.protection,
                 });
                 cache_refs.push(cache);
             }
@@ -850,6 +895,10 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
         let results = self.model.borrow().run_sweep(&feeds, &mut cache_refs, inj);
         let n = feeds.len();
         self.peak_cache_bytes = self.peak_cache_bytes.max(self.cache_bytes());
+        let split = self.cache_breakdown();
+        if split.total_bytes() > self.peak_cache_breakdown.total_bytes() {
+            self.peak_cache_breakdown = split;
+        }
         for (feed, (rows, rep, attn)) in feeds.iter().zip(results) {
             let id = feed.stream;
             let entry = self
@@ -920,7 +969,7 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
                             .iter_mut()
                             .find(|(cid, _)| *cid == id)
                             .expect("planned stream has a cache");
-                        slot.1 = self.model.borrow().new_cache();
+                        slot.1 = self.model.borrow().new_cache_with(feed.protection);
                     }
                 }
                 RecoveryPolicy::ReprefillPartial { max_attempts } if poisoned > 0 => {
@@ -952,7 +1001,7 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
                             // Damage not block-localized, or the rebuilt
                             // suffix would attend evicted or still-poisoned
                             // rows: fall back to the full replay.
-                            slot.1 = self.model.borrow().new_cache();
+                            slot.1 = self.model.borrow().new_cache_with(feed.protection);
                             self.scheduler.requeue(id, &attn)
                         };
                         self.recoveries += 1;
@@ -1129,6 +1178,19 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
         self.preemptions
     }
 
+    /// The protection level of `stream`'s *resident* cache — `None` while
+    /// the stream holds no cache (pending, parked, or retired). Every
+    /// cache the session builds for a stream — admission, re-prefill
+    /// recovery, park/resume, migration re-adoption — must come back at
+    /// the level its [`GenerationRequest`] asked for; this is the
+    /// introspection hook the protection-survival suite pins that with.
+    pub fn stream_cache_protection(&self, stream: StreamId) -> Option<ProtectionLevel> {
+        self.caches
+            .iter()
+            .find(|(id, _)| *id == stream)
+            .map(|(_, c)| c.protection())
+    }
+
     /// Turn the scheduler's park/resume transitions into session state:
     /// a parked stream's cache is dropped (its model report survives for
     /// the resume), and both directions surface as typed events.
@@ -1182,6 +1244,25 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
         self.peak_cache_bytes
     }
 
+    /// The footprint split at the peak-occupancy sweep (sampled at the
+    /// same instant as [`peak_cache_bytes`](ServeSession::peak_cache_bytes),
+    /// before that sweep's retiring streams drop their caches): how much
+    /// of the peak was FP16 payload vs FP32 protection metadata.
+    pub fn peak_cache_breakdown(&self) -> SizeBreakdown {
+        self.peak_cache_breakdown
+    }
+
+    /// Current cache footprint split into FP16 payload vs FP32 protection
+    /// metadata, summed over resident streams (see
+    /// [`ModelKvCache::size_breakdown`]) — how the graded protection
+    /// lattice's byte overhead shows up in a live session.
+    pub fn cache_breakdown(&self) -> SizeBreakdown {
+        self.caches
+            .iter()
+            .map(|(_, c)| c.size_breakdown())
+            .fold(SizeBreakdown::default(), |acc, b| acc.merged(&b))
+    }
+
     /// Drain retired streams, ordered by stream id.
     pub fn take_finished(&mut self) -> Vec<FinishedStream> {
         self.collect_finished();
@@ -1215,6 +1296,7 @@ impl<M: core::borrow::Borrow<TransformerModel>> ServeSession<M> {
                 recovery_fed: s.recovery_fed,
                 spec_drafted: s.spec_drafted,
                 spec_accepted: s.spec_accepted,
+                protection: s.protection,
             });
         }
     }
